@@ -1,0 +1,96 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+Not a numbered paper figure, but each is a claim in the text:
+
+* Section 5.1: the two Bottom-Up variants (level-(D-1) seeding; merging by
+  the pair's own LCA average) are "comparable or worse" than the base
+  algorithm in quality and efficiency.
+* Section 5.3: Hybrid's pool factor c trades Fixed-Order speed against
+  Bottom-Up quality.
+* Footnote 5: the Min-Size objective misses global high-valued properties
+  — it yields fewer redundant elements but a lower Max-Avg value.
+"""
+
+from __future__ import annotations
+
+from repro.core.bottom_up import (
+    bottom_up,
+    bottom_up_level_start,
+    bottom_up_pairwise_avg,
+)
+from repro.core.hybrid import hybrid
+from repro.core.objectives import min_size, min_size_greedy
+from repro.core.semilattice import ClusterPool
+from repro.datasets.loader import movielens_answer_set
+
+from conftest import measure
+
+K, L, D = 8, 30, 2
+
+
+def _pool():
+    answers = movielens_answer_set(m=8, having_count_gt=10)
+    return answers, ClusterPool(answers, L=L)
+
+
+def test_ablation_bottom_up_variants(report, benchmark):
+    answers, pool = _pool()
+    report.add("Ablation: Bottom-Up variants (Section 5.1; k=%d, L=%d, "
+               "D=%d, N=%d)" % (K, L, D, answers.n))
+    rows = []
+    for name, algorithm in (
+        ("base Bottom-Up", bottom_up),
+        ("level-(D-1) seeding", bottom_up_level_start),
+        ("merge by LCA avg", bottom_up_pairwise_avg),
+    ):
+        solution, seconds = measure(lambda: algorithm(pool, K, D))
+        rows.append([name, "%.4f" % solution.avg,
+                     "%.1f" % (seconds * 1e3), solution.size])
+    report.table(["variant", "value", "runtime (ms)", "clusters"], rows)
+    base_value = float(rows[0][1])
+    for row in rows[1:]:
+        assert float(row[1]) <= base_value + 0.15, (
+            "variants should be comparable or worse (Section 5.1)"
+        )
+    benchmark(lambda: bottom_up(pool, K, D))
+
+
+def test_ablation_hybrid_pool_factor(report, benchmark):
+    answers, pool = _pool()
+    report.add("Ablation: Hybrid pool factor c (Section 5.3; k=%d, L=%d, "
+               "D=%d)" % (K, L, D))
+    rows = []
+    for factor in (1, 2, 3, 4):
+        solution, seconds = measure(
+            lambda: hybrid(pool, K, D, pool_factor=factor)
+        )
+        rows.append([factor, "%.4f" % solution.avg,
+                     "%.1f" % (seconds * 1e3)])
+    report.table(["c", "value", "runtime (ms)"], rows)
+    benchmark(lambda: hybrid(pool, K, D, pool_factor=2))
+
+
+def test_ablation_min_size_objective(report, benchmark):
+    answers, pool = _pool()
+    report.add("Ablation: Max-Avg vs Min-Size objective (footnote 5; "
+               "k=%d, L=%d, D=%d)" % (K, L, D))
+    max_avg_solution, max_avg_seconds = measure(
+        lambda: bottom_up(pool, K, D)
+    )
+    min_size_solution, min_size_seconds = measure(
+        lambda: min_size_greedy(pool, K, D)
+    )
+    rows = [
+        ["Max-Avg (paper)", "%.4f" % max_avg_solution.avg,
+         min_size(max_avg_solution, L), "%.1f" % (max_avg_seconds * 1e3)],
+        ["Min-Size", "%.4f" % min_size_solution.avg,
+         min_size(min_size_solution, L), "%.1f" % (min_size_seconds * 1e3)],
+    ]
+    report.table(
+        ["objective", "avg value", "redundant elements", "runtime (ms)"],
+        rows,
+    )
+    # Each objective must win its own metric.
+    assert max_avg_solution.avg >= min_size_solution.avg - 1e-9
+    assert min_size(min_size_solution, L) <= min_size(max_avg_solution, L)
+    benchmark(lambda: min_size_greedy(pool, K, D))

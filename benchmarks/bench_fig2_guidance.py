@@ -1,0 +1,71 @@
+"""Figure 2 + Section 7.2 'timing for guidance visualization'.
+
+Regenerates the parameter-selection view: average solution value against k,
+one series per D, for a fixed L — and times its generation for different
+attribute counts m, which the paper reports at 20-40 ms for m in [4, 10]
+with N = 2087 (interactive budget).
+"""
+
+from __future__ import annotations
+
+from repro.core.semilattice import ClusterPool
+from repro.datasets.loader import synthetic_answer_set
+from repro.interactive.guidance import build_guidance_view
+from repro.interactive.precompute import SolutionStore
+
+from conftest import measure
+
+L = 15
+K_RANGE = (2, 15)
+D_VALUES = (1, 2, 3, 4)
+
+
+def test_fig2_guidance_view(report, benchmark):
+    answers = synthetic_answer_set(2087, m=8, domain_size=6, seed=1)
+    pool = ClusterPool(answers, L=L)
+    store = SolutionStore(pool, K_RANGE, D_VALUES)
+    view = build_guidance_view(store)
+    report.add("Figure 2: value of solutions vs k, one line per D "
+               "(L=%d, N=%d)" % (L, answers.n))
+    rows = []
+    for k in range(K_RANGE[0], K_RANGE[1] + 1):
+        rows.append(
+            [k] + ["%.4f" % store.objective(k, D) for D in D_VALUES]
+        )
+    report.table(["k"] + ["D=%d" % D for D in D_VALUES], rows)
+    report.add("")
+    report.add(view.render_ascii(width=50, height=12))
+    for D in D_VALUES:
+        report.add(
+            "D=%d: knees at k=%s, flat regions %s"
+            % (D, view.knee_points(D), view.flat_regions(D))
+        )
+    report.add("overlapping D bundles: %s"
+               % view.overlapping_distance_bundles())
+    # The retrieval+assembly path is the interactive kernel.
+    benchmark(lambda: build_guidance_view(store))
+
+
+def test_fig2_generation_time_vs_m(report, benchmark):
+    report.add("Section 7.2: guidance view generation time vs m (N=2087)")
+    rows = []
+    store = None
+    for m in (4, 6, 8, 10):
+        # Small domains keep D binding, but m=4 needs domain^m >= N.
+        answers = synthetic_answer_set(
+            2087, m=m, domain_size=12 if m <= 4 else 6, seed=1
+        )
+        pool, init_seconds = measure(lambda: ClusterPool(answers, L=L))
+        store, sweep_seconds = measure(
+            lambda: SolutionStore(pool, K_RANGE, D_VALUES)
+        )
+        _, view_seconds = measure(lambda: build_guidance_view(store))
+        rows.append([
+            m,
+            "%.1f" % (init_seconds * 1e3),
+            "%.1f" % (sweep_seconds * 1e3),
+            "%.2f" % (view_seconds * 1e3),
+        ])
+    report.table(["m", "init (ms)", "sweep (ms)", "view (ms)"], rows)
+    assert store is not None
+    benchmark(lambda: build_guidance_view(store))

@@ -1,0 +1,100 @@
+"""Figure 5: comparison with brute force (runtime and value).
+
+Paper setup: MovieLens query answers, L=5, D=3, k in {2, 3, 4}; algorithms
+BF, Bottom-Up, Fixed-Order, Hybrid, Random- and K-Means-Fixed-Order, plus
+the trivial lower bound.  Expected shape: brute force is orders of
+magnitude slower and only marginally better in value; the randomized
+variants do not beat plain Fixed-Order and add variance (Section 7.1).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.core.bottom_up import bottom_up
+from repro.core.brute_force import brute_force, lower_bound
+from repro.core.fixed_order import (
+    fixed_order,
+    kmeans_fixed_order,
+    random_fixed_order,
+)
+from repro.core.hybrid import hybrid
+from repro.core.semilattice import ClusterPool
+from repro.datasets.loader import movielens_answer_set
+
+from conftest import measure
+
+L, D = 5, 3
+K_VALUES = (2, 3, 4)
+RANDOM_RUNS = 20
+
+
+def test_fig5_brute_force_comparison(report, benchmark):
+    answers = movielens_answer_set(m=4, having_count_gt=50)
+    pool = ClusterPool(answers, L=L)
+    report.add("Figure 5: comparison with brute force "
+               "(n=%d, L=%d, D=%d)" % (answers.n, L, D))
+    rows_time: list[list[object]] = []
+    rows_value: list[list[object]] = []
+    for k in K_VALUES:
+        bf, bf_seconds = measure(lambda: brute_force(pool, k, D))
+        bu, bu_seconds = measure(lambda: bottom_up(pool, k, D))
+        fo, fo_seconds = measure(lambda: fixed_order(pool, k, D))
+        hy, hy_seconds = measure(lambda: hybrid(pool, k, D))
+        random_values = []
+        _, rnd_seconds = measure(
+            lambda: random_fixed_order(pool, k, D, seed=0)
+        )
+        for seed in range(RANDOM_RUNS):
+            random_values.append(
+                random_fixed_order(pool, k, D, seed=seed).avg
+            )
+        kmeans_values = []
+        _, km_seconds = measure(
+            lambda: kmeans_fixed_order(pool, k, D, seed=0)
+        )
+        for seed in range(RANDOM_RUNS):
+            kmeans_values.append(
+                kmeans_fixed_order(pool, k, D, seed=seed).avg
+            )
+        floor = lower_bound(pool).avg
+        rows_time.append([
+            k,
+            "%.3f" % (bf_seconds * 1e3),
+            "%.3f" % (bu_seconds * 1e3),
+            "%.3f" % (fo_seconds * 1e3),
+            "%.3f" % (hy_seconds * 1e3),
+            "%.3f" % (rnd_seconds * 1e3),
+            "%.3f" % (km_seconds * 1e3),
+        ])
+        rows_value.append([
+            k,
+            "%.4f" % bf.avg,
+            "%.4f" % bu.avg,
+            "%.4f" % fo.avg,
+            "%.4f" % hy.avg,
+            "%.4f+-%.3f" % (
+                statistics.mean(random_values),
+                statistics.pstdev(random_values),
+            ),
+            "%.4f+-%.3f" % (
+                statistics.mean(kmeans_values),
+                statistics.pstdev(kmeans_values),
+            ),
+            "%.4f" % floor,
+        ])
+        # Exactness sanity: nothing may beat brute force.
+        for value in (bu.avg, fo.avg, hy.avg, *random_values, *kmeans_values):
+            assert value <= bf.avg + 1e-9
+    report.add("\n(a) runtime in ms vs k")
+    report.table(
+        ["k", "BF", "Bottom-Up", "Fixed-Order", "Hybrid", "Random", "K-Means"],
+        rows_time,
+    )
+    report.add("\n(b) average value vs k")
+    report.table(
+        ["k", "BF", "Bottom-Up", "Fixed-Order", "Hybrid", "Random",
+         "K-Means", "LowerBound"],
+        rows_value,
+    )
+    benchmark(lambda: hybrid(pool, 3, D))

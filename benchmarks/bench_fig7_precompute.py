@@ -1,0 +1,143 @@
+"""Figure 7: cost and benefit of precomputation (Section 7.2).
+
+Single runs (one Hybrid invocation per parameter choice) versus the
+precomputation store (one sweep serving every (k, D) afterwards at
+retrieval speed).  Expected shapes: per-parameter-change, the single run
+is cheaper once; by the time a handful of combinations have been explored,
+the precomputation amortizes (Figure 7b); both costs grow with L and N
+while retrieval stays in the milliseconds.
+
+Scaling note: the paper uses L up to 1000 on N=2087 (Java prototype);
+the pure-Python reproduction uses the same N with L scaled to keep each
+sweep in seconds.  Shapes, not absolute times, are the target.
+"""
+
+from __future__ import annotations
+
+from repro.core.semilattice import ClusterPool
+from repro.datasets.loader import (
+    PAPER_N_DEFAULT,
+    PAPER_N_LARGE,
+    PAPER_N_SMALL,
+    synthetic_answer_set,
+)
+from repro.interactive.precompute import SolutionStore
+
+from conftest import measure
+
+
+def _answers(n):
+    return synthetic_answer_set(n, m=8, domain_size=6, seed=1)
+
+
+def _hybrid_single(pool, k, D):
+    from repro.core.hybrid import hybrid
+
+    return hybrid(pool, k, D)
+
+
+def test_fig7a_precompute_vs_k(report, benchmark):
+    answers = _answers(PAPER_N_DEFAULT)
+    report.add("Figure 7a: precomputation runtime vs k "
+               "(L=300, D=2, N=%d)" % answers.n)
+    pool, init_seconds = measure(lambda: ClusterPool(answers, L=300))
+    rows = []
+    for k in (5, 10, 20, 50):
+        store, sweep_seconds = measure(
+            lambda: SolutionStore(pool, (k, k), [2])
+        )
+        rows.append([
+            k, "%.2f" % init_seconds, "%.2f" % sweep_seconds,
+        ])
+    report.table(["k", "init (s)", "algo (s)"], rows)
+    benchmark.pedantic(
+        lambda: SolutionStore(pool, (10, 10), [2]), rounds=3, iterations=1
+    )
+
+
+def test_fig7b_single_vs_precompute_six_runs(report, benchmark):
+    answers = _answers(PAPER_N_LARGE)
+    report.add("Figure 7b: cumulative runtime over 6 parameter changes "
+               "(N=%d, L=200)" % answers.n)
+    combos = [(20, 2), (10, 2), (15, 3), (8, 1), (12, 2), (18, 3)]
+    pool, init_seconds = measure(lambda: ClusterPool(answers, L=200))
+    single_total = init_seconds
+    rows = []
+    for index, (k, D) in enumerate(combos, start=1):
+        _, run_seconds = measure(lambda: _hybrid_single(pool, k, D))
+        single_total += run_seconds
+        rows.append(["single run %d" % index, "k=%d D=%d" % (k, D),
+                     "%.2f" % single_total])
+    store, sweep_seconds = measure(
+        lambda: SolutionStore(pool, (8, 20), [1, 2, 3])
+    )
+    precompute_total = init_seconds + sweep_seconds
+    retrieval_total = 0.0
+    for k, D in combos:
+        _, retrieve_seconds = measure(lambda: store.retrieve(k, D))
+        retrieval_total += retrieve_seconds
+    rows.append(["precompute (init+sweep)", "all (k, D)",
+                 "%.2f" % precompute_total])
+    rows.append(["precompute + 6 retrievals", "",
+                 "%.2f" % (precompute_total + retrieval_total)])
+    report.table(["mode", "params", "cumulative seconds"], rows)
+    report.add("retrievals cost %.1f ms total" % (retrieval_total * 1e3))
+    benchmark(lambda: store.retrieve(12, 2))
+
+
+def test_fig7cd_vs_L(report, benchmark):
+    answers = _answers(PAPER_N_DEFAULT)
+    report.add("Figure 7c/7d: single vs precompute runtime vs L "
+               "(k=20, D=2, N=%d)" % answers.n)
+    rows = []
+    store = None
+    for L in (100, 200, 400):
+        pool, init_seconds = measure(lambda: ClusterPool(answers, L=L))
+        _, single_seconds = measure(lambda: _hybrid_single(pool, 20, 2))
+        store, sweep_seconds = measure(
+            lambda: SolutionStore(pool, (10, 20), [1, 2])
+        )
+        _, retrieve_seconds = measure(lambda: store.retrieve(20, 2))
+        rows.append([
+            L,
+            "%.2f" % init_seconds,
+            "%.2f" % single_seconds,
+            "%.2f" % sweep_seconds,
+            "%.2f" % (retrieve_seconds * 1e3),
+        ])
+    report.table(
+        ["L", "init (s)", "single algo (s)", "precompute algo (s)",
+         "retrieval (ms)"],
+        rows,
+    )
+    assert store is not None
+    benchmark(lambda: store.retrieve(15, 1))
+
+
+def test_fig7ef_vs_N(report, benchmark):
+    report.add("Figure 7e/7f: single vs precompute runtime vs N "
+               "(k=20, L=200, D=2)")
+    rows = []
+    store = None
+    for n in (PAPER_N_SMALL, PAPER_N_DEFAULT, PAPER_N_LARGE):
+        answers = _answers(n)
+        pool, init_seconds = measure(lambda: ClusterPool(answers, L=200))
+        _, single_seconds = measure(lambda: _hybrid_single(pool, 20, 2))
+        store, sweep_seconds = measure(
+            lambda: SolutionStore(pool, (10, 20), [1, 2])
+        )
+        _, retrieve_seconds = measure(lambda: store.retrieve(20, 2))
+        rows.append([
+            n,
+            "%.2f" % init_seconds,
+            "%.2f" % single_seconds,
+            "%.2f" % sweep_seconds,
+            "%.2f" % (retrieve_seconds * 1e3),
+        ])
+    report.table(
+        ["N", "init (s)", "single algo (s)", "precompute algo (s)",
+         "retrieval (ms)"],
+        rows,
+    )
+    assert store is not None
+    benchmark(lambda: store.retrieve(15, 1))

@@ -1,0 +1,84 @@
+"""Table 1 and Table 2: the (simulated) user study of Section 8.
+
+Three task groups — varying-method (ours vs decision tree, L=50, k=10,
+D=1), varying-k (5 vs 10, L=30, D=1), varying-D (1 vs 3, L=10, k=7) —
+three sections each, 16 subjects.  The human subjects are replaced by the
+seeded cognitive model of repro.userstudy (see DESIGN.md substitutions);
+the reproduction target is the table's qualitative shape:
+
+* our method beats the decision tree on TH-accuracy and on time in the
+  patterns-only and memory-only sections, and is overwhelmingly preferred;
+* patterns+members is the most accurate and slowest section; memory-only
+  the fastest;
+* bigger k costs time with patterns on screen; accuracy-vs-memorability
+  trade-offs split preferences on k and D.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.loader import synthetic_answer_set
+from repro.userstudy import format_table, run_study
+
+from conftest import measure
+
+
+def _answers():
+    # domain_size=4 keeps top answers similar enough that D and k bind
+    # (the study queries of the paper have exactly this clustered shape).
+    return synthetic_answer_set(400, m=5, domain_size=4, seed=3)
+
+
+def test_table1_user_study(report, benchmark):
+    answers = _answers()
+    study, seconds = measure(
+        lambda: run_study(answers, n_subjects=16, seed=1)
+    )
+    report.add("Table 1: simulated user study (16 subjects, %.2f s)"
+               % seconds)
+    report.add("")
+    report.add(format_table(study, n_subjects=16))
+    report.add("")
+    # Qualitative assertions of the paper's headline findings.
+    tree = study.varying_method.left
+    ours = study.varying_method.right
+    assert (
+        ours.sections["patterns-only"].th_accuracy_mean
+        > tree.sections["patterns-only"].th_accuracy_mean
+    ), "our patterns must discriminate high vs low better than the tree"
+    assert ours.preferred_by > tree.preferred_by
+    for arm in (tree, ours):
+        assert (
+            arm.sections["memory-only"].time_mean
+            < arm.sections["patterns-only"].time_mean
+        )
+        assert arm.sections["patterns+members"].t_accuracy_mean > 0.85
+    report.add("headline checks passed: ours > tree on TH-accuracy, "
+               "ours preferred, memory fastest, members most accurate")
+    benchmark.pedantic(
+        lambda: run_study(answers, n_subjects=4, seed=2),
+        rounds=2, iterations=1,
+    )
+
+
+def test_table2_learning_effect(report, benchmark):
+    answers = _answers()
+    study, seconds = measure(
+        lambda: run_study(answers, n_subjects=16, seed=1,
+                          learning_sequence=True)
+    )
+    report.add("Table 2: fixed sequence variant (varying-method first; "
+               "%.2f s)" % seconds)
+    report.add("")
+    report.add(format_table(study, n_subjects=16))
+    report.add("")
+    baseline = run_study(answers, n_subjects=16, seed=1)
+    slower = study.varying_method.right.sections["patterns-only"].time_mean
+    faster = baseline.varying_method.right.sections["patterns-only"].time_mean
+    assert slower > faster, "first-in-sequence groups take longer"
+    report.add("learning effect visible: %.1f s/question first-in-sequence "
+               "vs %.1f s baseline" % (slower, faster))
+    benchmark.pedantic(
+        lambda: run_study(answers, n_subjects=4, seed=3,
+                          learning_sequence=True),
+        rounds=2, iterations=1,
+    )

@@ -1,0 +1,61 @@
+"""Scalability on the TPC-DS-like store_sales workload (Section 7.4).
+
+Generates a schema-faithful store_sales relation, runs the paper's
+avg(net_profit) aggregate query through the engine, then scales the answer
+set to tens of thousands of groups with the direct synthesizer and measures
+initialization / algorithm / retrieval time for single runs versus
+precomputation — the Figure 9 experiment at laptop scale.
+
+Run:  python examples/tpcds_scalability.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.datasets.tpcds import (
+    SCALABILITY_ATTRIBUTES,
+    TpcdsConfig,
+    generate_store_sales,
+    tpcds_answer_set,
+)
+from repro.interactive import ExplorationSession
+from repro.query.aggregate import AggregateQuery, run_aggregate
+
+
+def main() -> None:
+    print("== end-to-end slice: real rows through the engine ==")
+    relation = generate_store_sales(TpcdsConfig(n_rows=60_000, seed=7))
+    query = AggregateQuery(
+        group_by=SCALABILITY_ATTRIBUTES[:3],
+        aggregate="avg",
+        target="ss_net_profit",
+        having_count_gt=5,
+    )
+    start = time.perf_counter()
+    result = run_aggregate(relation, query)
+    print("aggregated %d rows -> %d groups in %.2f s"
+          % (len(relation), result.n, time.perf_counter() - start))
+    answers = result.to_answer_set()
+    session = ExplorationSession(answers)
+    timed = session.solve(k=10, L=min(100, answers.n), D=2)
+    print("summary of the most profitable segments (k=10):")
+    print(session.describe(timed.solution))
+
+    print("\n== scalability: N ~ 20k answer groups (Figure 9 shape) ==")
+    big = tpcds_answer_set(n_groups=20_000, m=6, seed=7)
+    big_session = ExplorationSession(big)
+    for L in (500, 1000, 2000):
+        single = big_session.solve(k=20, L=L, D=2, algorithm="hybrid")
+        print("  L=%4d single run:      init %.2f s  algo %.2f s  avg=%.2f"
+              % (L, big_session.init_seconds(L), single.algo_seconds,
+                 single.solution.avg))
+        store = big_session.precompute(L, k_range=(10, 20), d_values=[2])
+        retrieved = big_session.retrieve(20, L, 2, (10, 20), [2])
+        print("           precompute:      algo %.2f s  retrieval %.2f ms"
+              % (store.timings.algo_seconds,
+                 retrieved.algo_seconds * 1e3))
+
+
+if __name__ == "__main__":
+    main()

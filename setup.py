@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The reproduction environment is offline and has no ``wheel`` package, so
+PEP-517 editable installs (``pip install -e .``) cannot build a wheel.  This
+shim lets ``python setup.py develop`` provide the equivalent editable
+install; configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

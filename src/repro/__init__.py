@@ -1,0 +1,63 @@
+"""repro — reproduction of "Interactive Summarization and Exploration of
+Top Aggregate Query Answers" (Wen, Zhu, Roy, Yang; VLDB 2018).
+
+The package summarizes the high-valued answers of an aggregate query as at
+most ``k`` clusters (patterns with don't-care ``*`` values) that cover the
+top-``L`` original answers and are pairwise at distance >= ``D``, maximizing
+the average value of everything the clusters cover (Max-Avg).
+
+Quickstart::
+
+    from repro import AnswerSet, summarize
+
+    answers = AnswerSet.from_rows(rows, values, attributes=names)
+    solution = summarize(answers, k=4, L=8, D=2)
+    print(solution.describe(answers))
+
+Subpackages
+-----------
+``repro.core``
+    Pattern algebra, problem model, greedy + exact algorithms (Sections 3-5).
+``repro.interactive``
+    Incremental precomputation, interval-tree solution store, parameter
+    guidance view, exploration sessions (Section 6).
+``repro.viz``
+    Successive-solution comparison layout optimization (Appendix A.7).
+``repro.query``
+    In-memory relational substrate and restricted SQL parser.
+``repro.datasets``
+    Synthetic MovieLens-like and TPC-DS-like generators (Section 7).
+``repro.baselines``
+    Smart drill-down, diversified top-k, DisC, MMR, decision tree, k-modes.
+``repro.hierarchy``
+    Concept-hierarchy / range-value extension (Appendix A.6).
+``repro.userstudy``
+    Simulated user-study harness regenerating Table 1 / Table 2 (Section 8).
+"""
+
+from repro.core import (
+    ALGORITHMS,
+    AnswerSet,
+    Cluster,
+    ClusterPool,
+    ProblemInstance,
+    Solution,
+    check_feasibility,
+    is_feasible,
+    summarize,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "AnswerSet",
+    "Cluster",
+    "ClusterPool",
+    "ProblemInstance",
+    "Solution",
+    "check_feasibility",
+    "is_feasible",
+    "summarize",
+    "__version__",
+]

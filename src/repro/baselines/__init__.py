@@ -1,0 +1,19 @@
+"""Baseline and comparison approaches (Section 2, Section 8, Appendix A.5).
+
+Each module adapts a published alternative to the paper's setting so the
+qualitative comparisons of Appendix A.5 and the user-study comparison of
+Section 8 can be regenerated:
+
+* :mod:`repro.baselines.smart_drilldown` — Joglekar et al., ICDE 2016.
+* :mod:`repro.baselines.diversified_topk` — Qin et al., PVLDB 2012.
+* :mod:`repro.baselines.disc` — Drosou & Pitoura, PVLDB 2012.
+* :mod:`repro.baselines.mmr` — MMR-style max-sum diversification
+  (Vieira et al., ICDE 2011).
+* :mod:`repro.baselines.decision_tree` — from-scratch CART used as the
+  adapted classifier of Section 8.
+* :mod:`repro.baselines.kmodes` — categorical k-means substrate.
+"""
+
+from repro.baselines.kmodes import kmodes, KModesResult
+
+__all__ = ["kmodes", "KModesResult"]

@@ -1,0 +1,291 @@
+"""A from-scratch CART decision tree and the Section 8 summarizer adaption.
+
+The user study compares the paper's cluster patterns against summaries
+induced by a decision tree trained to separate the top-L tuples from the
+rest: every "positive" leaf (top-L tuples in the majority) yields a
+predicate pattern over the root-to-leaf path.  The original study used
+scikit-learn, which is unavailable offline, so this module implements the
+needed subset of CART directly:
+
+* binary splits on categorical equality (``attr == value`` vs ``!=``) —
+  the natural split for the paper's categorical group-by attributes;
+* gini-impurity split selection, deterministic tie-breaks;
+* depth control, with :func:`tune_tree` searching for the largest depth
+  whose positive-leaf count stays <= k, "as close as possible to, but no
+  greater than, k" (Section 8.1).
+
+Tree patterns are *more complex* than cluster patterns: paths mix equality
+and negation conditions, possibly several per attribute.  The user-study
+simulator keys its reading-cost and recall models off
+:meth:`TreePattern.complexity`, which counts conditions (negations extra),
+operationalizing the paper's interpretability hypothesis.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.common.errors import InvalidParameterError
+from repro.core.answers import AnswerSet
+from repro.core.cluster import Pattern
+
+
+@dataclass(frozen=True, order=True)
+class Condition:
+    """One path predicate: attribute `==` or `!=` a value code."""
+
+    attribute: int
+    operator: str  # "==" | "!="
+    value: int
+
+    def matches(self, element: Sequence[int]) -> bool:
+        if self.operator == "==":
+            return element[self.attribute] == self.value
+        return element[self.attribute] != self.value
+
+
+@dataclass(frozen=True)
+class TreePattern:
+    """A positive leaf's path: conjunction of conditions."""
+
+    conditions: tuple[Condition, ...]
+    positive_count: int
+    negative_count: int
+    avg_value: float
+
+    def matches(self, element: Sequence[int]) -> bool:
+        return all(condition.matches(element) for condition in self.conditions)
+
+    @property
+    def complexity(self) -> int:
+        """Reading/memorability cost: conditions count, negations doubly.
+
+        A cluster pattern's analogue is its number of non-star attributes;
+        negated conditions ("occupation != student") carry extra cognitive
+        load, per the hypothesis the user study tests.
+        """
+        return sum(
+            1 if condition.operator == "==" else 2
+            for condition in self.conditions
+        )
+
+    def describe(self, answers: AnswerSet) -> str:
+        if not self.conditions:
+            return "(always)"
+        parts = []
+        for condition in self.conditions:
+            name = (
+                answers.codec.attributes[condition.attribute]
+                if answers.codec is not None
+                else "A%d" % condition.attribute
+            )
+            value = (
+                answers.codec.interner(condition.attribute).value(condition.value)
+                if answers.codec is not None
+                else condition.value
+            )
+            parts.append("%s %s %s" % (name, condition.operator, value))
+        return " AND ".join(parts)
+
+
+class _Node:
+    __slots__ = ("condition", "left", "right", "indices", "is_leaf")
+
+    def __init__(self, indices: list[int]) -> None:
+        self.indices = indices
+        self.condition: Condition | None = None
+        self.left: "_Node | None" = None
+        self.right: "_Node | None" = None
+        self.is_leaf = True
+
+
+def _gini(positives: int, total: int) -> float:
+    if total == 0:
+        return 0.0
+    p = positives / total
+    return 2.0 * p * (1.0 - p)
+
+
+class DecisionTreeClassifier:
+    """Binary CART over integer-coded categorical features."""
+
+    def __init__(self, max_depth: int = 5, min_samples_split: int = 2) -> None:
+        if max_depth < 1:
+            raise InvalidParameterError("max_depth must be >= 1")
+        if min_samples_split < 2:
+            raise InvalidParameterError("min_samples_split must be >= 2")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self._root: _Node | None = None
+        self._X: list[Pattern] = []
+        self._y: list[bool] = []
+
+    def fit(self, X: Sequence[Pattern], y: Sequence[bool]) -> "DecisionTreeClassifier":
+        if len(X) != len(y):
+            raise InvalidParameterError("X and y length mismatch")
+        if not X:
+            raise InvalidParameterError("cannot fit on an empty dataset")
+        self._X = list(X)
+        self._y = list(y)
+        self._root = _Node(list(range(len(X))))
+        self._split(self._root, depth=0)
+        return self
+
+    def _best_split(self, indices: list[int]) -> tuple[Condition, list[int], list[int]] | None:
+        X, y = self._X, self._y
+        total = len(indices)
+        positives = sum(1 for i in indices if y[i])
+        if positives == 0 or positives == total:
+            return None
+        parent_impurity = _gini(positives, total)
+        m = len(X[0])
+        best = None
+        best_key = None
+        for attribute in range(m):
+            # One pass gathers per-value (count, positive) statistics.
+            counts: Counter = Counter()
+            positive_counts: Counter = Counter()
+            for i in indices:
+                value = X[i][attribute]
+                counts[value] += 1
+                if y[i]:
+                    positive_counts[value] += 1
+            if len(counts) < 2:
+                continue
+            for value in sorted(counts):
+                left_total = counts[value]
+                left_pos = positive_counts[value]
+                right_total = total - left_total
+                right_pos = positives - left_pos
+                weighted = (
+                    left_total * _gini(left_pos, left_total)
+                    + right_total * _gini(right_pos, right_total)
+                ) / total
+                gain = parent_impurity - weighted
+                key = (-gain, attribute, value)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = (attribute, value, gain)
+        if best is None or best[2] <= 1e-12:
+            return None
+        attribute, value, _ = best
+        condition = Condition(attribute, "==", value)
+        left = [i for i in indices if X[i][attribute] == value]
+        right = [i for i in indices if X[i][attribute] != value]
+        return condition, left, right
+
+    def _split(self, node: _Node, depth: int) -> None:
+        if depth >= self.max_depth or len(node.indices) < self.min_samples_split:
+            return
+        found = self._best_split(node.indices)
+        if found is None:
+            return
+        condition, left_idx, right_idx = found
+        node.condition = condition
+        node.is_leaf = False
+        node.left = _Node(left_idx)
+        node.right = _Node(right_idx)
+        self._split(node.left, depth + 1)
+        self._split(node.right, depth + 1)
+
+    def _leaf_for(self, element: Sequence[int]) -> _Node:
+        if self._root is None:
+            raise InvalidParameterError("classifier is not fitted")
+        node = self._root
+        while not node.is_leaf:
+            assert node.condition is not None
+            node = node.left if node.condition.matches(element) else node.right
+            assert node is not None
+        return node
+
+    def predict(self, element: Sequence[int]) -> bool:
+        """Majority label of the leaf the element falls into."""
+        leaf = self._leaf_for(element)
+        positives = sum(1 for i in leaf.indices if self._y[i])
+        return positives * 2 > len(leaf.indices)
+
+    def leaves(self) -> list[tuple[tuple[Condition, ...], list[int]]]:
+        """All leaves as (path conditions, training indices)."""
+        if self._root is None:
+            raise InvalidParameterError("classifier is not fitted")
+        result: list[tuple[tuple[Condition, ...], list[int]]] = []
+
+        def walk(node: _Node, path: tuple[Condition, ...]) -> None:
+            if node.is_leaf:
+                result.append((path, node.indices))
+                return
+            assert node.condition is not None and node.left and node.right
+            positive = node.condition
+            negative = Condition(
+                positive.attribute, "!=", positive.value
+            )
+            walk(node.left, path + (positive,))
+            walk(node.right, path + (negative,))
+
+        walk(self._root, ())
+        return result
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+
+def positive_leaf_patterns(
+    tree: DecisionTreeClassifier,
+    answers: AnswerSet,
+    L: int,
+) -> list[TreePattern]:
+    """Extract patterns from leaves where top-L tuples are the majority."""
+    patterns = []
+    for path, indices in tree.leaves():
+        positives = sum(1 for i in indices if i < L)
+        negatives = len(indices) - positives
+        if positives * 2 > len(indices) and positives > 0:
+            avg = sum(answers.values[i] for i in indices) / len(indices)
+            patterns.append(
+                TreePattern(
+                    conditions=path,
+                    positive_count=positives,
+                    negative_count=negatives,
+                    avg_value=avg,
+                )
+            )
+    patterns.sort(key=lambda p: (-p.avg_value, p.conditions))
+    return patterns
+
+
+def tune_tree(
+    answers: AnswerSet,
+    L: int,
+    k: int,
+    max_depth_limit: int = 12,
+) -> tuple[DecisionTreeClassifier, list[TreePattern]]:
+    """Fit trees of increasing depth; keep the deepest with <= k positive
+    leaves (Section 8.1's tuning rule: as close to k as possible, not
+    above)."""
+    if not 1 <= L <= answers.n:
+        raise InvalidParameterError("L=%d out of range [1, %d]" % (L, answers.n))
+    X = answers.elements
+    y = [i < L for i in range(answers.n)]
+    best_tree = None
+    best_patterns: list[TreePattern] = []
+    for depth in range(1, max_depth_limit + 1):
+        tree = DecisionTreeClassifier(max_depth=depth).fit(X, y)
+        patterns = positive_leaf_patterns(tree, answers, L)
+        if len(patterns) > k:
+            break
+        if len(patterns) >= len(best_patterns):
+            best_tree = tree
+            best_patterns = patterns
+    if best_tree is None:
+        best_tree = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        best_patterns = positive_leaf_patterns(best_tree, answers, L)[:k]
+    return best_tree, best_patterns

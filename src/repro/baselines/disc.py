@@ -1,0 +1,97 @@
+"""DisC diversity (Drosou & Pitoura; PVLDB 2012), adapted per Appendix A.5.3.
+
+A *DisC diverse subset* S' of a set P satisfies: (coverage) every element of
+P is within distance <= D of some element of S'; (dissimilarity) no two
+elements of S' are within distance <= D of each other; and |S'| is to be
+minimized.  There is no bound on |S'| and values are ignored — the two
+properties the paper criticizes.
+
+The greedy construction below (scan in descending value, keep any element
+not yet covered by the chosen set's D-balls) yields a maximal independent
+set in the D-similarity graph, which is simultaneously a dominating set —
+i.e., a valid DisC diverse subset.  Scanning by value is the adaptation
+that folds in relevance, as in the paper's comparison; an exact minimal
+search is provided for tiny inputs.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.common.errors import InvalidParameterError
+from repro.core.answers import AnswerSet
+from repro.core.cluster import distance
+from repro.baselines.diversified_topk import Representative, _neighbourhood
+
+
+def _is_disc_diverse(
+    answers: AnswerSet, subset: list[int], scope: int, D: int
+) -> bool:
+    elements = answers.elements
+    for a, b in combinations(subset, 2):
+        if distance(elements[a], elements[b]) <= D:
+            return False
+    for rank in range(scope):
+        if not any(
+            distance(elements[rank], elements[chosen]) <= D
+            for chosen in subset
+        ):
+            return False
+    return True
+
+
+def disc_greedy(
+    answers: AnswerSet, D: int, L: int | None = None
+) -> list[Representative]:
+    """Greedy DisC diverse subset over the top-L (or all) elements."""
+    if D < 0:
+        raise InvalidParameterError("D=%d must be >= 0" % D)
+    scope = min(L if L is not None else answers.n, answers.n)
+    elements = answers.elements
+    chosen: list[int] = []
+    for rank in range(scope):
+        if all(
+            distance(elements[rank], elements[other]) > D for other in chosen
+        ):
+            chosen.append(rank)
+    result = []
+    for rank in chosen:
+        size, avg = _neighbourhood(answers, rank, D + 1)
+        result.append(
+            Representative(
+                rank=rank,
+                element=elements[rank],
+                score=answers.values[rank],
+                neighbourhood_size=size,
+                neighbourhood_avg=avg,
+            )
+        )
+    return result
+
+
+def disc_exact_minimum(
+    answers: AnswerSet, D: int, L: int | None = None
+) -> list[Representative]:
+    """Smallest DisC diverse subset by exhaustive search (tiny inputs)."""
+    scope = min(L if L is not None else answers.n, answers.n)
+    if scope > 16:
+        raise InvalidParameterError(
+            "exact DisC search refused for L=%d > 16; use the greedy" % scope
+        )
+    for size in range(1, scope + 1):
+        for subset in combinations(range(scope), size):
+            if _is_disc_diverse(answers, list(subset), scope, D):
+                result = []
+                for rank in subset:
+                    count, avg = _neighbourhood(answers, rank, D + 1)
+                    result.append(
+                        Representative(
+                            rank=rank,
+                            element=answers.elements[rank],
+                            score=answers.values[rank],
+                            neighbourhood_size=count,
+                            neighbourhood_avg=avg,
+                        )
+                    )
+                return result
+    raise AssertionError("a singleton subset is always DisC diverse")

@@ -1,0 +1,119 @@
+"""k-modes clustering for categorical tuples (Huang 1998 style).
+
+This is the categorical analogue of k-means the paper invokes for its
+``k-means-Fixed-Order`` variant (Section 5.2) and when discussing standard
+clustering as a (non-)solution (Section 2).  Centroids are *modes*: the
+attribute-wise most frequent value among a cluster's members; the metric is
+the simple matching distance (Hamming distance over attributes), matching
+the paper's element distance (Definition 3.1).
+
+Implemented from scratch — the reproduction environment has no scikit-learn
+— with deterministic seeded initialization.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.common.errors import InvalidParameterError
+
+Point = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class KModesResult:
+    """Cluster assignment produced by :func:`kmodes`."""
+
+    labels: tuple[int, ...]
+    modes: tuple[Point, ...]
+    cost: int
+    iterations: int
+
+    @property
+    def k(self) -> int:
+        return len(self.modes)
+
+
+def hamming(p: Point, q: Point) -> int:
+    """Number of attributes where *p* and *q* differ."""
+    return sum(1 for a, b in zip(p, q) if a != b)
+
+
+def _mode_of(members: Sequence[Point], m: int, rng: _random.Random) -> Point:
+    """Attribute-wise most frequent value (ties broken by smallest code)."""
+    mode = []
+    for attr in range(m):
+        counts = Counter(point[attr] for point in members)
+        best_value = min(
+            counts, key=lambda value: (-counts[value], value)
+        )
+        mode.append(best_value)
+    return tuple(mode)
+
+
+def kmodes(
+    points: Sequence[Point],
+    k: int,
+    seed: int = 0,
+    max_iterations: int = 50,
+) -> KModesResult:
+    """Cluster *points* into *k* groups by iterative mode refinement.
+
+    Initialization picks k distinct points at random (seeded).  Iterations
+    alternate assignment (nearest mode, ties to the lowest cluster id) and
+    mode recomputation until labels stabilize or *max_iterations* is hit.
+    Empty clusters are re-seeded with the point farthest from its mode.
+    """
+    if not points:
+        raise InvalidParameterError("kmodes() needs at least one point")
+    if not 1 <= k <= len(points):
+        raise InvalidParameterError(
+            "k=%d out of range [1, %d]" % (k, len(points))
+        )
+    m = len(points[0])
+    rng = _random.Random(seed)
+    distinct = sorted(set(points))
+    if k > len(distinct):
+        k = len(distinct)
+    modes: list[Point] = rng.sample(distinct, k)
+    labels: list[int] = [-1] * len(points)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        new_labels = []
+        for point in points:
+            best = min(
+                range(k), key=lambda c: (hamming(point, modes[c]), c)
+            )
+            new_labels.append(best)
+        # Re-seed empty clusters with the worst-assigned point.
+        used = set(new_labels)
+        for cluster_id in range(k):
+            if cluster_id in used:
+                continue
+            worst = max(
+                range(len(points)),
+                key=lambda i: (hamming(points[i], modes[new_labels[i]]), i),
+            )
+            new_labels[worst] = cluster_id
+            used.add(cluster_id)
+        if new_labels == labels:
+            break
+        labels = new_labels
+        for cluster_id in range(k):
+            members = [
+                points[i] for i, lab in enumerate(labels) if lab == cluster_id
+            ]
+            if members:
+                modes[cluster_id] = _mode_of(members, m, rng)
+    cost = sum(
+        hamming(point, modes[label]) for point, label in zip(points, labels)
+    )
+    return KModesResult(
+        labels=tuple(labels),
+        modes=tuple(modes),
+        cost=cost,
+        iterations=iterations,
+    )

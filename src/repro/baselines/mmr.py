@@ -1,0 +1,92 @@
+"""MMR-style lambda-parameterized diversification (Appendix A.5.4).
+
+Maximal Marginal Relevance (Carbonell & Goldstein 1998; the max-sum variant
+experimentally studied by Vieira et al., ICDE 2011) selects k elements
+balancing relevance and diversity through a trade-off parameter lambda::
+
+    next = argmax_t  (1 - lambda) * rel(t) + lambda * div(t, S)
+
+where ``rel`` is the normalized value and ``div`` the normalized distance
+to the already-selected set (min-distance form).  lambda = 0 reproduces the
+plain top-k; lambda = 1 is pure dispersion (ties broken by value, so the
+first pick is still the top element's peer group) — matching the behaviour
+shown in the paper's comparison table for lambda in {0, 0.2, 0.5, 0.8, 1.0}.
+
+This is a result *diversification* baseline: it returns elements, no
+``*``-summaries, no coverage guarantee — which is the point of the
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import InvalidParameterError
+from repro.core.answers import AnswerSet
+from repro.core.cluster import Pattern, distance
+
+
+@dataclass(frozen=True)
+class MmrPick:
+    """One selected element with its selection-time MMR score."""
+
+    rank: int
+    element: Pattern
+    score: float
+    mmr_score: float
+
+
+def mmr_select(
+    answers: AnswerSet,
+    k: int,
+    lam: float,
+    L: int | None = None,
+) -> list[MmrPick]:
+    """Greedy MMR selection of k elements from the top-L (or all of S)."""
+    if k < 1:
+        raise InvalidParameterError("k=%d must be >= 1" % k)
+    if not 0.0 <= lam <= 1.0:
+        raise InvalidParameterError("lambda=%r out of [0, 1]" % lam)
+    scope = min(L if L is not None else answers.n, answers.n)
+    values = answers.values[:scope]
+    elements = answers.elements[:scope]
+    v_lo, v_hi = min(values), max(values)
+    v_span = (v_hi - v_lo) or 1.0
+    m = answers.m
+
+    def relevance(rank: int) -> float:
+        return (values[rank] - v_lo) / v_span
+
+    chosen: list[int] = []
+    picks: list[MmrPick] = []
+    available = list(range(scope))
+    for _ in range(min(k, scope)):
+        best_rank = None
+        best_score = None
+        for rank in available:
+            if chosen:
+                div = min(
+                    distance(elements[rank], elements[other])
+                    for other in chosen
+                ) / m
+            else:
+                div = 0.0
+            score = (1.0 - lam) * relevance(rank) + lam * div
+            # Tie-break toward higher value, then lower rank: deterministic
+            # and matches "first pick is the top element" at lambda = 1.
+            key = (score, values[rank], -rank)
+            if best_score is None or key > best_score:
+                best_score = key
+                best_rank = rank
+        assert best_rank is not None
+        chosen.append(best_rank)
+        available.remove(best_rank)
+        picks.append(
+            MmrPick(
+                rank=best_rank,
+                element=elements[best_rank],
+                score=values[best_rank],
+                mmr_score=best_score[0],
+            )
+        )
+    return picks

@@ -1,0 +1,27 @@
+"""Shared utilities: errors, value interning, timing, deterministic RNG.
+
+These modules are deliberately dependency-free so every other subpackage can
+import them without cycles.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    InfeasibleError,
+    InvalidParameterError,
+    SchemaError,
+    QueryError,
+)
+from repro.common.interning import ValueInterner, AttributeCodec
+from repro.common.timing import Stopwatch, timed
+
+__all__ = [
+    "ReproError",
+    "InfeasibleError",
+    "InvalidParameterError",
+    "SchemaError",
+    "QueryError",
+    "ValueInterner",
+    "AttributeCodec",
+    "Stopwatch",
+    "timed",
+]

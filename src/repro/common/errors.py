@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """An input parameter (k, L, D, ...) is out of its legal range."""
+
+
+class InfeasibleError(ReproError):
+    """No feasible solution exists for the requested constraints.
+
+    Raised, e.g., when ``k < L`` and the greedy search cannot cover the
+    top-L elements with ``k`` clusters under the distance constraint (the
+    decision problem itself is NP-hard in that regime; see Theorem A.2 of
+    the paper).
+    """
+
+
+class SchemaError(ReproError, ValueError):
+    """A relation/schema-level inconsistency (unknown attribute, arity
+    mismatch, duplicate column names, ...)."""
+
+
+class QueryError(ReproError, ValueError):
+    """A malformed query: SQL syntax errors or unsupported constructs."""

@@ -1,0 +1,55 @@
+"""Small timing helpers used by the benchmark harness.
+
+The paper reports initialization time, algorithm time, and retrieval time
+separately (Figures 6g, 7, 8, 9); :class:`Stopwatch` makes it easy to
+accumulate named phases and print them in the same breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+class Stopwatch:
+    """Accumulates wall-clock time per named phase.
+
+    >>> watch = Stopwatch()
+    >>> with watch.phase("init"):
+    ...     _ = sum(range(10))
+    >>> watch.seconds("init") >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._totals: dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+
+    def seconds(self, name: str) -> float:
+        """Total seconds accumulated under *name* (0.0 if never timed)."""
+        return self._totals.get(name, 0.0)
+
+    def totals(self) -> dict[str, float]:
+        """A copy of all phase totals, in insertion order."""
+        return dict(self._totals)
+
+    def reset(self) -> None:
+        self._totals.clear()
+
+
+def timed(fn: Callable[[], T]) -> tuple[T, float]:
+    """Run *fn* and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start

@@ -1,0 +1,137 @@
+"""The answer set S: output of an aggregate query, ranked by value.
+
+The summarization framework (Section 3 of the paper) operates on the result
+``S`` of a query of the form::
+
+    SELECT A_groupby, aggr AS val FROM R GROUP BY A_groupby ORDER BY val DESC
+
+Each tuple of ``S`` is an *original element*: a tuple over the ``m`` grouping
+attributes plus a real-valued score ``val``.  :class:`AnswerSet` stores the
+elements encoded as integer-code tuples (see :mod:`repro.common.interning`),
+sorted by descending value, which is the representation every algorithm in
+:mod:`repro.core` consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.common.errors import InvalidParameterError, SchemaError
+from repro.common.interning import AttributeCodec
+
+
+class AnswerSet:
+    """A ranked aggregate query answer set.
+
+    Parameters
+    ----------
+    elements:
+        Encoded element tuples (``m`` int codes each), one per answer tuple.
+    values:
+        The aggregate value of each element (same order as *elements*).
+    codec:
+        The :class:`AttributeCodec` used to encode elements; optional but
+        required to decode patterns back to raw attribute values.
+
+    Elements are re-sorted by descending value on construction (stable, with
+    the element tuple as tie-break so the ranking is deterministic).
+    """
+
+    def __init__(
+        self,
+        elements: Sequence[tuple[int, ...]],
+        values: Sequence[float],
+        codec: AttributeCodec | None = None,
+    ) -> None:
+        if len(elements) != len(values):
+            raise SchemaError(
+                "got %d elements but %d values" % (len(elements), len(values))
+            )
+        if not elements:
+            raise SchemaError("an AnswerSet needs at least one element")
+        arity = len(elements[0])
+        for element in elements:
+            if len(element) != arity:
+                raise SchemaError("ragged element tuples in AnswerSet")
+        if codec is not None and codec.arity != arity:
+            raise SchemaError(
+                "codec arity %d != element arity %d" % (codec.arity, arity)
+            )
+        if len(set(elements)) != len(elements):
+            raise SchemaError(
+                "duplicate elements in AnswerSet; group-by output tuples "
+                "must be distinct"
+            )
+        order = sorted(
+            range(len(elements)), key=lambda i: (-values[i], elements[i])
+        )
+        self.elements: list[tuple[int, ...]] = [elements[i] for i in order]
+        self.values: list[float] = [float(values[i]) for i in order]
+        self.codec = codec
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of original elements, |S|."""
+        return len(self.elements)
+
+    @property
+    def m(self) -> int:
+        """Number of grouping attributes."""
+        return len(self.elements[0])
+
+    def value_of(self, index: int) -> float:
+        """Value of the element at rank *index* (0-based)."""
+        return self.values[index]
+
+    def top(self, L: int) -> list[int]:
+        """Indices of the top-L elements (0..L-1 after the sort)."""
+        if not 0 <= L <= self.n:
+            raise InvalidParameterError(
+                "L=%d out of range [0, %d]" % (L, self.n)
+            )
+        return list(range(L))
+
+    def avg_all(self) -> float:
+        """Average value over all of S (value of the trivial solution)."""
+        return sum(self.values) / self.n
+
+    def avg_of(self, indices: Iterable[int]) -> float:
+        """Average value over a set of element indices."""
+        indices = list(indices)
+        if not indices:
+            raise InvalidParameterError("avg_of() on an empty index set")
+        return sum(self.values[i] for i in indices) / len(indices)
+
+    def decode(self, pattern: Sequence[int]) -> tuple[Any, ...]:
+        """Decode an int-code pattern back to raw attribute values."""
+        if self.codec is None:
+            raise SchemaError("AnswerSet has no codec; cannot decode")
+        return self.codec.decode(pattern)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Iterable[Sequence[Any]],
+        values: Sequence[float],
+        attributes: Sequence[str] | None = None,
+    ) -> "AnswerSet":
+        """Build an AnswerSet from raw (un-encoded) rows.
+
+        *attributes* names the grouping columns; if omitted, positional names
+        ``A1..Am`` are generated.
+        """
+        rows = [tuple(row) for row in rows]
+        if not rows:
+            raise SchemaError("from_rows() needs at least one row")
+        if attributes is None:
+            attributes = ["A%d" % (i + 1) for i in range(len(rows[0]))]
+        codec = AttributeCodec(attributes)
+        encoded = codec.encode_many(rows)
+        return cls(encoded, values, codec)
+
+    def __repr__(self) -> str:
+        return "AnswerSet(n=%d, m=%d)" % (self.n, self.m)

@@ -1,0 +1,147 @@
+"""Exact brute-force search and the trivial lower bound (Section 7.1).
+
+The brute-force algorithm explores all feasible cluster subsets and returns
+the global Max-Avg optimum.  Even for tiny parameters this is expensive
+(the paper reports > 2.5 hours at k=4, L=5, D=3 on their prototype), so the
+search below adds sound pruning that preserves exactness:
+
+* Branch on the highest-ranked still-uncovered top-L element; any feasible
+  completion must include a cluster covering it, and only pool patterns
+  cover top-L elements.
+* Prune partial solutions whose optimistic bound cannot beat the incumbent:
+  ``avg(A union B) <= max(avg(A), max cluster avg still addable)`` because
+  the average of a union never exceeds the max of its parts' averages.
+* Once coverage is complete, optional extra clusters are only explored in
+  canonical (pattern-sorted) order to avoid enumerating permutations.
+
+The trivial **lower bound** baseline is the all-star cluster, feasible for
+every (k, L, D); its value is the global average of S.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import InvalidParameterError
+from repro.core.cluster import Cluster, comparable, distance
+from repro.core.semilattice import ClusterPool
+from repro.core.solution import Solution
+
+
+def lower_bound(pool: ClusterPool) -> Solution:
+    """The trivial feasible solution: one all-star cluster covering S."""
+    root = pool.root()
+    return Solution(
+        (root,), root.covered, root.value_sum
+    )
+
+
+class _Search:
+    """Backtracking state for the exact search."""
+
+    def __init__(self, pool: ClusterPool, k: int, L: int, D: int) -> None:
+        self.pool = pool
+        self.k = k
+        self.L = L
+        self.D = D
+        self.values = pool.answers.values
+        # Deterministic candidate order: by descending cluster average, then
+        # pattern.  Pool clusters are exactly the patterns covering at least
+        # one top-L element, which is all the search ever needs.
+        self.candidates: list[Cluster] = sorted(
+            (pool.cluster(p) for p in pool.patterns()),
+            key=lambda c: (-c.avg, c.pattern),
+        )
+        self.max_candidate_avg = (
+            max(c.avg for c in self.candidates) if self.candidates else 0.0
+        )
+        self.by_element: dict[int, list[Cluster]] = {}
+        for cluster in self.candidates:
+            for index in cluster.covered:
+                if index < L:
+                    self.by_element.setdefault(index, []).append(cluster)
+        self.best_avg = float("-inf")
+        self.best: list[Cluster] | None = None
+        self.nodes = 0
+
+    def compatible(self, chosen: list[Cluster], cluster: Cluster) -> bool:
+        for member in chosen:
+            if distance(member.pattern, cluster.pattern) < self.D:
+                return False
+            if comparable(member.pattern, cluster.pattern):
+                return False
+        return True
+
+    def record(self, chosen: list[Cluster], covered: set[int], total: float) -> None:
+        if not covered:
+            return
+        avg = total / len(covered)
+        if avg > self.best_avg + 1e-12:
+            self.best_avg = avg
+            self.best = list(chosen)
+
+    def extend(
+        self,
+        chosen: list[Cluster],
+        covered: set[int],
+        total: float,
+        next_candidate: int,
+    ) -> None:
+        self.nodes += 1
+        uncovered = [i for i in range(self.L) if i not in covered]
+        if not uncovered:
+            self.record(chosen, covered, total)
+            if len(chosen) >= self.k:
+                return
+            # Optional growth: explore additions in canonical order only.
+            current_avg = total / len(covered) if covered else float("-inf")
+            bound = max(current_avg, self.max_candidate_avg)
+            if bound <= self.best_avg + 1e-12:
+                return
+            for pos in range(next_candidate, len(self.candidates)):
+                cluster = self.candidates[pos]
+                if not self.compatible(chosen, cluster):
+                    continue
+                self._descend(chosen, covered, total, cluster, pos + 1)
+            return
+        if len(chosen) >= self.k:
+            return
+        current_avg = total / len(covered) if covered else self.max_candidate_avg
+        if max(current_avg, self.max_candidate_avg) <= self.best_avg + 1e-12:
+            return
+        target = uncovered[0]
+        for cluster in self.by_element.get(target, ()):
+            if not self.compatible(chosen, cluster):
+                continue
+            self._descend(chosen, covered, total, cluster, 0)
+
+    def _descend(
+        self,
+        chosen: list[Cluster],
+        covered: set[int],
+        total: float,
+        cluster: Cluster,
+        next_candidate: int,
+    ) -> None:
+        fresh = [i for i in cluster.covered if i not in covered]
+        chosen.append(cluster)
+        covered.update(fresh)
+        new_total = total + sum(self.values[i] for i in fresh)
+        self.extend(chosen, covered, new_total, next_candidate)
+        chosen.pop()
+        covered.difference_update(fresh)
+
+
+def brute_force(pool: ClusterPool, k: int, D: int) -> Solution:
+    """Exact Max-Avg optimum for (k, L=pool.L, D).
+
+    Exponential time: intended for the small instances of Figure 5 and for
+    validating the greedy heuristics in tests.  Falls back to the trivial
+    lower bound when no non-trivial feasible solution is found (e.g. the
+    NP-hard k < L regimes where none exists).
+    """
+    if k < 1:
+        raise InvalidParameterError("k=%d must be >= 1" % k)
+    search = _Search(pool, k, pool.L, D)
+    search.extend([], set(), 0.0, 0)
+    if search.best is None:
+        return lower_bound(pool)
+    return Solution.from_clusters(search.best, pool.answers)

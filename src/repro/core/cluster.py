@@ -1,0 +1,196 @@
+"""Cluster (pattern) algebra: coverage, distance, LCA, semilattice order.
+
+A *cluster* (Section 3) is a pattern over the ``m`` grouping attributes where
+each position holds either a concrete value code or the don't-care value
+``*`` (:data:`~repro.common.interning.STAR`).  A cluster *covers* another
+cluster (or an element, which is just a star-free cluster) if it agrees on
+every non-star position.  Coverage induces the semilattice of Section 4.2;
+the join (least upper bound) of two patterns is their least common ancestor
+(LCA), obtained by starring out every attribute where they disagree.
+
+The distance between two clusters (Definition 3.1) is the number of
+attributes where they do **not** share a concrete value — i.e. positions
+where either side is ``*`` or the values differ.  This distance is a metric
+on patterns and is monotone under generalization (Proposition 4.2), which is
+what lets the greedy merges of Section 5 never re-violate the distance
+constraint.
+
+All functions here operate on plain ``tuple[int, ...]`` patterns for speed;
+:class:`Cluster` is the value-carrying wrapper used in solutions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.common.interning import STAR
+
+Pattern = tuple[int, ...]
+
+
+def is_element(pattern: Pattern) -> bool:
+    """True if *pattern* has no stars (i.e., it is a singleton cluster)."""
+    return STAR not in pattern
+
+
+def level(pattern: Pattern) -> int:
+    """Semilattice level: the number of ``*`` positions (Section 4.2)."""
+    return sum(1 for v in pattern if v == STAR)
+
+
+def covers(ancestor: Pattern, descendant: Pattern) -> bool:
+    """True if *ancestor* covers *descendant* (``descendant <= ancestor``).
+
+    Every non-star position of the ancestor must match the descendant.
+    Reflexive: every pattern covers itself.
+    """
+    for a, d in zip(ancestor, descendant):
+        if a != STAR and a != d:
+            return False
+    return True
+
+
+def strictly_covers(ancestor: Pattern, descendant: Pattern) -> bool:
+    """True if *ancestor* covers *descendant* and they differ."""
+    return ancestor != descendant and covers(ancestor, descendant)
+
+
+def comparable(p1: Pattern, p2: Pattern) -> bool:
+    """True if one of the two patterns covers the other."""
+    return covers(p1, p2) or covers(p2, p1)
+
+
+def distance(p1: Pattern, p2: Pattern) -> int:
+    """Cluster distance of Definition 3.1.
+
+    The number of attributes where the two patterns do not agree on a
+    concrete domain value: positions where either side is ``*`` or the two
+    values differ.  For two star-free patterns this degenerates to Hamming
+    distance.  Intuitively it is the maximum distance between any pair of
+    elements the two clusters may contain.
+    """
+    d = 0
+    for a, b in zip(p1, p2):
+        if a == STAR or b == STAR or a != b:
+            d += 1
+    return d
+
+
+def lca(p1: Pattern, p2: Pattern) -> Pattern:
+    """Least common ancestor: star out every attribute where p1, p2 differ.
+
+    This is the join of the two patterns in the semilattice (the unique
+    minimal pattern covering both).
+    """
+    return tuple(a if a == b else STAR for a, b in zip(p1, p2))
+
+
+def lca_many(patterns: Iterable[Pattern]) -> Pattern:
+    """LCA of a non-empty collection of patterns (associative fold)."""
+    iterator = iter(patterns)
+    try:
+        acc = next(iterator)
+    except StopIteration:
+        raise ValueError("lca_many() of an empty collection") from None
+    for pattern in iterator:
+        acc = lca(acc, pattern)
+    return acc
+
+
+def generalizations(pattern: Pattern) -> list[Pattern]:
+    """All ``2^s`` patterns obtained by starring subsets of the ``s``
+    non-star positions of *pattern* (including *pattern* itself and the
+    all-star root).
+
+    For an element tuple this enumerates exactly the clusters that cover it,
+    which is the basis of the paper's cluster-generation optimization
+    (Section 6.3): generating the pool from the top-L tuples guarantees
+    every pool cluster covers at least one top-L tuple.
+    """
+    positions = [i for i, v in enumerate(pattern) if v != STAR]
+    results: list[Pattern] = [pattern]
+    for pos in positions:
+        starred = []
+        for existing in results:
+            as_list = list(existing)
+            as_list[pos] = STAR
+            starred.append(tuple(as_list))
+        results.extend(starred)
+    return results
+
+
+def parents(pattern: Pattern) -> list[Pattern]:
+    """Immediate ancestors: star out exactly one non-star position."""
+    result = []
+    for i, v in enumerate(pattern):
+        if v != STAR:
+            as_list = list(pattern)
+            as_list[i] = STAR
+            result.append(tuple(as_list))
+    return result
+
+
+def ancestors_at_level(pattern: Pattern, target_level: int) -> list[Pattern]:
+    """All ancestors of *pattern* with exactly *target_level* stars.
+
+    Used by the level-(D-1) Bottom-Up variant (Section 5.1), which seeds the
+    solution with ancestors of the top-L elements that already satisfy the
+    distance constraint.
+    """
+    own = level(pattern)
+    if target_level < own:
+        return []
+    if target_level == own:
+        return [pattern]
+    return [
+        general
+        for general in generalizations(pattern)
+        if level(general) == target_level
+    ]
+
+
+def format_pattern(pattern: Pattern, values: Sequence[object] | None = None) -> str:
+    """Human-readable rendering, e.g. ``(1980, *, M, *)``."""
+    if values is None:
+        rendered = ["*" if v == STAR else str(v) for v in pattern]
+    else:
+        rendered = [str(v) for v in values]
+    return "(%s)" % ", ".join(rendered)
+
+
+@dataclass(frozen=True, order=True)
+class Cluster:
+    """A cluster together with the elements of S it covers.
+
+    Ordering is by pattern (lexicographic), giving all greedy algorithms a
+    deterministic tie-break.  ``covered`` holds element indices into the
+    owning :class:`~repro.core.answers.AnswerSet`; ``value_sum`` caches the
+    sum of their values so ``avg`` is O(1).
+    """
+
+    pattern: Pattern
+    covered: frozenset[int] = field(compare=False)
+    value_sum: float = field(compare=False)
+
+    @property
+    def size(self) -> int:
+        """Number of covered elements, |cov(C)|."""
+        return len(self.covered)
+
+    @property
+    def avg(self) -> float:
+        """Average value of covered elements, avg(C) (Section 4.1)."""
+        if not self.covered:
+            raise ValueError("avg of a cluster covering no elements")
+        return self.value_sum / len(self.covered)
+
+    @property
+    def level(self) -> int:
+        return level(self.pattern)
+
+    def covers_element(self, element: Pattern) -> bool:
+        return covers(self.pattern, element)
+
+    def __str__(self) -> str:
+        return format_pattern(self.pattern)

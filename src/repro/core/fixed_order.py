@@ -1,0 +1,172 @@
+"""The Fixed-Order greedy algorithm (Algorithm 3) and its variants.
+
+Fixed-Order processes the top-L elements once, in descending value order.
+Each element is (a) skipped if already covered, (b) added as a singleton if
+the size budget and the distance constraint allow, or (c) greedily merged
+into an existing cluster (choosing the merge that maximizes the resulting
+solution average).  All constraints hold after every step, so the final
+solution is feasible; the search space is linear in L rather than quadratic,
+which is why Fixed-Order is the fastest of the three greedy algorithms
+(Figure 6a) at some cost in quality (Figure 6b).
+
+The two randomized variants of Section 5.2 — ``random`` (seed the solution
+with k random top-L elements) and ``k-means`` (seed with the minimal
+covering patterns of a k-modes clustering of the top-L) — are implemented
+here as well; the paper finds neither improves on plain Fixed-Order.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import Sequence
+
+from repro.common.errors import InvalidParameterError
+from repro.core.cluster import Cluster, Pattern, distance, lca_many
+from repro.core.merge import MergeEngine
+from repro.core.semilattice import ClusterPool
+from repro.core.solution import Solution
+
+
+def _validate(pool: ClusterPool, k: int, D: int) -> None:
+    if k < 1:
+        raise InvalidParameterError("k=%d must be >= 1" % k)
+    if not 0 <= D <= pool.answers.m + 1:
+        raise InvalidParameterError(
+            "D=%d out of range [0, %d]" % (D, pool.answers.m + 1)
+        )
+
+
+def _process_incoming(engine: MergeEngine, incoming: Cluster, k: int, D: int) -> None:
+    """One iteration of Algorithm 3's loop body for an incoming cluster."""
+    if all(engine.is_covered(index) for index in incoming.covered):
+        return
+    current = engine.clusters()
+    if engine.size < k:
+        clear = all(
+            distance(incoming.pattern, member.pattern) >= D
+            for member in current
+        )
+        if clear:
+            engine.add(incoming)
+            return
+        near = [
+            member
+            for member in current
+            if distance(incoming.pattern, member.pattern) < D
+        ]
+        target = _best_merge_target(engine, incoming, near)
+        engine.merge_into(target, incoming)
+        return
+    target = _best_merge_target(engine, incoming, current)
+    engine.merge_into(target, incoming)
+
+
+def _best_merge_target(
+    engine: MergeEngine, incoming: Cluster, candidates: Sequence[Cluster]
+) -> Cluster:
+    """The UpdateSolution argmax over pairs (member, incoming)."""
+    best = None
+    best_key = None
+    for member in candidates:
+        new_avg, merged = engine.evaluate_pair(member, incoming)
+        key = (-new_avg, merged.pattern, member.pattern)
+        if best_key is None or key < best_key:
+            best_key = key
+            best = member
+    if best is None:
+        raise ValueError("no merge candidates available")
+    return best
+
+
+def fixed_order(
+    pool: ClusterPool,
+    k: int,
+    D: int,
+    use_delta: bool = True,
+    size_budget: int | None = None,
+) -> Solution:
+    """Run Algorithm 3 on the pool's (S, L) with parameters (k, D).
+
+    *size_budget* overrides the cluster budget used while processing (the
+    Hybrid algorithm passes ``c * k`` here); the default is k itself.
+    """
+    _validate(pool, k, D)
+    budget = k if size_budget is None else size_budget
+    if budget < 1:
+        raise InvalidParameterError("size budget must be >= 1")
+    engine = MergeEngine(pool, (), use_delta=use_delta)
+    for index in pool.answers.top(pool.L):
+        _process_incoming(engine, pool.singleton(index), budget, D)
+    return engine.snapshot()
+
+
+def fixed_order_engine(
+    pool: ClusterPool,
+    budget: int,
+    D: int,
+    use_delta: bool = True,
+) -> MergeEngine:
+    """Like :func:`fixed_order` but return the live engine (Hybrid and the
+    precomputation pipeline continue merging from this state)."""
+    _validate(pool, max(budget, 1), D)
+    engine = MergeEngine(pool, (), use_delta=use_delta)
+    for index in pool.answers.top(pool.L):
+        _process_incoming(engine, pool.singleton(index), budget, D)
+    return engine
+
+
+def random_fixed_order(
+    pool: ClusterPool,
+    k: int,
+    D: int,
+    seed: int = 0,
+) -> Solution:
+    """random-Fixed-Order: process k random top-L elements first, then all
+    top-L elements in descending-value order (Section 5.2)."""
+    _validate(pool, k, D)
+    rng = _random.Random(seed)
+    top = pool.answers.top(pool.L)
+    chosen = rng.sample(top, min(k, len(top)))
+    engine = MergeEngine(pool, ())
+    for index in chosen:
+        _process_incoming(engine, pool.singleton(index), k, D)
+    for index in top:
+        _process_incoming(engine, pool.singleton(index), k, D)
+    return engine.snapshot()
+
+
+def minimal_covering_pattern(elements: Sequence[Pattern]) -> Pattern:
+    """The minimal pattern covering all *elements*: attribute-wise common
+    value, else ``*`` — i.e. the LCA of the elements."""
+    return lca_many(elements)
+
+
+def kmeans_fixed_order(
+    pool: ClusterPool,
+    k: int,
+    D: int,
+    seed: int = 0,
+    max_iterations: int = 20,
+) -> Solution:
+    """k-means-Fixed-Order: cluster the top-L elements with k-modes (random
+    seeding), cover each resulting group with its minimal pattern, process
+    those k patterns first, then the top-L elements (Section 5.2)."""
+    from repro.baselines.kmodes import kmodes
+
+    _validate(pool, k, D)
+    top = pool.answers.top(pool.L)
+    points = [pool.answers.elements[i] for i in top]
+    assignment = kmodes(points, k=min(k, len(points)), seed=seed,
+                        max_iterations=max_iterations)
+    groups: dict[int, list[Pattern]] = {}
+    for point, label in zip(points, assignment.labels):
+        groups.setdefault(label, []).append(point)
+    seed_patterns = sorted(
+        minimal_covering_pattern(members) for members in groups.values()
+    )
+    engine = MergeEngine(pool, ())
+    for pattern in seed_patterns:
+        _process_incoming(engine, pool.cluster(pattern), k, D)
+    for index in top:
+        _process_incoming(engine, pool.singleton(index), k, D)
+    return engine.snapshot()

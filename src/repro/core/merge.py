@@ -1,0 +1,304 @@
+"""The merge engine shared by Bottom-Up, Hybrid, and the precomputation.
+
+The only mutation the greedy algorithms of Section 5 perform is the
+``Merge(O, C1, C2)`` operation: replace C1 and C2 (and any other cluster
+now covered) by their least common ancestor.  This module centralizes that
+operation together with the machinery to *evaluate* candidate merges — i.e.
+compute ``avg(O union LCA(C1, C2))`` — efficiently.
+
+Evaluation is the hot path, and the paper's **delta judgment** optimization
+(Section 6.3, Algorithm 2) caches, per candidate cluster ``c``, the marginal
+benefit ``(delta_sum, delta_cnt)`` of the elements in ``cov(c) \\ T_i``
+(where ``T_i`` is the currently covered set), refreshing it from the
+per-round difference list ``T_i \\ T_{i-1}`` instead of recomputing from
+scratch.  The naive recompute path is kept for the Figure 8b ablation
+(``use_delta=False``).
+
+Note: Algorithm 2 in the paper transposes the assignments of ``delta_sum``
+and ``delta_cnt`` (lines 6-7 and 10-11); we implement the evidently
+intended semantics (sum of values vs. element count).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.answers import AnswerSet
+from repro.core.cluster import Cluster, Pattern, distance, lca, strictly_covers
+from repro.core.semilattice import ClusterPool
+from repro.core.solution import Solution
+
+
+class _DeltaState:
+    """Per-candidate cached marginal benefit, stamped with the merge round."""
+
+    __slots__ = ("stamp", "delta_sum", "delta_cnt")
+
+    def __init__(self, stamp: int, delta_sum: float, delta_cnt: int) -> None:
+        self.stamp = stamp
+        self.delta_sum = delta_sum
+        self.delta_cnt = delta_cnt
+
+
+class MergeEngine:
+    """Mutable greedy-merging state over a set of clusters.
+
+    Maintains the current solution O, its covered-element union ``T`` with
+    cached sum/count, and the delta-judgment cache.  All candidate-selection
+    ties are broken lexicographically on cluster patterns so runs are
+    deterministic.
+    """
+
+    def __init__(
+        self,
+        pool: ClusterPool,
+        clusters: Iterable[Cluster],
+        use_delta: bool = True,
+    ) -> None:
+        self.pool = pool
+        self.answers: AnswerSet = pool.answers
+        self.use_delta = use_delta
+        self._solution: dict[Pattern, Cluster] = {}
+        self._covered: set[int] = set()
+        self._covered_sum: float = 0.0
+        self.rounds: int = 0
+        self._last_diff: list[int] = []
+        self._delta_cache: dict[Pattern, _DeltaState] = {}
+        values = self.answers.values
+        for cluster in clusters:
+            if cluster.pattern in self._solution:
+                continue
+            self._solution[cluster.pattern] = cluster
+            for index in cluster.covered:
+                if index not in self._covered:
+                    self._covered.add(index)
+                    self._covered_sum += values[index]
+
+    # -- read access ---------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._solution)
+
+    @property
+    def covered_count(self) -> int:
+        return len(self._covered)
+
+    def is_covered(self, index: int) -> bool:
+        """True if element *index* is covered by the current solution."""
+        return index in self._covered
+
+    def clone(self) -> "MergeEngine":
+        """An independent copy of the current state.
+
+        The incremental precomputation of Section 6.2 runs the shared
+        Fixed-Order phase once and then forks one engine per D value; this
+        is the fork.  The delta cache is not carried over (its states are
+        mutated in place and must not be shared); it rebuilds lazily.
+        """
+        twin = MergeEngine.__new__(MergeEngine)
+        twin.pool = self.pool
+        twin.answers = self.answers
+        twin.use_delta = self.use_delta
+        twin._solution = dict(self._solution)
+        twin._covered = set(self._covered)
+        twin._covered_sum = self._covered_sum
+        twin.rounds = self.rounds
+        twin._last_diff = list(self._last_diff)
+        twin._delta_cache = {}
+        return twin
+
+    def clusters(self) -> list[Cluster]:
+        """Current clusters in deterministic (pattern-sorted) order."""
+        return [self._solution[p] for p in sorted(self._solution)]
+
+    def avg(self) -> float:
+        """Current objective avg(O)."""
+        if not self._covered:
+            raise ValueError("engine holds no covered elements")
+        return self._covered_sum / len(self._covered)
+
+    def snapshot(self) -> Solution:
+        """Freeze the current state into a :class:`Solution`."""
+        ordered = sorted(
+            self._solution.values(), key=lambda c: (-c.avg, c.pattern)
+        )
+        return Solution(
+            tuple(ordered), frozenset(self._covered), self._covered_sum
+        )
+
+    # -- candidate evaluation --------------------------------------------------
+
+    def _marginal(self, candidate: Cluster) -> tuple[float, int]:
+        """(sum, count) of cov(candidate) \\ T, via delta judgment or naively."""
+        values = self.answers.values
+        if not self.use_delta:
+            delta_sum = 0.0
+            delta_cnt = 0
+            for index in candidate.covered:
+                if index not in self._covered:
+                    delta_sum += values[index]
+                    delta_cnt += 1
+            return delta_sum, delta_cnt
+        state = self._delta_cache.get(candidate.pattern)
+        if state is not None and state.stamp == self.rounds:
+            return state.delta_sum, state.delta_cnt
+        if state is not None and state.stamp == self.rounds - 1:
+            # Refresh from the last difference list T_j \ T_{j-1}: any of
+            # those newly covered elements that the candidate also covers no
+            # longer counts as marginal.
+            covered_by_candidate = candidate.covered
+            for index in self._last_diff:
+                if index in covered_by_candidate:
+                    state.delta_sum -= values[index]
+                    state.delta_cnt -= 1
+            state.stamp = self.rounds
+            return state.delta_sum, state.delta_cnt
+        # Stale or unseen: full recomputation of cov(candidate) \ T.
+        delta_sum = 0.0
+        delta_cnt = 0
+        for index in candidate.covered:
+            if index not in self._covered:
+                delta_sum += values[index]
+                delta_cnt += 1
+        self._delta_cache[candidate.pattern] = _DeltaState(
+            self.rounds, delta_sum, delta_cnt
+        )
+        return delta_sum, delta_cnt
+
+    def evaluate_candidate(self, candidate: Cluster) -> float:
+        """avg(O union candidate): the objective if *candidate* joined O."""
+        delta_sum, delta_cnt = self._marginal(candidate)
+        return (self._covered_sum + delta_sum) / (
+            len(self._covered) + delta_cnt
+        )
+
+    def evaluate_pair(self, c1: Cluster, c2: Cluster) -> tuple[float, Cluster]:
+        """Objective after merging (c1, c2), and the LCA cluster itself."""
+        merged = self.pool.cluster(lca(c1.pattern, c2.pattern))
+        return self.evaluate_candidate(merged), merged
+
+    # -- pair enumeration ------------------------------------------------------
+
+    def all_pairs(self) -> list[tuple[Cluster, Cluster]]:
+        """All unordered cluster pairs, deterministically ordered."""
+        ordered = self.clusters()
+        return [
+            (ordered[i], ordered[j])
+            for i in range(len(ordered))
+            for j in range(i + 1, len(ordered))
+        ]
+
+    def violating_pairs(self, D: int) -> list[tuple[Cluster, Cluster]]:
+        """Pairs at distance < D (the phase-1 candidates of Algorithm 1)."""
+        return [
+            (c1, c2)
+            for c1, c2 in self.all_pairs()
+            if distance(c1.pattern, c2.pattern) < D
+        ]
+
+    # -- the greedy step ---------------------------------------------------------
+
+    def best_pair(
+        self, pairs: Sequence[tuple[Cluster, Cluster]]
+    ) -> tuple[Cluster, Cluster]:
+        """UpdateSolution's argmax: the pair maximizing the merged objective.
+
+        Ties are broken by the smallest (LCA pattern, pair patterns) so the
+        greedy run is reproducible.
+        """
+        if not pairs:
+            raise ValueError("best_pair() on an empty pair list")
+        best = None
+        best_key = None
+        for c1, c2 in pairs:
+            new_avg, merged = self.evaluate_pair(c1, c2)
+            key = (-new_avg, merged.pattern, c1.pattern, c2.pattern)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = (c1, c2)
+        assert best is not None
+        return best
+
+    def merge(self, c1: Cluster, c2: Cluster) -> Cluster:
+        """Apply Merge(O, c1, c2): replace by the LCA, drop covered clusters.
+
+        Returns the new cluster.  Updates the covered union, the round
+        counter, and the difference list that delta judgment consumes.
+        """
+        if c1.pattern not in self._solution or c2.pattern not in self._solution:
+            raise ValueError("merge() on clusters not in the current solution")
+        merged = self.pool.cluster(lca(c1.pattern, c2.pattern))
+        values = self.answers.values
+        diff = [i for i in merged.covered if i not in self._covered]
+        for index in diff:
+            self._covered.add(index)
+            self._covered_sum += values[index]
+        doomed = [
+            pattern
+            for pattern in self._solution
+            if strictly_covers(merged.pattern, pattern)
+        ]
+        for pattern in doomed:
+            del self._solution[pattern]
+        self._solution.pop(c1.pattern, None)
+        self._solution.pop(c2.pattern, None)
+        self._solution[merged.pattern] = merged
+        self.rounds += 1
+        self._last_diff = diff
+        return merged
+
+    def add(self, cluster: Cluster) -> None:
+        """Insert a cluster (used by Fixed-Order when a top element fits).
+
+        The caller is responsible for constraint checks; this just keeps the
+        covered union and the delta bookkeeping consistent.
+        """
+        if cluster.pattern in self._solution:
+            return
+        values = self.answers.values
+        diff = [i for i in cluster.covered if i not in self._covered]
+        for index in diff:
+            self._covered.add(index)
+            self._covered_sum += values[index]
+        self._solution[cluster.pattern] = cluster
+        self.rounds += 1
+        self._last_diff = diff
+
+    def merge_into(self, existing: Cluster, incoming: Cluster) -> Cluster:
+        """Merge an *incoming* cluster (not yet in O) with an existing one.
+
+        Fixed-Order's variant of Merge: the incoming singleton is combined
+        with a chosen member of O; the LCA replaces the member and swallows
+        any newly covered clusters.
+        """
+        if existing.pattern not in self._solution:
+            raise ValueError("merge_into() target not in the current solution")
+        merged = self.pool.cluster(lca(existing.pattern, incoming.pattern))
+        values = self.answers.values
+        diff = [i for i in merged.covered if i not in self._covered]
+        for index in diff:
+            self._covered.add(index)
+            self._covered_sum += values[index]
+        doomed = [
+            pattern
+            for pattern in self._solution
+            if strictly_covers(merged.pattern, pattern)
+        ]
+        for pattern in doomed:
+            del self._solution[pattern]
+        self._solution.pop(existing.pattern, None)
+        self._solution[merged.pattern] = merged
+        self.rounds += 1
+        self._last_diff = diff
+        return merged
+
+    def min_pairwise_distance(self) -> int:
+        """Minimum pairwise distance in O (m+1 when |O| < 2)."""
+        ordered = self.clusters()
+        if len(ordered) < 2:
+            return self.answers.m + 1
+        return min(
+            distance(c1.pattern, c2.pattern)
+            for c1, c2 in self.all_pairs()
+        )

@@ -1,0 +1,176 @@
+"""Problem instances and the top-level ``summarize`` entry point.
+
+:class:`ProblemInstance` bundles an :class:`~repro.core.answers.AnswerSet`
+with the three user parameters of Definition 4.1 — size k, coverage L,
+distance D — validates them, and lazily materializes the cluster pool.
+:func:`summarize` is the one-call API most examples use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Literal
+
+from repro.common.errors import InvalidParameterError
+from repro.core.answers import AnswerSet
+from repro.core.semilattice import ClusterPool, MappingStrategy
+from repro.core.solution import Solution
+
+AlgorithmName = Literal[
+    "bottom-up",
+    "fixed-order",
+    "hybrid",
+    "brute-force",
+    "lower-bound",
+    "bottom-up-level",
+    "bottom-up-pairwise",
+    "random-fixed-order",
+    "kmeans-fixed-order",
+]
+
+
+@dataclass
+class ProblemInstance:
+    """An (S, k, L, D) instance of the Max-Avg summarization problem.
+
+    Parameter semantics follow Section 4.1: all three parameters are
+    optional in spirit — ``D=0`` disables the distance constraint, ``L``
+    defaults to k (cover the original top-k), and ``k`` defaults to n (no
+    size limit).  ``L=0`` (no coverage constraint) is normalized to ``L=1``
+    for the algorithms, which matches the paper's suggestion of covering at
+    least the single highest-valued element.
+    """
+
+    answers: AnswerSet
+    k: int
+    L: int
+    D: int
+    mapping: MappingStrategy = "eager"
+    _pool: ClusterPool | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        n, m = self.answers.n, self.answers.m
+        if not 1 <= self.k <= n:
+            raise InvalidParameterError(
+                "k=%d out of range [1, %d]" % (self.k, n)
+            )
+        if not 0 <= self.L <= n:
+            raise InvalidParameterError(
+                "L=%d out of range [0, %d]" % (self.L, n)
+            )
+        if not 0 <= self.D <= m:
+            raise InvalidParameterError(
+                "D=%d out of range [0, %d]" % (self.D, m)
+            )
+        if self.L == 0:
+            self.L = 1
+
+    @property
+    def pool(self) -> ClusterPool:
+        """The cluster pool for (S, L), built on first access."""
+        if self._pool is None or self._pool.L != self.L:
+            self._pool = ClusterPool(
+                self.answers, self.L, strategy=self.mapping
+            )
+        return self._pool
+
+    def solve(self, algorithm: AlgorithmName = "hybrid", **kwargs) -> Solution:
+        """Run the chosen algorithm; see :data:`ALGORITHMS` for names."""
+        try:
+            runner = ALGORITHMS[algorithm]
+        except KeyError:
+            raise InvalidParameterError(
+                "unknown algorithm %r; expected one of %s"
+                % (algorithm, sorted(ALGORITHMS))
+            ) from None
+        return runner(self, **kwargs)
+
+
+def _run_bottom_up(instance: ProblemInstance, **kwargs) -> Solution:
+    from repro.core.bottom_up import bottom_up
+
+    return bottom_up(instance.pool, instance.k, instance.D, **kwargs)
+
+
+def _run_bottom_up_level(instance: ProblemInstance, **kwargs) -> Solution:
+    from repro.core.bottom_up import bottom_up_level_start
+
+    return bottom_up_level_start(instance.pool, instance.k, instance.D, **kwargs)
+
+
+def _run_bottom_up_pairwise(instance: ProblemInstance, **kwargs) -> Solution:
+    from repro.core.bottom_up import bottom_up_pairwise_avg
+
+    return bottom_up_pairwise_avg(instance.pool, instance.k, instance.D, **kwargs)
+
+
+def _run_fixed_order(instance: ProblemInstance, **kwargs) -> Solution:
+    from repro.core.fixed_order import fixed_order
+
+    return fixed_order(instance.pool, instance.k, instance.D, **kwargs)
+
+
+def _run_random_fixed_order(instance: ProblemInstance, **kwargs) -> Solution:
+    from repro.core.fixed_order import random_fixed_order
+
+    return random_fixed_order(instance.pool, instance.k, instance.D, **kwargs)
+
+
+def _run_kmeans_fixed_order(instance: ProblemInstance, **kwargs) -> Solution:
+    from repro.core.fixed_order import kmeans_fixed_order
+
+    return kmeans_fixed_order(instance.pool, instance.k, instance.D, **kwargs)
+
+
+def _run_hybrid(instance: ProblemInstance, **kwargs) -> Solution:
+    from repro.core.hybrid import hybrid
+
+    return hybrid(instance.pool, instance.k, instance.D, **kwargs)
+
+
+def _run_brute_force(instance: ProblemInstance, **kwargs) -> Solution:
+    from repro.core.brute_force import brute_force
+
+    return brute_force(instance.pool, instance.k, instance.D, **kwargs)
+
+
+def _run_lower_bound(instance: ProblemInstance, **kwargs) -> Solution:
+    from repro.core.brute_force import lower_bound
+
+    return lower_bound(instance.pool, **kwargs)
+
+
+ALGORITHMS: dict[str, Callable[..., Solution]] = {
+    "bottom-up": _run_bottom_up,
+    "bottom-up-level": _run_bottom_up_level,
+    "bottom-up-pairwise": _run_bottom_up_pairwise,
+    "fixed-order": _run_fixed_order,
+    "random-fixed-order": _run_random_fixed_order,
+    "kmeans-fixed-order": _run_kmeans_fixed_order,
+    "hybrid": _run_hybrid,
+    "brute-force": _run_brute_force,
+    "lower-bound": _run_lower_bound,
+}
+
+
+def summarize(
+    answers: AnswerSet,
+    k: int,
+    L: int,
+    D: int,
+    algorithm: AlgorithmName = "hybrid",
+    mapping: MappingStrategy = "eager",
+    **kwargs,
+) -> Solution:
+    """Summarize an answer set with at most k clusters covering the top-L,
+    pairwise distance >= D — the paper's core operation in one call.
+
+    >>> from repro.core.answers import AnswerSet
+    >>> answers = AnswerSet.from_rows(
+    ...     [("a", "x"), ("a", "y"), ("b", "x")], [3.0, 2.0, 1.0])
+    >>> solution = summarize(answers, k=1, L=2, D=0)
+    >>> solution.size
+    1
+    """
+    instance = ProblemInstance(answers, k=k, L=L, D=D, mapping=mapping)
+    return instance.solve(algorithm, **kwargs)

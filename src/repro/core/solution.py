@@ -1,0 +1,134 @@
+"""Solutions: sets of clusters, the Max-Avg objective, feasibility checking.
+
+Definition 4.1 of the paper: a subset O of clusters is *feasible* for
+``(k, L, D)`` iff (1) ``|O| <= k``; (2) O covers the top-L elements; (3) any
+two clusters of O are at distance >= D; (4) no cluster of O covers another
+(antichain / incomparability).  The objective **Max-Avg** is the average
+value of the union of elements covered by O — each element counts once, so
+overlapping clusters gain nothing by double-covering high values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.answers import AnswerSet
+from repro.core.cluster import Cluster, distance, strictly_covers
+
+
+@dataclass(frozen=True)
+class Solution:
+    """An (immutable) output of the summarization algorithms.
+
+    ``clusters`` are sorted by descending average value (display order used
+    throughout the paper's figures); ``covered`` is the union of the
+    clusters' covered element indices; ``value_sum`` is the sum of values of
+    ``covered`` so that ``avg`` — the Max-Avg objective — is O(1).
+    """
+
+    clusters: tuple[Cluster, ...]
+    covered: frozenset[int]
+    value_sum: float
+
+    @property
+    def size(self) -> int:
+        """Number of clusters, |O|."""
+        return len(self.clusters)
+
+    @property
+    def avg(self) -> float:
+        """The Max-Avg objective value, avg(O)."""
+        if not self.covered:
+            raise ValueError("avg of a solution covering no elements")
+        return self.value_sum / len(self.covered)
+
+    @property
+    def redundant_count(self) -> int:
+        """Number of covered elements minus those needed per cluster count.
+
+        Exposed for the Min-Size alternative objective discussed in
+        footnote 5 of the paper (minimizing redundant elements)."""
+        return len(self.covered)
+
+    def patterns(self) -> list[tuple[int, ...]]:
+        return [c.pattern for c in self.clusters]
+
+    @staticmethod
+    def from_clusters(clusters: Iterable[Cluster], answers: AnswerSet) -> "Solution":
+        """Assemble a Solution, recomputing the covered union and its sum."""
+        ordered = sorted(clusters, key=lambda c: (-c.avg, c.pattern))
+        covered: set[int] = set()
+        for cluster in ordered:
+            covered.update(cluster.covered)
+        value_sum = sum(answers.values[i] for i in covered)
+        return Solution(tuple(ordered), frozenset(covered), value_sum)
+
+    def describe(self, answers: AnswerSet) -> str:
+        """Two-layer rendering in the style of Figure 1b/1c."""
+        lines = []
+        for cluster in self.clusters:
+            decoded = (
+                answers.decode(cluster.pattern)
+                if answers.codec is not None
+                else cluster.pattern
+            )
+            rendered = ", ".join(str(v) for v in decoded)
+            lines.append("(%s)  avg=%.4f  size=%d" % (rendered, cluster.avg, cluster.size))
+        return "\n".join(lines)
+
+
+def redundant_elements(solution: Solution, answers: AnswerSet, L: int) -> set[int]:
+    """Covered elements outside the top-L (Section 4.1's 'redundant' picks)."""
+    top = set(answers.top(L))
+    return set(solution.covered) - top
+
+
+def check_feasibility(
+    solution: Solution,
+    answers: AnswerSet,
+    k: int,
+    L: int,
+    D: int,
+) -> list[str]:
+    """Return the list of violated constraints (empty iff feasible).
+
+    Checks the four conditions of Definition 4.1 and reports each violation
+    with enough detail to debug an algorithm that produced it.
+    """
+    violations: list[str] = []
+    if solution.size > k:
+        violations.append(
+            "size: %d clusters > k=%d" % (solution.size, k)
+        )
+    uncovered = [i for i in answers.top(L) if i not in solution.covered]
+    if uncovered:
+        violations.append(
+            "coverage: top-L ranks not covered (0-based): %r" % (uncovered,)
+        )
+    clusters: Sequence[Cluster] = solution.clusters
+    for i in range(len(clusters)):
+        for j in range(i + 1, len(clusters)):
+            d = distance(clusters[i].pattern, clusters[j].pattern)
+            if d < D:
+                violations.append(
+                    "distance: d(%s, %s) = %d < D=%d"
+                    % (clusters[i], clusters[j], d, D)
+                )
+    for i in range(len(clusters)):
+        for j in range(len(clusters)):
+            if i != j and strictly_covers(
+                clusters[i].pattern, clusters[j].pattern
+            ):
+                violations.append(
+                    "incomparability: %s covers %s"
+                    % (clusters[i], clusters[j])
+                )
+    return violations
+
+
+def is_feasible(
+    solution: Solution, answers: AnswerSet, k: int, L: int, D: int
+) -> bool:
+    """True iff *solution* satisfies Definition 4.1 for (k, L, D)."""
+    return not check_feasibility(solution, answers, k, L, D)

@@ -1,0 +1,52 @@
+"""Synthetic datasets standing in for MovieLens 100K and TPC-DS.
+
+See DESIGN.md section 3 for the substitution rationale: the algorithms
+consume only the aggregate query output, and these generators reproduce the
+schema shape, scale, and planted value structure of the paper's workloads.
+"""
+
+from repro.datasets.movielens import (
+    EXAMPLE_QUERY,
+    GENRES,
+    OCCUPATIONS,
+    MovieLensConfig,
+    SWEEP_ATTRIBUTES,
+    build_database,
+    build_rating_table,
+)
+from repro.datasets.tpcds import (
+    SCALABILITY_ATTRIBUTES,
+    STORE_SALES_COLUMNS,
+    TpcdsConfig,
+    generate_store_sales,
+    tpcds_answer_set,
+)
+from repro.datasets.loader import (
+    PAPER_N_DEFAULT,
+    PAPER_N_LARGE,
+    PAPER_N_SMALL,
+    example_query_answers,
+    movielens_answer_set,
+    synthetic_answer_set,
+)
+
+__all__ = [
+    "EXAMPLE_QUERY",
+    "GENRES",
+    "OCCUPATIONS",
+    "MovieLensConfig",
+    "SWEEP_ATTRIBUTES",
+    "build_database",
+    "build_rating_table",
+    "SCALABILITY_ATTRIBUTES",
+    "STORE_SALES_COLUMNS",
+    "TpcdsConfig",
+    "generate_store_sales",
+    "tpcds_answer_set",
+    "PAPER_N_DEFAULT",
+    "PAPER_N_LARGE",
+    "PAPER_N_SMALL",
+    "example_query_answers",
+    "movielens_answer_set",
+    "synthetic_answer_set",
+]

@@ -1,0 +1,110 @@
+"""Workload helpers: answer sets at controlled sizes for the benchmarks.
+
+The parameter-sweep experiments of Section 7 fix the answer-set size N
+(927 / 2087 / 6955 for MovieLens, 47361 for TPC-DS) while varying k, L, D,
+or m.  :func:`synthetic_answer_set` generates answer sets with an exact N
+and m, calibrated to those workloads; :func:`movielens_answer_set` runs a
+real aggregate query over the generated RatingTable for the qualitative
+experiments where the actual data pipeline matters.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from functools import lru_cache
+
+from repro.core.answers import AnswerSet
+from repro.datasets.movielens import (
+    EXAMPLE_QUERY,
+    MovieLensConfig,
+    SWEEP_ATTRIBUTES,
+    build_rating_table,
+)
+from repro.query.aggregate import AggregateQuery, run_aggregate
+from repro.query.sql import execute_sql
+
+#: Answer-set sizes used by the Section 7.2 experiments.
+PAPER_N_SMALL = 927
+PAPER_N_DEFAULT = 2087
+PAPER_N_LARGE = 6955
+
+
+def synthetic_answer_set(
+    n: int,
+    m: int = 8,
+    domain_size: int = 12,
+    seed: int = 0,
+    value_range: tuple[float, float] = (1.0, 5.0),
+) -> AnswerSet:
+    """An answer set with exactly *n* distinct elements over *m* attributes.
+
+    Values combine per-(attribute, value) planted biases with noise, so that
+    high-valued elements share attribute values (summaries exist) while the
+    same values also appear among low-valued elements (summaries must be
+    discriminative) — the structure Example 1.1 highlights.
+    """
+    if domain_size ** m < n:
+        raise ValueError(
+            "domain_size**m = %d cannot host n=%d distinct elements"
+            % (domain_size ** m, n)
+        )
+    rng = _random.Random(seed * 6151 + n + m)
+    low, high = value_range
+    span = high - low
+    biases = [
+        {value: rng.gauss(0.0, span / 8.0) for value in range(domain_size)}
+        for _ in range(m)
+    ]
+    seen: set[tuple[int, ...]] = set()
+    rows: list[tuple[str, ...]] = []
+    values: list[float] = []
+    mid = (low + high) / 2.0
+    while len(rows) < n:
+        element = tuple(rng.randrange(domain_size) for _ in range(m))
+        if element in seen:
+            continue
+        seen.add(element)
+        value = mid + sum(biases[i][v] for i, v in enumerate(element))
+        value += rng.gauss(0.0, span / 10.0)
+        value = min(high, max(low, value))
+        rows.append(tuple("a%d_%d" % (i, v) for i, v in enumerate(element)))
+        values.append(round(value, 4))
+    attributes = ["A%d" % (i + 1) for i in range(m)]
+    return AnswerSet.from_rows(rows, values, attributes=attributes)
+
+
+@lru_cache(maxsize=4)
+def _cached_rating_table(seed: int, n_ratings: int):
+    return build_rating_table(MovieLensConfig(seed=seed, n_ratings=n_ratings))
+
+
+def movielens_answer_set(
+    m: int = 4,
+    having_count_gt: int = 50,
+    seed: int = 42,
+    n_ratings: int = 100_000,
+) -> AnswerSet:
+    """Run a real aggregate query over the generated RatingTable.
+
+    *m* selects the first *m* grouping attributes of the Figure 6g/6h sweep
+    list; m=4 with the adventure filter is exactly the Example 1.1 query.
+    """
+    if not 1 <= m <= len(SWEEP_ATTRIBUTES):
+        raise ValueError(
+            "m=%d out of range [1, %d]" % (m, len(SWEEP_ATTRIBUTES))
+        )
+    table = _cached_rating_table(seed, n_ratings)
+    query = AggregateQuery(
+        group_by=SWEEP_ATTRIBUTES[:m],
+        aggregate="avg",
+        target="rating",
+        where=(("genres_adventure", "=", 1),) if m <= 4 else (),
+        having_count_gt=having_count_gt,
+    )
+    return run_aggregate(table, query).to_answer_set()
+
+
+def example_query_answers(seed: int = 42) -> AnswerSet:
+    """The Example 1.1 answer set via the SQL front end."""
+    table = _cached_rating_table(seed, 100_000)
+    return execute_sql(EXAMPLE_QUERY, table).to_answer_set()

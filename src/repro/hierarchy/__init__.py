@@ -1,0 +1,23 @@
+"""Concept-hierarchy / range-value extension (Appendix A.6)."""
+
+from repro.hierarchy.range_tree import (
+    HierarchyNode,
+    HierarchyTree,
+    build_date_hierarchy,
+    build_range_hierarchy,
+)
+from repro.hierarchy.generalized import (
+    GeneralizedCluster,
+    GeneralizedSpace,
+    star_hierarchy,
+)
+
+__all__ = [
+    "HierarchyNode",
+    "HierarchyTree",
+    "build_date_hierarchy",
+    "build_range_hierarchy",
+    "GeneralizedCluster",
+    "GeneralizedSpace",
+    "star_hierarchy",
+]

@@ -1,0 +1,220 @@
+"""Generalized clusters: hierarchy nodes instead of bare ``*`` (App. A.6).
+
+With a concept hierarchy per attribute, a cluster position can hold any
+hierarchy node: a leaf (concrete value), the root (equivalent to ``*``), or
+an intermediate range such as ``[20, 60)``.  Coverage, distance, and LCA
+generalize naturally:
+
+* a generalized cluster covers an element iff each element value is a leaf
+  under the corresponding node;
+* the per-attribute join of two clusters is the hierarchy LCA of their
+  nodes (the Figure 11 example: join of [20, 40) and 55 is [20, 60));
+* distance counts the attributes where the two clusters do not agree on
+  the *same leaf* — the conservative extension of Definition 3.1 (an
+  internal node, like ``*``, may contain differing elements, so it always
+  contributes).
+
+The plain framework is the special case where every hierarchy is the
+two-level star tree (root over all leaves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.common.errors import InvalidParameterError, SchemaError
+from repro.core.answers import AnswerSet
+from repro.hierarchy.range_tree import HierarchyNode, HierarchyTree
+
+
+def star_hierarchy(values: Sequence, attribute: str = "value") -> HierarchyTree:
+    """The two-level hierarchy equivalent to plain ``*`` generalization."""
+    root = HierarchyNode(label="*")
+    for value in sorted(set(values), key=repr):
+        root.add(HierarchyNode(label="%s=%r" % (attribute, value), value=value))
+    return HierarchyTree(root)
+
+
+@dataclass(frozen=True)
+class GeneralizedCluster:
+    """A cluster whose positions are hierarchy nodes."""
+
+    nodes: tuple[HierarchyNode, ...]
+
+    def labels(self) -> tuple[str, ...]:
+        return tuple(node.label for node in self.nodes)
+
+    def __str__(self) -> str:
+        return "(%s)" % ", ".join(self.labels())
+
+
+class GeneralizedSpace:
+    """Cluster algebra over per-attribute concept hierarchies."""
+
+    def __init__(self, answers: AnswerSet, hierarchies: Sequence[HierarchyTree]) -> None:
+        if len(hierarchies) != answers.m:
+            raise SchemaError(
+                "need %d hierarchies (one per attribute), got %d"
+                % (answers.m, len(hierarchies))
+            )
+        self.answers = answers
+        self.hierarchies = tuple(hierarchies)
+        self._coverage_cache: dict[GeneralizedCluster, tuple[int, ...]] = {}
+        if answers.codec is None:
+            raise SchemaError(
+                "generalized clusters need a codec to map codes to values"
+            )
+        # Verify every attribute value appears as a leaf.
+        for attr, hierarchy in enumerate(self.hierarchies):
+            domain = set(hierarchy.values())
+            for value in answers.codec.interner(attr).domain():
+                if value not in domain:
+                    raise SchemaError(
+                        "attribute %d value %r missing from its hierarchy"
+                        % (attr, value)
+                    )
+
+    # -- constructors ------------------------------------------------------------
+
+    def singleton(self, rank: int) -> GeneralizedCluster:
+        """The generalized cluster for an element (all positions leaves)."""
+        decoded = self.answers.decode(self.answers.elements[rank])
+        return GeneralizedCluster(
+            tuple(
+                hierarchy.leaf(value)
+                for hierarchy, value in zip(self.hierarchies, decoded)
+            )
+        )
+
+    def root_cluster(self) -> GeneralizedCluster:
+        return GeneralizedCluster(
+            tuple(hierarchy.root for hierarchy in self.hierarchies)
+        )
+
+    # -- algebra ---------------------------------------------------------------
+
+    def covers_element(self, cluster: GeneralizedCluster, rank: int) -> bool:
+        decoded = self.answers.decode(self.answers.elements[rank])
+        for hierarchy, node, value in zip(
+            self.hierarchies, cluster.nodes, decoded
+        ):
+            if not hierarchy.is_ancestor(node, hierarchy.leaf(value)):
+                return False
+        return True
+
+    def coverage(self, cluster: GeneralizedCluster) -> list[int]:
+        """Ranks of all covered elements (cached per cluster)."""
+        cached = self._coverage_cache.get(cluster)
+        if cached is None:
+            cached = tuple(
+                rank
+                for rank in range(self.answers.n)
+                if self.covers_element(cluster, rank)
+            )
+            self._coverage_cache[cluster] = cached
+        return list(cached)
+
+    def covers(self, ancestor: GeneralizedCluster, descendant: GeneralizedCluster) -> bool:
+        return all(
+            hierarchy.is_ancestor(a, d)
+            for hierarchy, a, d in zip(
+                self.hierarchies, ancestor.nodes, descendant.nodes
+            )
+        )
+
+    def lca(
+        self, c1: GeneralizedCluster, c2: GeneralizedCluster
+    ) -> GeneralizedCluster:
+        """Attribute-wise hierarchy LCA — the generalized Merge target."""
+        return GeneralizedCluster(
+            tuple(
+                hierarchy.lca(a, b)
+                for hierarchy, a, b in zip(self.hierarchies, c1.nodes, c2.nodes)
+            )
+        )
+
+    def distance(self, c1: GeneralizedCluster, c2: GeneralizedCluster) -> int:
+        """Attributes where the clusters do not share one concrete leaf."""
+        total = 0
+        for a, b in zip(c1.nodes, c2.nodes):
+            if not (a.is_leaf and b.is_leaf and a.value == b.value):
+                total += 1
+        return total
+
+    def avg(self, cluster: GeneralizedCluster) -> float:
+        covered = self.coverage(cluster)
+        if not covered:
+            raise InvalidParameterError(
+                "cluster %s covers no elements" % cluster
+            )
+        return sum(self.answers.values[i] for i in covered) / len(covered)
+
+    # -- a Bottom-Up adaptation ---------------------------------------------------
+
+    def summarize(self, k: int, L: int, D: int) -> list[GeneralizedCluster]:
+        """Bottom-Up greedy over generalized clusters.
+
+        The same two-phase structure as Algorithm 1, with hierarchy LCA as
+        the merge.  Quadratic candidate evaluation on coverage computed on
+        demand; intended for the moderate L values of interactive use.
+        """
+        if not 1 <= L <= self.answers.n:
+            raise InvalidParameterError(
+                "L=%d out of range [1, %d]" % (L, self.answers.n)
+            )
+        if k < 1:
+            raise InvalidParameterError("k must be >= 1")
+        current: list[GeneralizedCluster] = [
+            self.singleton(rank) for rank in range(L)
+        ]
+
+        def merged_avg(c1: GeneralizedCluster, c2: GeneralizedCluster) -> float:
+            union: set[int] = set()
+            for member in current:
+                if member is c1 or member is c2:
+                    continue
+                union.update(self.coverage(member))
+            union.update(self.coverage(self.lca(c1, c2)))
+            return sum(self.answers.values[i] for i in union) / len(union)
+
+        def merge_once(pairs: list[tuple[int, int]]) -> None:
+            best = max(
+                pairs,
+                key=lambda pair: (
+                    merged_avg(current[pair[0]], current[pair[1]]),
+                    -pair[0],
+                    -pair[1],
+                ),
+            )
+            c1, c2 = current[best[0]], current[best[1]]
+            new = self.lca(c1, c2)
+            survivors = [
+                member
+                for member in current
+                if member is not c1
+                and member is not c2
+                and not self.covers(new, member)
+            ]
+            survivors.append(new)
+            current[:] = survivors
+
+        while True:
+            violating = [
+                (i, j)
+                for i in range(len(current))
+                for j in range(i + 1, len(current))
+                if self.distance(current[i], current[j]) < D
+            ]
+            if not violating:
+                break
+            merge_once(violating)
+        while len(current) > k:
+            merge_once(
+                [
+                    (i, j)
+                    for i in range(len(current))
+                    for j in range(i + 1, len(current))
+                ]
+            )
+        return list(current)

@@ -1,0 +1,251 @@
+"""Concept hierarchies with O(1) LCA queries (Appendix A.6).
+
+For numeric or date attributes, plain ``*`` generalization is coarse; the
+paper's extension organizes each attribute's domain as a tree — leaves are
+concrete values, internal nodes are ranges like ``[20, 60)`` — and
+generalizes two values to their **least common ancestor** in that tree.
+The paper points to the classic Harel-Tarjan style machinery for constant
+time LCA; we implement the standard reduction: Euler tour + range-minimum
+via a sparse table, giving O(n log n) preprocessing and O(1) queries.
+
+:func:`build_range_hierarchy` constructs a balanced fan-out tree over a
+sorted numeric domain (the Figure 11 "range tree on age" shape);
+:func:`build_date_hierarchy` builds the year -> half-decade -> decade shape
+of Figure 12.  Arbitrary hand-authored hierarchies are supported through
+:class:`HierarchyNode`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from repro.common.errors import InvalidParameterError
+
+
+@dataclass(eq=False)
+class HierarchyNode:
+    """A node of a concept hierarchy: a label and child nodes.
+
+    Leaves carry a concrete domain ``value``; internal nodes only a label
+    (typically a range rendering).  Equality and hashing are by identity:
+    every node belongs to exactly one tree, so identity is the right
+    notion, and it keeps :class:`GeneralizedCluster` hashable.
+    """
+
+    label: str
+    value: Hashable | None = None
+    children: list["HierarchyNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def add(self, child: "HierarchyNode") -> "HierarchyNode":
+        self.children.append(child)
+        return child
+
+
+class HierarchyTree:
+    """A concept hierarchy with O(1) LCA after O(n log n) preprocessing."""
+
+    def __init__(self, root: HierarchyNode) -> None:
+        self.root = root
+        self._nodes: list[HierarchyNode] = []
+        self._index_of: dict[int, int] = {}  # id(node) -> node index
+        self._leaf_of_value: dict[Hashable, HierarchyNode] = {}
+        self._depth: dict[int, int] = {}
+        self._euler: list[int] = []  # node indices along the Euler tour
+        self._first_visit: dict[int, int] = {}
+        self._collect(root, 0)
+        if not self._leaf_of_value:
+            raise InvalidParameterError("hierarchy has no leaves with values")
+        self._build_sparse_table()
+
+    # -- construction -----------------------------------------------------------
+
+    def _collect(self, node: HierarchyNode, depth: int) -> None:
+        index = len(self._nodes)
+        self._nodes.append(node)
+        self._index_of[id(node)] = index
+        self._depth[index] = depth
+        if node.is_leaf:
+            if node.value is None:
+                raise InvalidParameterError(
+                    "leaf %r has no concrete value" % node.label
+                )
+            if node.value in self._leaf_of_value:
+                raise InvalidParameterError(
+                    "duplicate leaf value %r" % (node.value,)
+                )
+            self._leaf_of_value[node.value] = node
+        self._first_visit[index] = len(self._euler)
+        self._euler.append(index)
+        for child in node.children:
+            self._collect(child, depth + 1)
+            self._euler.append(index)
+
+    def _build_sparse_table(self) -> None:
+        euler = self._euler
+        depth = self._depth
+        size = len(euler)
+        levels = max(1, size.bit_length())
+        # table[j][i]: index into euler of the min-depth node in
+        # euler[i : i + 2**j].
+        table = [list(range(size))]
+        j = 1
+        while (1 << j) <= size:
+            previous = table[j - 1]
+            row = []
+            for i in range(size - (1 << j) + 1):
+                left = previous[i]
+                right = previous[i + (1 << (j - 1))]
+                row.append(
+                    left if depth[euler[left]] <= depth[euler[right]] else right
+                )
+            table.append(row)
+            j += 1
+        self._sparse = table
+
+    # -- queries ---------------------------------------------------------------
+
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def leaf(self, value: Hashable) -> HierarchyNode:
+        try:
+            return self._leaf_of_value[value]
+        except KeyError:
+            raise InvalidParameterError(
+                "value %r is not a leaf of this hierarchy" % (value,)
+            ) from None
+
+    def values(self) -> list[Hashable]:
+        """All leaf values (document order)."""
+        return [
+            node.value for node in self._nodes if node.is_leaf
+        ]
+
+    def depth_of(self, node: HierarchyNode) -> int:
+        return self._depth[self._index_of[id(node)]]
+
+    def lca(self, a: HierarchyNode, b: HierarchyNode) -> HierarchyNode:
+        """Least common ancestor in O(1) via the Euler/RMQ reduction."""
+        ia = self._first_visit[self._index_of[id(a)]]
+        ib = self._first_visit[self._index_of[id(b)]]
+        if ia > ib:
+            ia, ib = ib, ia
+        span = ib - ia + 1
+        j = span.bit_length() - 1
+        euler = self._euler
+        depth = self._depth
+        left = self._sparse[j][ia]
+        right = self._sparse[j][ib - (1 << j) + 1]
+        winner = left if depth[euler[left]] <= depth[euler[right]] else right
+        return self._nodes[euler[winner]]
+
+    def lca_values(self, a: Hashable, b: Hashable) -> HierarchyNode:
+        """LCA of the leaves carrying values *a* and *b*."""
+        return self.lca(self.leaf(a), self.leaf(b))
+
+    def lca_naive(self, a: HierarchyNode, b: HierarchyNode) -> HierarchyNode:
+        """Reference implementation: climb parent chains (for tests)."""
+        parents: dict[int, int | None] = {}
+
+        def walk(node: HierarchyNode, parent: int | None) -> None:
+            parents[self._index_of[id(node)]] = parent
+            for child in node.children:
+                walk(child, self._index_of[id(node)])
+
+        walk(self.root, None)
+
+        def chain(node: HierarchyNode) -> list[int]:
+            result = []
+            current: int | None = self._index_of[id(node)]
+            while current is not None:
+                result.append(current)
+                current = parents[current]
+            return result
+
+        ancestors_a = set(chain(a))
+        for index in chain(b):
+            if index in ancestors_a:
+                return self._nodes[index]
+        raise AssertionError("nodes share at least the root")
+
+    def is_ancestor(self, ancestor: HierarchyNode, node: HierarchyNode) -> bool:
+        """True if *ancestor* is *node* or above it."""
+        return self.lca(ancestor, node) is ancestor
+
+    def leaves_under(self, node: HierarchyNode) -> list[Hashable]:
+        """Concrete values generalized by *node*."""
+        found: list[Hashable] = []
+
+        def walk(current: HierarchyNode) -> None:
+            if current.is_leaf:
+                found.append(current.value)
+                return
+            for child in current.children:
+                walk(child)
+
+        walk(node)
+        return found
+
+
+def build_range_hierarchy(
+    values: Sequence[int | float], fanout: int = 2, attribute: str = "value"
+) -> HierarchyTree:
+    """A balanced fan-out hierarchy over a sorted numeric domain.
+
+    Leaves are the distinct values; each internal node is the range covering
+    its children (rendered ``[lo, hi]``), as in the paper's Figure 11.
+    """
+    if fanout < 2:
+        raise InvalidParameterError("fanout must be >= 2")
+    domain = sorted(set(values))
+    if not domain:
+        raise InvalidParameterError("empty domain")
+    nodes = [
+        HierarchyNode(label="%s=%s" % (attribute, v), value=v) for v in domain
+    ]
+    lows = {id(node): node.value for node in nodes}
+    highs = {id(node): node.value for node in nodes}
+    while len(nodes) > 1:
+        grouped = []
+        for start in range(0, len(nodes), fanout):
+            group = nodes[start:start + fanout]
+            if len(group) == 1:
+                grouped.append(group[0])
+                continue
+            low = lows[id(group[0])]
+            high = highs[id(group[-1])]
+            parent = HierarchyNode(label="%s in [%s, %s]" % (attribute, low, high))
+            parent.children.extend(group)
+            lows[id(parent)] = low
+            highs[id(parent)] = high
+            grouped.append(parent)
+        if len(grouped) == len(nodes):
+            break  # defensive; cannot happen with fanout >= 2
+        nodes = grouped
+    return HierarchyTree(nodes[0])
+
+
+def build_date_hierarchy(years: Sequence[int]) -> HierarchyTree:
+    """year -> half-decade -> decade -> all (the Figure 12 shape)."""
+    domain = sorted(set(years))
+    if not domain:
+        raise InvalidParameterError("empty year domain")
+    root = HierarchyNode(label="all years")
+    decades: dict[int, HierarchyNode] = {}
+    hdecs: dict[int, HierarchyNode] = {}
+    for year in domain:
+        dec = (year // 10) * 10
+        hdec = (year // 5) * 5
+        if dec not in decades:
+            decades[dec] = root.add(HierarchyNode(label="%ds" % dec))
+        if hdec not in hdecs:
+            hdecs[hdec] = decades[dec].add(
+                HierarchyNode(label="%d-%d" % (hdec, hdec + 4))
+            )
+        hdecs[hdec].add(HierarchyNode(label=str(year), value=year))
+    return HierarchyTree(root)

@@ -1,0 +1,149 @@
+"""The parameter-selection guidance view (Section 6.1, Figure 2).
+
+For a fixed L, the view plots the objective avg(O) of the precomputed
+solution against k, one curve per D.  Reading the curves, a user can spot
+*flat regions* (parameter changes that do not affect quality — not worth
+exploring), *knee points* (sharp quality drops — interesting boundaries),
+and *overlapping curves* (bundles of D values with identical behaviour).
+This module computes exactly those artifacts from a
+:class:`~repro.interactive.precompute.SolutionStore`, plus an ASCII
+rendering used by the example scripts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.interactive.precompute import SolutionStore
+
+
+@dataclass(frozen=True)
+class GuidanceSeries:
+    """One curve of the guidance view: avg(O) against k, for a fixed D."""
+
+    D: int
+    k_values: tuple[int, ...]
+    averages: tuple[float, ...]
+
+    def as_pairs(self) -> list[tuple[int, float]]:
+        return list(zip(self.k_values, self.averages))
+
+
+@dataclass(frozen=True)
+class GuidanceView:
+    """All curves of Figure 2 for one L, with analysis helpers."""
+
+    L: int
+    series: tuple[GuidanceSeries, ...]
+
+    def for_distance(self, D: int) -> GuidanceSeries:
+        for candidate in self.series:
+            if candidate.D == D:
+                return candidate
+        raise KeyError("no guidance series for D=%d" % D)
+
+    def knee_points(self, D: int, threshold: float = 0.02) -> list[int]:
+        """k values where quality drops sharply when k decreases by one.
+
+        A knee at k means avg(k) - avg(k-1) exceeds *threshold* relative to
+        the curve's overall span — the "interesting boundaries" the paper's
+        visualization is designed to surface.
+        """
+        curve = self.for_distance(D)
+        pairs = curve.as_pairs()
+        if len(pairs) < 2:
+            return []
+        span = max(a for _, a in pairs) - min(a for _, a in pairs)
+        if span <= 0:
+            return []
+        knees = []
+        for (k_lo, avg_lo), (k_hi, avg_hi) in zip(pairs, pairs[1:]):
+            if k_hi == k_lo + 1 and (avg_hi - avg_lo) / span > threshold:
+                knees.append(k_hi)
+        return knees
+
+    def flat_regions(self, D: int, tolerance: float = 1e-9) -> list[tuple[int, int]]:
+        """Maximal k ranges where the objective is (nearly) constant."""
+        curve = self.for_distance(D)
+        pairs = curve.as_pairs()
+        regions: list[tuple[int, int]] = []
+        start = 0
+        for i in range(1, len(pairs) + 1):
+            boundary = (
+                i == len(pairs)
+                or abs(pairs[i][1] - pairs[start][1]) > tolerance
+            )
+            if boundary:
+                if i - start >= 2:
+                    regions.append((pairs[start][0], pairs[i - 1][0]))
+                start = i
+        return regions
+
+    def overlapping_distance_bundles(
+        self, tolerance: float = 1e-9
+    ) -> list[tuple[int, ...]]:
+        """Groups of D values whose curves coincide everywhere.
+
+        Figure 2's overlapping lines: the user can treat such a bundle as a
+        single choice of D.
+        """
+        bundles: list[list[GuidanceSeries]] = []
+        for curve in self.series:
+            for bundle in bundles:
+                reference = bundle[0]
+                if reference.k_values == curve.k_values and all(
+                    abs(a - b) <= tolerance
+                    for a, b in zip(reference.averages, curve.averages)
+                ):
+                    bundle.append(curve)
+                    break
+            else:
+                bundles.append([curve])
+        return [tuple(c.D for c in bundle) for bundle in bundles]
+
+    def render_ascii(self, width: int = 60, height: int = 16) -> str:
+        """A terminal rendering of the Figure 2 plot (one glyph per D)."""
+        all_avgs = [a for curve in self.series for a in curve.averages]
+        all_ks = [k for curve in self.series for k in curve.k_values]
+        if not all_avgs:
+            return "(empty guidance view)"
+        lo, hi = min(all_avgs), max(all_avgs)
+        k_lo, k_hi = min(all_ks), max(all_ks)
+        if hi - lo <= 0:
+            hi = lo + 1.0
+        grid = [[" "] * width for _ in range(height)]
+        glyphs = "o+x*#@%&"
+        for index, curve in enumerate(self.series):
+            glyph = glyphs[index % len(glyphs)]
+            for k, avg in curve.as_pairs():
+                col = (
+                    0
+                    if k_hi == k_lo
+                    else int((k - k_lo) / (k_hi - k_lo) * (width - 1))
+                )
+                row = int((avg - lo) / (hi - lo) * (height - 1))
+                grid[height - 1 - row][col] = glyph
+        lines = ["avg value vs k (L=%d)" % self.L]
+        lines.append("%.4f +%s" % (hi, "-" * width))
+        for row in grid:
+            lines.append("       |%s" % "".join(row))
+        lines.append("%.4f +%s" % (lo, "-" * width))
+        lines.append("        k=%d%sk=%d" % (k_lo, " " * (width - 10), k_hi))
+        legend = "  ".join(
+            "%s D=%d" % (glyphs[i % len(glyphs)], curve.D)
+            for i, curve in enumerate(self.series)
+        )
+        lines.append("legend: %s" % legend)
+        return "\n".join(lines)
+
+
+def build_guidance_view(store: SolutionStore) -> GuidanceView:
+    """Assemble the Figure 2 data from a precomputed store (O(1) per point)."""
+    series = []
+    k_values = tuple(range(store.k_min, store.k_max + 1))
+    for d_value in store.d_values:
+        averages = tuple(store.objective(k, d_value) for k in k_values)
+        series.append(
+            GuidanceSeries(D=d_value, k_values=k_values, averages=averages)
+        )
+    return GuidanceView(L=store.pool.L, series=tuple(series))

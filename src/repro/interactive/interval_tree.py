@@ -1,0 +1,130 @@
+"""A static centered interval tree (the Section 6.2 retrieval structure).
+
+The precomputation stores, for every cluster, the contiguous interval of k
+values for which the cluster belongs to the solution (Continuity,
+Proposition 6.1).  Retrieving the solution for a chosen k is then a
+*stabbing query*: report every interval containing k.  The classic centered
+interval tree (CLRS-style, the paper cites [6]) answers stabbing queries in
+O(log N + output) after O(N log N) construction.
+
+Intervals are closed integer intervals ``[low, high]`` with an arbitrary
+payload; the tree is immutable after construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generic, Iterable, TypeVar
+
+from repro.common.errors import InvalidParameterError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Interval(Generic[T]):
+    """A closed interval [low, high] carrying a payload."""
+
+    low: int
+    high: int
+    payload: T
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise InvalidParameterError(
+                "interval low %d > high %d" % (self.low, self.high)
+            )
+
+    def contains(self, point: int) -> bool:
+        return self.low <= point <= self.high
+
+
+class _Node(Generic[T]):
+    __slots__ = ("center", "by_low", "by_high", "left", "right")
+
+    def __init__(
+        self,
+        center: int,
+        overlapping: list[Interval[T]],
+        left: "_Node[T] | None",
+        right: "_Node[T] | None",
+    ) -> None:
+        self.center = center
+        self.by_low = sorted(overlapping, key=lambda iv: iv.low)
+        self.by_high = sorted(overlapping, key=lambda iv: -iv.high)
+        self.left = left
+        self.right = right
+
+
+class IntervalTree(Generic[T]):
+    """Immutable centered interval tree over closed integer intervals."""
+
+    def __init__(self, intervals: Iterable[Interval[T]]) -> None:
+        self._intervals = list(intervals)
+        self._root = self._build(self._intervals)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    @staticmethod
+    def _build(intervals: list[Interval[T]]) -> _Node[T] | None:
+        if not intervals:
+            return None
+        endpoints = sorted(
+            {iv.low for iv in intervals} | {iv.high for iv in intervals}
+        )
+        center = endpoints[len(endpoints) // 2]
+        left_side = [iv for iv in intervals if iv.high < center]
+        right_side = [iv for iv in intervals if iv.low > center]
+        overlapping = [
+            iv for iv in intervals if iv.low <= center <= iv.high
+        ]
+        return _Node(
+            center,
+            overlapping,
+            IntervalTree._build(left_side),
+            IntervalTree._build(right_side),
+        )
+
+    def stab(self, point: int) -> list[Interval[T]]:
+        """All intervals containing *point*, in deterministic order."""
+        found: list[Interval[T]] = []
+        node = self._root
+        while node is not None:
+            if point == node.center:
+                found.extend(node.by_low)
+                break
+            if point < node.center:
+                for interval in node.by_low:
+                    if interval.low <= point:
+                        found.append(interval)
+                    else:
+                        break
+                node = node.left
+            else:
+                for interval in node.by_high:
+                    if interval.high >= point:
+                        found.append(interval)
+                    else:
+                        break
+                node = node.right
+        found.sort(key=lambda iv: (iv.low, iv.high, repr(iv.payload)))
+        return found
+
+    def stab_payloads(self, point: int) -> list[T]:
+        """Payloads of all intervals containing *point*."""
+        return [interval.payload for interval in self.stab(point)]
+
+    def depth(self) -> int:
+        """Tree height (diagnostic; O(log N) for balanced input)."""
+
+        def walk(node: _Node[T] | None) -> int:
+            if node is None:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+    def intervals(self) -> list[Interval[T]]:
+        """All stored intervals (construction order)."""
+        return list(self._intervals)

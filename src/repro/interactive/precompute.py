@@ -1,0 +1,208 @@
+"""Incremental computation of solutions for whole (k, D) ranges.
+
+Section 6.2: to power the parameter-selection view (Figure 2) and to serve
+any (k, D) choice at interactive speed, the Hybrid algorithm's structure is
+exploited twice:
+
+1. For a given L, the **Fixed-Order phase** (with pool budget c * k_max)
+   runs once; its output seeds the computation for *every* (k, D).
+2. For each D, the **Bottom-Up phase** runs once from that shared state:
+   after enforcing the distance constraint, every further merge reduces the
+   cluster count, so the sweep k = k_max .. k_min falls out of a single run
+   — the solution for k is simply the first state with at most k clusters.
+
+By Continuity (Proposition 6.1) a cluster, once merged away, never returns;
+hence for fixed (L, D) the set of k values for which a given cluster is in
+the solution is one contiguous interval.  We store exactly those intervals
+in one :class:`~repro.interactive.interval_tree.IntervalTree` per D, which
+reduces storage from O(N_k * N_D) solution sets to O(N_D) trees and serves
+retrieval in O(log N_k + answer).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.common.errors import InvalidParameterError
+from repro.core.bottom_up import run_distance_phase
+from repro.core.cluster import Cluster, Pattern
+from repro.core.hybrid import DEFAULT_POOL_FACTOR
+from repro.core.fixed_order import fixed_order_engine
+from repro.core.merge import MergeEngine
+from repro.core.semilattice import ClusterPool
+from repro.core.solution import Solution
+from repro.interactive.interval_tree import Interval, IntervalTree
+
+
+@dataclass(frozen=True)
+class PrecomputeTimings:
+    """Phase breakdown reported by the Figure 7 experiments."""
+
+    init_seconds: float
+    algo_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.init_seconds + self.algo_seconds
+
+
+@dataclass
+class _DSweep:
+    """Per-D results of the Bottom-Up sweep."""
+
+    tree: IntervalTree[Pattern]
+    avg_by_k: dict[int, float]
+    size_by_k: dict[int, int]
+    k_intervals: dict[Pattern, tuple[int, int]] = field(default_factory=dict)
+
+
+class SolutionStore:
+    """Precomputed solutions for all (k, D) combinations at a fixed L.
+
+    Parameters
+    ----------
+    pool:
+        Cluster pool for (S, L); its construction time is the paper's
+        "Init" phase and is *not* included in ``timings.algo_seconds``.
+    k_range:
+        Inclusive (k_min, k_max).
+    d_values:
+        The D values to sweep (Figure 2 plots one curve per D).
+    pool_factor:
+        Hybrid's candidate multiplier c.
+    shared_phase_distance:
+        D used during the shared Fixed-Order phase.  The default 0 is the
+        most permissive; each per-D Bottom-Up run then enforces its own D.
+    """
+
+    def __init__(
+        self,
+        pool: ClusterPool,
+        k_range: tuple[int, int],
+        d_values: Sequence[int],
+        pool_factor: int = DEFAULT_POOL_FACTOR,
+        shared_phase_distance: int = 0,
+        use_delta: bool = True,
+    ) -> None:
+        k_min, k_max = k_range
+        if not 1 <= k_min <= k_max:
+            raise InvalidParameterError(
+                "invalid k range [%d, %d]" % (k_min, k_max)
+            )
+        if not d_values:
+            raise InvalidParameterError("d_values must be non-empty")
+        self.pool = pool
+        self.k_min = k_min
+        self.k_max = k_max
+        self.d_values = tuple(sorted(set(d_values)))
+        start = time.perf_counter()
+        shared = fixed_order_engine(
+            pool,
+            budget=max(pool_factor * k_max, k_max),
+            D=shared_phase_distance,
+            use_delta=use_delta,
+        )
+        self._sweeps: dict[int, _DSweep] = {}
+        for d_value in self.d_values:
+            self._sweeps[d_value] = self._sweep_one_d(shared.clone(), d_value)
+        self.timings = PrecomputeTimings(
+            init_seconds=0.0, algo_seconds=time.perf_counter() - start
+        )
+
+    # -- sweep ----------------------------------------------------------------
+
+    def _sweep_one_d(self, engine: MergeEngine, d_value: int) -> _DSweep:
+        """Enforce D, then merge downward recording each k's solution."""
+        run_distance_phase(engine, d_value)
+        avg_by_k: dict[int, float] = {}
+        size_by_k: dict[int, int] = {}
+        first_k: dict[Pattern, int] = {}
+        last_k: dict[Pattern, int] = {}
+
+        def record(k: int) -> None:
+            avg_by_k[k] = engine.avg()
+            size_by_k[k] = engine.size
+            for cluster in engine.clusters():
+                pattern = cluster.pattern
+                if pattern not in first_k:
+                    first_k[pattern] = k
+                last_k[pattern] = k
+
+        for k in range(self.k_max, self.k_min - 1, -1):
+            while engine.size > k:
+                c1, c2 = engine.best_pair(engine.all_pairs())
+                engine.merge(c1, c2)
+            record(k)
+        intervals = [
+            Interval(low=last_k[pattern], high=first_k[pattern],
+                     payload=pattern)
+            for pattern in first_k
+        ]
+        sweep = _DSweep(
+            tree=IntervalTree(intervals),
+            avg_by_k=avg_by_k,
+            size_by_k=size_by_k,
+        )
+        sweep.k_intervals = {
+            pattern: (last_k[pattern], first_k[pattern])
+            for pattern in first_k
+        }
+        return sweep
+
+    # -- retrieval --------------------------------------------------------------
+
+    def _sweep(self, D: int) -> _DSweep:
+        try:
+            return self._sweeps[D]
+        except KeyError:
+            raise InvalidParameterError(
+                "D=%d was not precomputed (have %r)" % (D, self.d_values)
+            ) from None
+
+    def retrieve(self, k: int, D: int) -> Solution:
+        """The precomputed solution for (k, D): a stabbing query + assembly."""
+        if not self.k_min <= k <= self.k_max:
+            raise InvalidParameterError(
+                "k=%d outside precomputed range [%d, %d]"
+                % (k, self.k_min, self.k_max)
+            )
+        patterns = self._sweep(D).tree.stab_payloads(k)
+        clusters = [self.pool.cluster(p) for p in patterns]
+        return Solution.from_clusters(clusters, self.pool.answers)
+
+    def objective(self, k: int, D: int) -> float:
+        """avg(O) of the precomputed solution for (k, D) — O(1) lookup."""
+        return self._sweep(D).avg_by_k[k]
+
+    def solution_size(self, k: int, D: int) -> int:
+        """|O| of the precomputed solution for (k, D)."""
+        return self._sweep(D).size_by_k[k]
+
+    def cluster_lifetime(self, pattern: Pattern, D: int) -> tuple[int, int] | None:
+        """The contiguous [k_low, k_high] interval where *pattern* is in the
+        solution (None if it never appears) — Proposition 6.1's object."""
+        return self._sweep(D).k_intervals.get(pattern)
+
+    def stored_interval_count(self) -> int:
+        """Total intervals across all D trees (the storage cost metric)."""
+        return sum(len(sweep.tree) for sweep in self._sweeps.values())
+
+    def naive_storage_count(self) -> int:
+        """Cluster references a per-(k, D) materialization would store."""
+        return sum(
+            sweep.size_by_k[k]
+            for sweep in self._sweeps.values()
+            for k in range(self.k_min, self.k_max + 1)
+        )
+
+
+def precompute(
+    pool: ClusterPool,
+    k_range: tuple[int, int],
+    d_values: Sequence[int],
+    **kwargs,
+) -> SolutionStore:
+    """Convenience constructor mirroring the paper's terminology."""
+    return SolutionStore(pool, k_range, d_values, **kwargs)

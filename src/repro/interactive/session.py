@@ -1,0 +1,223 @@
+"""Exploration sessions: the library-level equivalent of the paper's GUI.
+
+Appendix A.3 describes the prototype's flow: the user submits an aggregate
+query and parameters (k, L, D); the system initializes a cache (cluster
+generation + mapping) once per query, chooses an algorithm, and serves
+successive parameter changes from partial updates.  :class:`ExplorationSession`
+reproduces that flow as an API:
+
+* per-L cluster pools are cached (the "initialization" phase the paper
+  times separately);
+* ``solve`` runs a single algorithm invocation (the "single run" mode of
+  Figure 7);
+* ``precompute``/``retrieve`` serve whole (k, D) ranges via
+  :class:`~repro.interactive.precompute.SolutionStore` (the
+  "precomputation" mode);
+* ``guidance`` produces the Figure 2 view;
+* ``expand`` exposes the second display layer (Figure 1c), listing the
+  original elements a cluster covers with their global ranks;
+* ``compare`` produces the successive-solution visualization data of
+  Appendix A.7.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.common.errors import InvalidParameterError
+from repro.core.answers import AnswerSet
+from repro.core.cluster import Cluster
+from repro.core.problem import ALGORITHMS, ProblemInstance
+from repro.core.semilattice import ClusterPool, MappingStrategy
+from repro.core.solution import Solution
+from repro.interactive.guidance import GuidanceView, build_guidance_view
+from repro.interactive.precompute import SolutionStore
+
+
+@dataclass(frozen=True)
+class TimedSolution:
+    """A solution plus the phase breakdown the paper's figures report."""
+
+    solution: Solution
+    init_seconds: float
+    algo_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.init_seconds + self.algo_seconds
+
+
+@dataclass(frozen=True)
+class ExpandedRow:
+    """One second-layer row: an original element with rank and value."""
+
+    rank: int  # 1-based rank in S
+    values: tuple[Any, ...]
+    value: float
+
+
+class ExplorationSession:
+    """Stateful interactive exploration over one answer set."""
+
+    def __init__(
+        self,
+        answers: AnswerSet,
+        mapping: MappingStrategy = "eager",
+    ) -> None:
+        self.answers = answers
+        self.mapping = mapping
+        self._pools: dict[int, ClusterPool] = {}
+        self._pool_seconds: dict[int, float] = {}
+        self._stores: dict[tuple[int, tuple[int, int], tuple[int, ...]], SolutionStore] = {}
+
+    # -- initialization ---------------------------------------------------------
+
+    def pool(self, L: int) -> ClusterPool:
+        """The cluster pool for top-L (cached; building it is 'Init')."""
+        cached = self._pools.get(L)
+        if cached is not None:
+            return cached
+        start = time.perf_counter()
+        pool = ClusterPool(self.answers, L, strategy=self.mapping)
+        self._pool_seconds[L] = time.perf_counter() - start
+        self._pools[L] = pool
+        return pool
+
+    def init_seconds(self, L: int) -> float:
+        """Wall-clock seconds the pool construction for L took (0 if cached
+        before this session or not yet built)."""
+        self.pool(L)
+        return self._pool_seconds.get(L, 0.0)
+
+    # -- single runs -------------------------------------------------------------
+
+    def solve(
+        self,
+        k: int,
+        L: int,
+        D: int,
+        algorithm: str = "hybrid",
+        **kwargs,
+    ) -> TimedSolution:
+        """One algorithm invocation with the Init/Algo timing split."""
+        if algorithm not in ALGORITHMS:
+            raise InvalidParameterError(
+                "unknown algorithm %r; expected one of %s"
+                % (algorithm, sorted(ALGORITHMS))
+            )
+        pool = self.pool(L)
+        init_seconds = self._pool_seconds.get(L, 0.0)
+        instance = ProblemInstance(
+            self.answers, k=k, L=L, D=D, mapping=self.mapping
+        )
+        instance._pool = pool  # reuse the session cache
+        start = time.perf_counter()
+        solution = instance.solve(algorithm, **kwargs)
+        return TimedSolution(
+            solution=solution,
+            init_seconds=init_seconds,
+            algo_seconds=time.perf_counter() - start,
+        )
+
+    # -- precomputation ------------------------------------------------------------
+
+    def precompute(
+        self,
+        L: int,
+        k_range: tuple[int, int],
+        d_values: Sequence[int],
+        **kwargs,
+    ) -> SolutionStore:
+        """Build (and cache) the solution store for all (k, D) at this L."""
+        key = (L, tuple(k_range), tuple(sorted(set(d_values))))
+        cached = self._stores.get(key)
+        if cached is not None:
+            return cached
+        store = SolutionStore(self.pool(L), k_range, d_values, **kwargs)
+        self._stores[key] = store
+        return store
+
+    def retrieve(
+        self,
+        k: int,
+        L: int,
+        D: int,
+        k_range: tuple[int, int],
+        d_values: Sequence[int],
+    ) -> TimedSolution:
+        """Serve (k, D) from the precomputed store, timing the retrieval."""
+        store = self.precompute(L, k_range, d_values)
+        start = time.perf_counter()
+        solution = store.retrieve(k, D)
+        return TimedSolution(
+            solution=solution,
+            init_seconds=self._pool_seconds.get(L, 0.0),
+            algo_seconds=time.perf_counter() - start,
+        )
+
+    def guidance(
+        self,
+        L: int,
+        k_range: tuple[int, int],
+        d_values: Sequence[int],
+    ) -> GuidanceView:
+        """The Figure 2 parameter-selection view for this L."""
+        return build_guidance_view(self.precompute(L, k_range, d_values))
+
+    # -- the two display layers -------------------------------------------------------
+
+    def expand(self, cluster: Cluster) -> list[ExpandedRow]:
+        """Second layer (Figure 1c): the elements a cluster covers.
+
+        Rows are ordered by global rank; ``values`` are decoded raw
+        attribute values when the answer set has a codec.
+        """
+        rows = []
+        for index in sorted(cluster.covered):
+            element = self.answers.elements[index]
+            decoded = (
+                self.answers.decode(element)
+                if self.answers.codec is not None
+                else tuple(element)
+            )
+            rows.append(
+                ExpandedRow(
+                    rank=index + 1,
+                    values=decoded,
+                    value=self.answers.values[index],
+                )
+            )
+        return rows
+
+    def describe(self, solution: Solution, expand_all: bool = False) -> str:
+        """Render a solution like Figure 1b (or 1c with *expand_all*)."""
+        lines = []
+        for cluster in solution.clusters:
+            decoded = (
+                self.answers.decode(cluster.pattern)
+                if self.answers.codec is not None
+                else cluster.pattern
+            )
+            rendered = ", ".join(str(v) for v in decoded)
+            lines.append(
+                "(%s)  avg=%.4f  [%d elements]"
+                % (rendered, cluster.avg, cluster.size)
+            )
+            if expand_all:
+                for row in self.expand(cluster):
+                    rendered_row = ", ".join(str(v) for v in row.values)
+                    lines.append(
+                        "    rank %3d: (%s)  val=%.4f"
+                        % (row.rank, rendered_row, row.value)
+                    )
+        return "\n".join(lines)
+
+    # -- successive-solution comparison ------------------------------------------------
+
+    def compare(self, old: Solution, new: Solution):
+        """Appendix A.7 comparison view data for two successive solutions."""
+        from repro.viz.comparison import build_comparison
+
+        return build_comparison(old, new, self.answers)

@@ -1,0 +1,26 @@
+"""Relational substrate: in-memory relations, aggregation, restricted SQL.
+
+Replaces the PostgreSQL backend of the paper's prototype with an embedded
+engine that executes the same query template (Appendix A.8).
+"""
+
+from repro.query.relation import Database, Relation
+from repro.query.aggregate import (
+    AGGREGATES,
+    AggregateQuery,
+    QueryResult,
+    run_aggregate,
+)
+from repro.query.sql import execute_sql, parse_query, tokenize
+
+__all__ = [
+    "Database",
+    "Relation",
+    "AGGREGATES",
+    "AggregateQuery",
+    "QueryResult",
+    "run_aggregate",
+    "execute_sql",
+    "parse_query",
+    "tokenize",
+]

@@ -1,0 +1,115 @@
+"""CSV import/export for relations (the library's on-disk interchange).
+
+The paper's prototype previews tables from PostgreSQL; a library user's
+equivalent is loading a CSV.  Values are type-inferred per column: a column
+whose every non-empty value parses as int becomes int, else float, else
+string — the same inference a careful analyst would apply before grouping.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.common.errors import SchemaError
+from repro.query.relation import Relation
+
+
+def _parse_int(text: str) -> int | None:
+    try:
+        return int(text)
+    except ValueError:
+        return None
+
+
+def _parse_float(text: str) -> float | None:
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def infer_column_type(values: Iterable[str]) -> str:
+    """'int', 'float', or 'str' for a column of raw strings."""
+    saw_any = False
+    all_int = True
+    all_float = True
+    for text in values:
+        if text == "":
+            continue
+        saw_any = True
+        if all_int and _parse_int(text) is None:
+            all_int = False
+        if all_float and _parse_float(text) is None:
+            all_float = False
+        if not all_float:
+            break
+    if not saw_any:
+        return "str"
+    if all_int:
+        return "int"
+    if all_float:
+        return "float"
+    return "str"
+
+
+def _convert(text: str, kind: str) -> Any:
+    if text == "":
+        return None
+    if kind == "int":
+        return int(text)
+    if kind == "float":
+        return float(text)
+    return text
+
+
+def read_csv(
+    source: str | Path | io.TextIOBase,
+    name: str | None = None,
+    delimiter: str = ",",
+) -> Relation:
+    """Load a CSV (header row required) into a typed Relation."""
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        with path.open(newline="") as handle:
+            return read_csv(handle, name=name or path.stem,
+                            delimiter=delimiter)
+    reader = csv.reader(source, delimiter=delimiter)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise SchemaError("CSV has no header row") from None
+    raw_rows = [row for row in reader]
+    for index, row in enumerate(raw_rows):
+        if len(row) != len(header):
+            raise SchemaError(
+                "CSV row %d has %d fields, header has %d"
+                % (index + 2, len(row), len(header))
+            )
+    kinds = [
+        infer_column_type(row[i] for row in raw_rows)
+        for i in range(len(header))
+    ]
+    rows = [
+        tuple(_convert(row[i], kinds[i]) for i in range(len(header)))
+        for row in raw_rows
+    ]
+    return Relation(name or "csv", header, rows)
+
+
+def write_csv(
+    relation: Relation,
+    target: str | Path | io.TextIOBase,
+    delimiter: str = ",",
+) -> None:
+    """Write a Relation to CSV with a header row."""
+    if isinstance(target, (str, Path)):
+        with Path(target).open("w", newline="") as handle:
+            write_csv(relation, handle, delimiter=delimiter)
+            return
+    writer = csv.writer(target, delimiter=delimiter)
+    writer.writerow(relation.columns)
+    for row in relation.rows:
+        writer.writerow(["" if v is None else v for v in row])

@@ -1,0 +1,193 @@
+"""In-memory relations: the substrate under the aggregate queries.
+
+The paper's prototype runs its aggregate queries against PostgreSQL; this
+reproduction replaces that with a small, dependency-free relational engine.
+A :class:`Relation` is a named schema (ordered column names) plus a list of
+row tuples.  Operations cover what the paper's workload needs (Appendix
+A.8): selection, projection, column derivation, equi-joins, and group-by
+aggregation (in :mod:`repro.query.aggregate`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.common.errors import SchemaError
+
+Row = tuple[Any, ...]
+
+
+class Relation:
+    """A named, ordered-schema, in-memory relation.
+
+    Rows are plain tuples aligned with ``columns``.  All operations return
+    new relations; nothing mutates in place.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[str],
+        rows: Iterable[Sequence[Any]] = (),
+    ) -> None:
+        columns = tuple(columns)
+        if len(set(columns)) != len(columns):
+            raise SchemaError("duplicate column names in %r: %r" % (name, columns))
+        if not columns:
+            raise SchemaError("relation %r needs at least one column" % name)
+        self.name = name
+        self.columns = columns
+        self._index_of = {column: i for i, column in enumerate(columns)}
+        self.rows: list[Row] = []
+        arity = len(columns)
+        for row in rows:
+            row = tuple(row)
+            if len(row) != arity:
+                raise SchemaError(
+                    "row arity %d != schema arity %d in %r"
+                    % (len(row), arity, name)
+                )
+            self.rows.append(row)
+
+    # -- schema helpers -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __contains__(self, column: str) -> bool:
+        return column in self._index_of
+
+    def column_index(self, column: str) -> int:
+        try:
+            return self._index_of[column]
+        except KeyError:
+            raise SchemaError(
+                "unknown column %r in relation %r (has %r)"
+                % (column, self.name, self.columns)
+            ) from None
+
+    def column_values(self, column: str) -> list[Any]:
+        """All values of one column, in row order."""
+        index = self.column_index(column)
+        return [row[index] for row in self.rows]
+
+    def distinct_values(self, column: str) -> list[Any]:
+        """Sorted distinct values of a column (the active domain)."""
+        return sorted(set(self.column_values(column)), key=repr)
+
+    def row_dict(self, row: Row) -> dict[str, Any]:
+        """A row as a column->value mapping (for predicate callables)."""
+        return dict(zip(self.columns, row))
+
+    # -- relational operations ---------------------------------------------------
+
+    def select(self, predicate: Callable[[Mapping[str, Any]], bool]) -> "Relation":
+        """Rows satisfying *predicate* (called with a column->value dict)."""
+        kept = [row for row in self.rows if predicate(self.row_dict(row))]
+        return Relation(self.name, self.columns, kept)
+
+    def where_equal(self, column: str, value: Any) -> "Relation":
+        """Fast path for the common ``column = value`` selection."""
+        index = self.column_index(column)
+        kept = [row for row in self.rows if row[index] == value]
+        return Relation(self.name, self.columns, kept)
+
+    def project(self, columns: Sequence[str], name: str | None = None) -> "Relation":
+        """Projection (keeps duplicates, like SQL's SELECT without DISTINCT)."""
+        indices = [self.column_index(c) for c in columns]
+        rows = [tuple(row[i] for i in indices) for row in self.rows]
+        return Relation(name or self.name, columns, rows)
+
+    def rename(self, mapping: Mapping[str, str], name: str | None = None) -> "Relation":
+        """Rename columns per *mapping* (unmapped columns keep their names)."""
+        columns = [mapping.get(c, c) for c in self.columns]
+        return Relation(name or self.name, columns, self.rows)
+
+    def derive(
+        self,
+        column: str,
+        fn: Callable[[Mapping[str, Any]], Any],
+        name: str | None = None,
+    ) -> "Relation":
+        """Append a computed column (feature extraction, e.g. age -> agegrp)."""
+        if column in self._index_of:
+            raise SchemaError(
+                "derived column %r already exists in %r" % (column, self.name)
+            )
+        rows = [row + (fn(self.row_dict(row)),) for row in self.rows]
+        return Relation(name or self.name, self.columns + (column,), rows)
+
+    def join(
+        self,
+        other: "Relation",
+        on: Sequence[tuple[str, str]],
+        name: str | None = None,
+    ) -> "Relation":
+        """Equi-join: hash join on the (left_column, right_column) pairs.
+
+        The result schema is the left schema followed by the right schema
+        minus the right-side join columns (natural-join flavour, which is
+        how the paper materializes its universal RatingTable).
+        """
+        if not on:
+            raise SchemaError("join needs at least one column pair")
+        left_indices = [self.column_index(lc) for lc, _ in on]
+        right_indices = [other.column_index(rc) for _, rc in on]
+        right_join_set = set(right_indices)
+        right_kept = [
+            i for i in range(len(other.columns)) if i not in right_join_set
+        ]
+        columns = self.columns + tuple(other.columns[i] for i in right_kept)
+        if len(set(columns)) != len(columns):
+            raise SchemaError(
+                "join of %r and %r produces duplicate columns; rename first"
+                % (self.name, other.name)
+            )
+        # Build side: the smaller relation would be classic; here the right.
+        buckets: dict[tuple[Any, ...], list[Row]] = {}
+        for row in other.rows:
+            key = tuple(row[i] for i in right_indices)
+            buckets.setdefault(key, []).append(row)
+        rows = []
+        for row in self.rows:
+            key = tuple(row[i] for i in left_indices)
+            for match in buckets.get(key, ()):
+                rows.append(row + tuple(match[i] for i in right_kept))
+        return Relation(name or "%s_%s" % (self.name, other.name), columns, rows)
+
+    def head(self, count: int) -> list[Row]:
+        """First *count* rows (preview, as in the prototype's tool panel)."""
+        return self.rows[:count]
+
+    def __repr__(self) -> str:
+        return "Relation(%r, columns=%d, rows=%d)" % (
+            self.name,
+            len(self.columns),
+            len(self.rows),
+        )
+
+
+class Database:
+    """A named collection of relations (the prototype's catalog)."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._relations: dict[str, Relation] = {}
+
+    def add(self, relation: Relation) -> None:
+        self._relations[relation.name] = relation
+
+    def get(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(
+                "unknown relation %r (have %r)"
+                % (name, sorted(self._relations))
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._relations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations

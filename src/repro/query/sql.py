@@ -1,0 +1,311 @@
+"""A restricted SQL parser for the paper's query template.
+
+The prototype's query box accepts aggregate queries of the shape used
+throughout the paper (Example 1.1, Appendix A.8)::
+
+    SELECT hdec, agegrp, gender, occupation, avg(rating) AS val
+    FROM RatingTable
+    WHERE genres_adventure = 1
+    GROUP BY hdec, agegrp, gender, occupation
+    HAVING count(*) > 50
+    ORDER BY val DESC
+    LIMIT 50
+
+This module tokenizes and parses exactly that template (hand-written
+recursive descent — no parser generator available offline) into an
+:class:`~repro.query.aggregate.AggregateQuery`.  Anything outside the
+template raises :class:`~repro.common.errors.QueryError` with a position.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.errors import QueryError
+from repro.query.aggregate import AGGREGATES, AggregateQuery
+from repro.query.relation import Database, Relation
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d+|\.\d+|\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<op><=|>=|!=|<>|=|<|>)
+  | (?P<punct>[(),*])
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "and", "group", "by", "having",
+    "order", "asc", "desc", "limit", "as",
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # number | string | op | punct | ident | keyword
+    text: str
+    position: int
+
+
+def tokenize(sql: str) -> list[_Token]:
+    """Split *sql* into tokens; raises QueryError on illegal characters."""
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            raise QueryError(
+                "illegal character %r at position %d" % (sql[position], position)
+            )
+        kind = match.lastgroup
+        text = match.group()
+        if kind != "ws":
+            if kind == "ident" and text.lower() in _KEYWORDS:
+                tokens.append(_Token("keyword", text.lower(), position))
+            else:
+                tokens.append(_Token(kind, text, position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token], sql: str) -> None:
+        self.tokens = tokens
+        self.sql = sql
+        self.index = 0
+
+    # -- token plumbing --------------------------------------------------------
+
+    def peek(self) -> _Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def advance(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise QueryError("unexpected end of query: %r" % self.sql)
+        self.index += 1
+        return token
+
+    def expect_keyword(self, *words: str) -> _Token:
+        token = self.advance()
+        if token.kind != "keyword" or token.text not in words:
+            raise QueryError(
+                "expected %s at position %d, got %r"
+                % ("/".join(w.upper() for w in words), token.position, token.text)
+            )
+        return token
+
+    def expect_punct(self, text: str) -> _Token:
+        token = self.advance()
+        if token.kind != "punct" or token.text != text:
+            raise QueryError(
+                "expected %r at position %d, got %r"
+                % (text, token.position, token.text)
+            )
+        return token
+
+    def expect_ident(self) -> _Token:
+        token = self.advance()
+        if token.kind != "ident":
+            raise QueryError(
+                "expected identifier at position %d, got %r"
+                % (token.position, token.text)
+            )
+        return token
+
+    def accept_keyword(self, word: str) -> bool:
+        token = self.peek()
+        if token is not None and token.kind == "keyword" and token.text == word:
+            self.index += 1
+            return True
+        return False
+
+    def accept_punct(self, text: str) -> bool:
+        token = self.peek()
+        if token is not None and token.kind == "punct" and token.text == text:
+            self.index += 1
+            return True
+        return False
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse(self) -> tuple[str, AggregateQuery]:
+        """query := SELECT select_list FROM ident [WHERE ...] GROUP BY ...
+        [HAVING ...] [ORDER BY val [ASC|DESC]] [LIMIT n]"""
+        self.expect_keyword("select")
+        select_columns, aggregate, target = self._select_list()
+        self.expect_keyword("from")
+        table = self.expect_ident().text
+        where = self._where() if self.accept_keyword("where") else ()
+        self.expect_keyword("group")
+        self.expect_keyword("by")
+        group_by = self._column_list()
+        if tuple(sorted(group_by)) != tuple(sorted(select_columns)):
+            raise QueryError(
+                "GROUP BY columns %r must match the non-aggregate SELECT "
+                "columns %r" % (group_by, select_columns)
+            )
+        having = 0
+        if self.accept_keyword("having"):
+            having = self._having()
+        descending = True
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            order_column = self.expect_ident().text
+            if order_column.lower() != "val":
+                raise QueryError(
+                    "ORDER BY must reference the aggregate alias 'val', "
+                    "got %r" % order_column
+                )
+            if self.accept_keyword("asc"):
+                descending = False
+            else:
+                self.accept_keyword("desc")
+        limit: int | None = None
+        if self.accept_keyword("limit"):
+            token = self.advance()
+            if token.kind != "number" or "." in token.text:
+                raise QueryError(
+                    "LIMIT expects an integer at position %d" % token.position
+                )
+            limit = int(token.text)
+        trailing = self.peek()
+        if trailing is not None:
+            raise QueryError(
+                "unexpected trailing input at position %d: %r"
+                % (trailing.position, trailing.text)
+            )
+        query = AggregateQuery(
+            group_by=tuple(group_by),
+            aggregate=aggregate,
+            target=target,
+            where=tuple(where),
+            having_count_gt=having,
+            descending=descending,
+            limit=limit,
+        )
+        return table, query
+
+    def _select_list(self) -> tuple[list[str], str, str | None]:
+        """Plain columns followed by exactly one aggregate aliased AS val."""
+        columns: list[str] = []
+        while True:
+            token = self.expect_ident()
+            name = token.text
+            if self.accept_punct("("):
+                aggregate = name.lower()
+                if aggregate not in AGGREGATES:
+                    raise QueryError(
+                        "unknown aggregate %r at position %d; supported: %s"
+                        % (name, token.position, sorted(AGGREGATES))
+                    )
+                if self.accept_punct("*"):
+                    target = None
+                    if aggregate != "count":
+                        raise QueryError(
+                            "%s(*) is only valid for count" % aggregate
+                        )
+                else:
+                    target = self.expect_ident().text
+                self.expect_punct(")")
+                self.expect_keyword("as")
+                alias = self.expect_ident().text
+                if alias.lower() != "val":
+                    raise QueryError(
+                        "the aggregate must be aliased AS val, got %r" % alias
+                    )
+                if not columns:
+                    raise QueryError("at least one grouping column required")
+                return columns, aggregate, target
+            columns.append(name)
+            self.expect_punct(",")
+
+    def _column_list(self) -> list[str]:
+        columns = [self.expect_ident().text]
+        while self.accept_punct(","):
+            columns.append(self.expect_ident().text)
+        return columns
+
+    def _where(self) -> list[tuple[str, str, Any]]:
+        predicates = [self._predicate()]
+        while self.accept_keyword("and"):
+            predicates.append(self._predicate())
+        return predicates
+
+    def _predicate(self) -> tuple[str, str, Any]:
+        column = self.expect_ident().text
+        token = self.advance()
+        if token.kind != "op":
+            raise QueryError(
+                "expected comparison operator at position %d, got %r"
+                % (token.position, token.text)
+            )
+        operator = "!=" if token.text == "<>" else token.text
+        return column, operator, self._literal()
+
+    def _having(self) -> int:
+        """HAVING count(*) > n — the only HAVING shape the paper uses."""
+        token = self.expect_ident()
+        if token.text.lower() != "count":
+            raise QueryError(
+                "HAVING supports only count(*) > n, got %r" % token.text
+            )
+        self.expect_punct("(")
+        self.expect_punct("*")
+        self.expect_punct(")")
+        op = self.advance()
+        if op.kind != "op" or op.text != ">":
+            raise QueryError(
+                "HAVING supports only count(*) > n, got operator %r" % op.text
+            )
+        number = self.advance()
+        if number.kind != "number" or "." in number.text:
+            raise QueryError(
+                "HAVING count(*) > expects an integer at position %d"
+                % number.position
+            )
+        return int(number.text)
+
+    def _literal(self) -> Any:
+        token = self.advance()
+        if token.kind == "number":
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind == "string":
+            return token.text[1:-1].replace("''", "'")
+        raise QueryError(
+            "expected a literal at position %d, got %r"
+            % (token.position, token.text)
+        )
+
+
+def parse_query(sql: str) -> tuple[str, AggregateQuery]:
+    """Parse *sql* and return ``(table_name, AggregateQuery)``."""
+    return _Parser(tokenize(sql), sql).parse()
+
+
+def execute_sql(sql: str, source: Relation | Database):
+    """Parse and run *sql* against a relation or database catalog.
+
+    Returns the :class:`~repro.query.aggregate.QueryResult`.  When *source*
+    is a single relation its name must match the FROM clause.
+    """
+    from repro.query.aggregate import run_aggregate
+
+    table, query = parse_query(sql)
+    if isinstance(source, Database):
+        relation = source.get(table)
+    else:
+        if source.name != table:
+            raise QueryError(
+                "query targets %r but the provided relation is %r"
+                % (table, source.name)
+            )
+        relation = source
+    return run_aggregate(relation, query)

@@ -1,0 +1,59 @@
+"""Simulated user study (Section 8, Tables 1-2).
+
+The original experiment measured 16 human subjects; this package replaces
+them with a seeded cognitive model driven by the *actual* pattern sets the
+two methods produce (see DESIGN.md substitution table and the
+:mod:`repro.userstudy.simulator` docstring for the model).
+"""
+
+from repro.userstudy.metrics import (
+    CATEGORIES,
+    HIGH,
+    LOW,
+    TOP,
+    categorize,
+    mean_std,
+    t_accuracy,
+    th_accuracy,
+)
+from repro.userstudy.patterns import StudyPattern, from_solution, from_tree_patterns
+from repro.userstudy.simulator import (
+    ArmResult,
+    CognitiveModel,
+    SECTIONS,
+    SectionResult,
+    StudyArm,
+    run_task_group,
+    simulate_preferences,
+)
+from repro.userstudy.study import (
+    StudyResult,
+    TaskGroupResult,
+    format_table,
+    run_study,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "HIGH",
+    "LOW",
+    "TOP",
+    "categorize",
+    "mean_std",
+    "t_accuracy",
+    "th_accuracy",
+    "StudyPattern",
+    "from_solution",
+    "from_tree_patterns",
+    "ArmResult",
+    "CognitiveModel",
+    "SECTIONS",
+    "SectionResult",
+    "StudyArm",
+    "run_task_group",
+    "simulate_preferences",
+    "StudyResult",
+    "TaskGroupResult",
+    "format_table",
+    "run_study",
+]

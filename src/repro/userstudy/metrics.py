@@ -1,0 +1,75 @@
+"""User-study metrics (Section 8.1): categories and the two accuracies.
+
+Study questions ask a subject to classify a tuple into **top** (within the
+top L of all tuples), **high** (value at or above the global average but
+outside the top L), or **low** (below average).  Performance is scored with
+the standard confusion-matrix accuracy ``(TP + TN) / (TP + FP + FN + TN)``
+in two binarizations:
+
+* **T-accuracy** — "positive" means *top*: can the subject spot top-L tuples?
+* **TH-accuracy** — "positive" means *top or high*: can the subject separate
+  the good from the bad?
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common.errors import InvalidParameterError
+from repro.core.answers import AnswerSet
+
+TOP = "top"
+HIGH = "high"
+LOW = "low"
+CATEGORIES = (TOP, HIGH, LOW)
+
+
+def categorize(answers: AnswerSet, L: int) -> list[str]:
+    """Ground-truth category of every element (by rank)."""
+    if not 1 <= L <= answers.n:
+        raise InvalidParameterError("L=%d out of range [1, %d]" % (L, answers.n))
+    average = answers.avg_all()
+    labels = []
+    for rank in range(answers.n):
+        if rank < L:
+            labels.append(TOP)
+        elif answers.values[rank] >= average:
+            labels.append(HIGH)
+        else:
+            labels.append(LOW)
+    return labels
+
+
+def _binary_accuracy(
+    truths: Sequence[str],
+    predictions: Sequence[str],
+    positive: frozenset[str],
+) -> float:
+    if len(truths) != len(predictions):
+        raise InvalidParameterError("truth/prediction length mismatch")
+    if not truths:
+        raise InvalidParameterError("no questions to score")
+    correct = 0
+    for truth, predicted in zip(truths, predictions):
+        if (truth in positive) == (predicted in positive):
+            correct += 1
+    return correct / len(truths)
+
+
+def t_accuracy(truths: Sequence[str], predictions: Sequence[str]) -> float:
+    """Accuracy at discerning top tuples from the rest."""
+    return _binary_accuracy(truths, predictions, frozenset({TOP}))
+
+
+def th_accuracy(truths: Sequence[str], predictions: Sequence[str]) -> float:
+    """Accuracy at discerning top+high tuples from low ones."""
+    return _binary_accuracy(truths, predictions, frozenset({TOP, HIGH}))
+
+
+def mean_std(samples: Sequence[float]) -> tuple[float, float]:
+    """Sample mean and (population) standard deviation, as Table 1 reports."""
+    if not samples:
+        raise InvalidParameterError("mean_std of an empty sample")
+    mean = sum(samples) / len(samples)
+    variance = sum((s - mean) ** 2 for s in samples) / len(samples)
+    return mean, variance ** 0.5

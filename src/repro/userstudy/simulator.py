@@ -1,0 +1,324 @@
+"""Seeded cognitive simulation of the Section 8 user study.
+
+The original study measured 16 human subjects; an offline reproduction
+cannot re-run humans, so (per the substitution policy in DESIGN.md) this
+module simulates them with a simple, explicit cognitive model whose only
+inputs are the *actual displayed artifacts* — the pattern sets produced by
+the two methods — with noise terms driven by pattern complexity:
+
+* **Inference** (all sections): for a matched tuple the subject samples a
+  category from the best matching pattern's value-biased member
+  distribution (probability matching, a standard human-judgement model);
+  unmatched tuples fall back to the distribution of the uncovered region.
+* **Patterns-only**: every pattern on screen is scanned (cost grows with
+  its complexity) and is misread — treated as non-matching — with
+  probability growing in complexity.
+* **Memory-only**: each pattern is recalled with probability decaying in
+  its complexity *and* in the number of competing patterns (interference);
+  forgotten patterns cost retrieval struggle time but contribute nothing.
+* **Patterns+members**: membership lists make inference near-perfect
+  (small slip probability); time grows with the member rows examined for
+  the matched patterns.
+
+Every Table 1 trend the simulation reproduces (simple patterns are applied
+faster, remembered better, and separate high from low; member access is
+slow but accurate) is an emergent consequence of the complexity/coverage
+differences between the two methods' outputs — the constants below set
+scales, not outcomes.
+"""
+
+from __future__ import annotations
+
+import math
+import random as _random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.common.errors import InvalidParameterError
+from repro.core.answers import AnswerSet
+from repro.userstudy.metrics import (
+    CATEGORIES,
+    categorize,
+    mean_std,
+    t_accuracy,
+    th_accuracy,
+)
+from repro.userstudy.patterns import StudyPattern
+
+SECTIONS = ("patterns-only", "memory-only", "patterns+members")
+
+
+@dataclass(frozen=True)
+class CognitiveModel:
+    """The constants of the subject model (one place to audit them)."""
+
+    # patterns-only
+    read_base_seconds: float = 8.0
+    read_scale: float = 0.65
+    read_per_complexity: float = 0.2
+    misread_per_complexity: float = 0.02
+    # memory-only
+    memory_base_seconds: float = 5.0
+    memory_per_recalled_complexity: float = 0.12
+    memory_struggle_seconds: float = 0.35
+    recall_decay: float = 0.18  # P(recall) = exp(-decay*cx*(1+interference))
+    recall_interference: float = 0.08  # per competing pattern
+    # patterns+members
+    member_base_seconds: float = 12.0
+    member_scan_scale: float = 0.5  # fraction of the patterns-only scan
+    member_sqrt_rows_seconds: float = 0.25
+    member_slip_probability: float = 0.05
+    # population variation
+    subject_speed_std: float = 0.15
+    subject_noise_std: float = 0.10
+
+
+@dataclass(frozen=True)
+class SectionResult:
+    """Mean +/- std over subjects for one section (one Table 1 cell row)."""
+
+    section: str
+    time_mean: float
+    time_std: float
+    t_accuracy_mean: float
+    t_accuracy_std: float
+    th_accuracy_mean: float
+    th_accuracy_std: float
+
+
+@dataclass(frozen=True)
+class StudyArm:
+    """One setting under comparison (a column of Table 1)."""
+
+    name: str
+    patterns: tuple[StudyPattern, ...]
+
+
+@dataclass
+class ArmResult:
+    arm: StudyArm
+    sections: dict[str, SectionResult] = field(default_factory=dict)
+    preferred_by: int = 0  # subjects who preferred this arm
+
+
+def _sample_category(
+    distribution: Sequence[float], rng: _random.Random
+) -> str:
+    roll = rng.random()
+    cumulative = 0.0
+    for category, probability in zip(CATEGORIES, distribution):
+        cumulative += probability
+        if roll <= cumulative:
+            return category
+    return CATEGORIES[-1]
+
+
+def _uncovered_distribution(
+    patterns: Sequence[StudyPattern], labels: Sequence[str], n: int
+) -> tuple[float, float, float]:
+    covered: set[int] = set()
+    for pattern in patterns:
+        covered.update(pattern.covered)
+    counts = {category: 0 for category in CATEGORIES}
+    for rank in range(n):
+        if rank not in covered:
+            counts[labels[rank]] += 1
+    total = sum(counts.values())
+    if total == 0:
+        return (0.0, 0.0, 1.0)
+    return tuple(counts[c] / total for c in CATEGORIES)  # type: ignore[return-value]
+
+
+def _infer(
+    rank: int,
+    visible: Sequence[StudyPattern],
+    fallback: Sequence[float],
+    rng: _random.Random,
+    model: CognitiveModel,
+    misread: bool,
+) -> str:
+    """The subject's prediction given the currently usable patterns."""
+    matched = []
+    for pattern in visible:
+        if misread:
+            p_miss = min(
+                0.5, model.misread_per_complexity * pattern.complexity
+            )
+            if rng.random() < p_miss:
+                continue
+        if pattern.matches(rank):
+            matched.append(pattern)
+    if matched:
+        best = max(matched, key=lambda p: (p.avg_value, p.description))
+        return _sample_category(best.category_probabilities, rng)
+    return _sample_category(fallback, rng)
+
+
+def _question_ranks(
+    answers: AnswerSet, labels: Sequence[str], per_category: int,
+    rng: _random.Random, exclude: set[int],
+) -> list[int]:
+    chosen: list[int] = []
+    for category in CATEGORIES:
+        eligible = [
+            rank
+            for rank in range(answers.n)
+            if labels[rank] == category and rank not in exclude
+        ]
+        if len(eligible) < per_category:
+            raise InvalidParameterError(
+                "not enough %r tuples for the study (%d < %d)"
+                % (category, len(eligible), per_category)
+            )
+        chosen.extend(rng.sample(eligible, per_category))
+    rng.shuffle(chosen)
+    return chosen
+
+
+def run_task_group(
+    answers: AnswerSet,
+    L: int,
+    arm: StudyArm,
+    n_subjects: int = 16,
+    seed: int = 0,
+    model: CognitiveModel | None = None,
+    time_multiplier: float = 1.0,
+) -> ArmResult:
+    """Simulate all three sections of one task group for one arm.
+
+    *time_multiplier* models the learning effect (Appendix A.10): task
+    groups performed earlier in a sequence take somewhat longer.
+    """
+    model = model or CognitiveModel()
+    labels = categorize(answers, L)
+    result = ArmResult(arm=arm)
+    per_section: dict[str, list[tuple[float, float, float]]] = {
+        section: [] for section in SECTIONS
+    }
+    patterns = list(arm.patterns)
+    fallback = _uncovered_distribution(patterns, labels, answers.n)
+    scan_cost = sum(
+        1.0 + model.read_per_complexity * p.complexity for p in patterns
+    )
+    interference = 1.0 + model.recall_interference * len(patterns)
+    for subject in range(n_subjects):
+        rng = _random.Random((seed * 1_000_003 + subject) * 31 + 7)
+        speed = max(0.5, rng.gauss(1.0, model.subject_speed_std))
+
+        def jitter() -> float:
+            return max(0.3, rng.gauss(1.0, model.subject_noise_std))
+
+        # Section 1: patterns-only (6 questions, 2 per category).
+        ranks = _question_ranks(answers, labels, 2, rng, exclude=set())
+        truths = [labels[r] for r in ranks]
+        predictions = [
+            _infer(r, patterns, fallback, rng, model, misread=True)
+            for r in ranks
+        ]
+        time_q = speed * time_multiplier * jitter() * (
+            model.read_base_seconds + model.read_scale * scan_cost
+        )
+        per_section["patterns-only"].append(
+            (time_q, t_accuracy(truths, predictions),
+             th_accuracy(truths, predictions))
+        )
+        asked = set(ranks)
+        # Section 2: memory-only (6 fresh questions).
+        recalled = [
+            p
+            for p in patterns
+            if rng.random()
+            < math.exp(-model.recall_decay * p.complexity * interference)
+        ]
+        ranks2 = _question_ranks(answers, labels, 2, rng, exclude=asked)
+        truths2 = [labels[r] for r in ranks2]
+        predictions2 = [
+            _infer(r, recalled, fallback, rng, model, misread=False)
+            for r in ranks2
+        ]
+        recalled_complexity = sum(p.complexity for p in recalled)
+        time_q2 = speed * time_multiplier * jitter() * (
+            model.memory_base_seconds
+            + model.memory_per_recalled_complexity * recalled_complexity
+            + model.memory_struggle_seconds * (len(patterns) - len(recalled))
+        )
+        per_section["memory-only"].append(
+            (time_q2, t_accuracy(truths2, predictions2),
+             th_accuracy(truths2, predictions2))
+        )
+        # Section 3: patterns+members (8 questions re-drawn from the 12).
+        pool = sorted(asked | set(ranks2))
+        rng.shuffle(pool)
+        ranks3 = pool[:8]
+        truths3 = [labels[r] for r in ranks3]
+        predictions3 = []
+        rows_examined = 0
+        for rank in ranks3:
+            rows_examined += sum(
+                len(p.covered) for p in patterns if p.matches(rank)
+            )
+            if rng.random() < model.member_slip_probability:
+                wrong = [c for c in CATEGORIES if c != labels[rank]]
+                predictions3.append(rng.choice(wrong))
+            else:
+                predictions3.append(labels[rank])
+        time_q3 = speed * time_multiplier * jitter() * (
+            model.member_base_seconds
+            + model.member_scan_scale * model.read_scale * scan_cost
+            + model.member_sqrt_rows_seconds
+            * (rows_examined / len(ranks3)) ** 0.5
+        )
+        per_section["patterns+members"].append(
+            (time_q3, t_accuracy(truths3, predictions3),
+             th_accuracy(truths3, predictions3))
+        )
+    for section in SECTIONS:
+        samples = per_section[section]
+        time_mean, time_std = mean_std([s[0] for s in samples])
+        t_mean, t_std = mean_std([s[1] for s in samples])
+        th_mean, th_std = mean_std([s[2] for s in samples])
+        result.sections[section] = SectionResult(
+            section=section,
+            time_mean=time_mean,
+            time_std=time_std,
+            t_accuracy_mean=t_mean,
+            t_accuracy_std=t_std,
+            th_accuracy_mean=th_mean,
+            th_accuracy_std=th_std,
+        )
+    return result
+
+
+def simulate_preferences(
+    first: ArmResult,
+    second: ArmResult,
+    n_subjects: int = 16,
+    seed: int = 0,
+    simplicity_weight: float = 0.25,
+) -> tuple[int, int]:
+    """Subjects pick a preferred arm: accuracy-per-time with a simplicity
+    tilt plus individual noise (Section 8.2's preference questions)."""
+    rng = _random.Random(seed * 7_777_777 + 13)
+
+    def utility(result: ArmResult) -> float:
+        section = result.sections["patterns-only"]
+        memory = result.sections["memory-only"]
+        accuracy = (
+            section.t_accuracy_mean
+            + section.th_accuracy_mean
+            + memory.t_accuracy_mean
+            + memory.th_accuracy_mean
+        ) / 4.0
+        slowness = (section.time_mean + memory.time_mean) / 60.0
+        complexity = sum(p.complexity for p in result.arm.patterns)
+        return accuracy - 0.5 * slowness - simplicity_weight * complexity / 40.0
+
+    u_first, u_second = utility(first), utility(second)
+    first_votes = 0
+    for _ in range(n_subjects):
+        wobble = rng.gauss(0.0, 0.12)
+        if u_first + wobble >= u_second:
+            first_votes += 1
+    first.preferred_by = first_votes
+    second.preferred_by = n_subjects - first_votes
+    return first_votes, n_subjects - first_votes

@@ -1,0 +1,162 @@
+"""The full Section 8 study: three task groups, two arms each (Table 1/2).
+
+Task groups and parameters follow Section 8.2:
+
+* **varying-method** — our Hybrid clusters vs. tuned decision tree;
+  L=50, k=10, D=1.
+* **varying-k** — k=5 vs. k=10; L=30, D=1.
+* **varying-D** — D=1 vs. D=3; L=10, k=7.
+
+:func:`run_study` simulates all groups over 16 subjects and returns a
+structure mirroring Table 1; passing a *learning* sequence reproduces the
+Appendix A.10 / Table 2 variant where one task-group order is analysed and
+earlier groups carry a time overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.decision_tree import tune_tree
+from repro.core.answers import AnswerSet
+from repro.core.problem import summarize
+from repro.userstudy.patterns import from_solution, from_tree_patterns
+from repro.userstudy.simulator import (
+    ArmResult,
+    CognitiveModel,
+    SECTIONS,
+    StudyArm,
+    run_task_group,
+    simulate_preferences,
+)
+
+
+@dataclass(frozen=True)
+class TaskGroupResult:
+    """Both arms of one task group, with preference votes filled in."""
+
+    name: str
+    left: ArmResult
+    right: ArmResult
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    varying_method: TaskGroupResult
+    varying_k: TaskGroupResult
+    varying_d: TaskGroupResult
+
+    def groups(self) -> tuple[TaskGroupResult, ...]:
+        return (self.varying_method, self.varying_k, self.varying_d)
+
+
+def _our_arm(answers: AnswerSet, name: str, k: int, L: int, D: int) -> StudyArm:
+    solution = summarize(answers, k=k, L=L, D=D, algorithm="hybrid")
+    return StudyArm(
+        name=name, patterns=tuple(from_solution(solution, answers, L))
+    )
+
+
+def _tree_arm(answers: AnswerSet, name: str, k: int, L: int) -> StudyArm:
+    _, tree_patterns = tune_tree(answers, L=L, k=k)
+    return StudyArm(
+        name=name,
+        patterns=tuple(from_tree_patterns(tree_patterns, answers, L)),
+    )
+
+
+def run_study(
+    answers: AnswerSet,
+    n_subjects: int = 16,
+    seed: int = 0,
+    model: CognitiveModel | None = None,
+    learning_sequence: bool = False,
+) -> StudyResult:
+    """Simulate the full study on *answers*.
+
+    With *learning_sequence* the varying-method group is performed first
+    (time multiplier 1.2) and varying-D last (0.9), reproducing the
+    Appendix A.10 analysis of one fixed sequence (Table 2).
+    """
+    multipliers = (1.2, 1.0, 0.9) if learning_sequence else (1.0, 1.0, 1.0)
+    # varying-method: ours vs decision tree; L=50, k=10, D=1.
+    ours = _our_arm(answers, "our-method", k=10, L=50, D=1)
+    tree = _tree_arm(answers, "decision-tree", k=10, L=50)
+    tree_result = run_task_group(
+        answers, 50, tree, n_subjects, seed + 1, model, multipliers[0]
+    )
+    ours_result = run_task_group(
+        answers, 50, ours, n_subjects, seed + 2, model, multipliers[0]
+    )
+    simulate_preferences(tree_result, ours_result, n_subjects, seed + 3)
+    varying_method = TaskGroupResult("varying-method", tree_result, ours_result)
+    # varying-k: k=5 vs k=10; L=30, D=1.
+    arm_k5 = _our_arm(answers, "k=5", k=5, L=30, D=1)
+    arm_k10 = _our_arm(answers, "k=10", k=10, L=30, D=1)
+    k5_result = run_task_group(
+        answers, 30, arm_k5, n_subjects, seed + 4, model, multipliers[1]
+    )
+    k10_result = run_task_group(
+        answers, 30, arm_k10, n_subjects, seed + 5, model, multipliers[1]
+    )
+    simulate_preferences(k5_result, k10_result, n_subjects, seed + 6)
+    varying_k = TaskGroupResult("varying-k", k5_result, k10_result)
+    # varying-D: D=1 vs D=3; L=10, k=7.
+    arm_d1 = _our_arm(answers, "D=1", k=7, L=10, D=1)
+    arm_d3 = _our_arm(answers, "D=3", k=7, L=10, D=3)
+    d1_result = run_task_group(
+        answers, 10, arm_d1, n_subjects, seed + 7, model, multipliers[2]
+    )
+    d3_result = run_task_group(
+        answers, 10, arm_d3, n_subjects, seed + 8, model, multipliers[2]
+    )
+    simulate_preferences(d1_result, d3_result, n_subjects, seed + 9)
+    varying_d = TaskGroupResult("varying-D", d1_result, d3_result)
+    return StudyResult(varying_method, varying_k, varying_d)
+
+
+def format_table(result: StudyResult, n_subjects: int = 16) -> str:
+    """Render the StudyResult in the layout of Table 1."""
+    groups = result.groups()
+    header_cells = []
+    for group in groups:
+        header_cells.append(group.left.arm.name)
+        header_cells.append(group.right.arm.name)
+    lines = []
+    lines.append(
+        "%-18s %-16s " % ("Section", "Metric")
+        + " ".join("%-16s" % c for c in header_cells)
+    )
+    for section in SECTIONS:
+        for metric in ("time", "T-accuracy", "TH-accuracy"):
+            cells = []
+            for group in groups:
+                for arm_result in (group.left, group.right):
+                    s = arm_result.sections[section]
+                    if metric == "time":
+                        cells.append("%.1f+-%.1f" % (s.time_mean, s.time_std))
+                    elif metric == "T-accuracy":
+                        cells.append(
+                            "%.3f+-%.3f"
+                            % (s.t_accuracy_mean, s.t_accuracy_std)
+                        )
+                    else:
+                        cells.append(
+                            "%.3f+-%.3f"
+                            % (s.th_accuracy_mean, s.th_accuracy_std)
+                        )
+            lines.append(
+                "%-18s %-16s " % (section, metric)
+                + " ".join("%-16s" % c for c in cells)
+            )
+    preference_cells = []
+    for group in groups:
+        for arm_result in (group.left, group.right):
+            preference_cells.append(
+                "%.1f%%" % (100.0 * arm_result.preferred_by / n_subjects)
+            )
+    lines.append(
+        "%-18s %-16s " % ("overall", "preferred")
+        + " ".join("%-16s" % c for c in preference_cells)
+    )
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Comparison visualization of successive solutions (Appendix A.7)."""
+
+from repro.viz.comparison import (
+    Band,
+    ClusterBox,
+    ComparisonView,
+    build_comparison,
+    overlap_matrix,
+)
+from repro.viz.placement import (
+    brute_force_ordering,
+    count_crossings,
+    default_ordering,
+    optimal_ordering,
+    position_cost_matrix,
+    total_distance,
+)
+from repro.viz.export import (
+    comparison_payload,
+    guidance_payload,
+    solution_payload,
+    to_json,
+)
+
+__all__ = [
+    "comparison_payload",
+    "guidance_payload",
+    "solution_payload",
+    "to_json",
+    "Band",
+    "ClusterBox",
+    "ComparisonView",
+    "build_comparison",
+    "overlap_matrix",
+    "brute_force_ordering",
+    "count_crossings",
+    "default_ordering",
+    "optimal_ordering",
+    "position_cost_matrix",
+    "total_distance",
+]

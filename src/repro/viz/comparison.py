@@ -1,0 +1,179 @@
+"""The successive-solution comparison view (Appendix A.7.1, Figure 13/14).
+
+When the user changes a parameter, the prototype shows the old and new
+cluster sets side by side: boxes whose width is proportional to cluster
+size, darker segments for the fraction of top-L tuples inside, and bands
+(ribbons) whose thickness is the number of shared tuples.  This module
+computes that picture as plain data — the overlap matrix, the optimally
+ordered boxes (via :mod:`repro.viz.placement`), the bands, and the two
+clutter metrics of Figure 16 — plus an ASCII rendering for the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.answers import AnswerSet
+from repro.core.solution import Solution
+from repro.viz.placement import (
+    count_crossings,
+    default_ordering,
+    optimal_ordering,
+    total_distance,
+)
+
+
+@dataclass(frozen=True)
+class ClusterBox:
+    """One box of the comparison view."""
+
+    side: str  # "old" | "new"
+    index: int  # index within its solution's cluster list
+    position: int  # vertical slot after ordering
+    label: str
+    size: int  # number of covered tuples (box width)
+    top_count: int  # covered tuples inside the top-L (darker segment)
+    avg: float
+
+
+@dataclass(frozen=True)
+class Band:
+    """A ribbon connecting an old cluster with a new one."""
+
+    old_index: int
+    new_index: int
+    shared: int  # number of shared tuples (band thickness)
+
+
+@dataclass(frozen=True)
+class ComparisonView:
+    """Full data for the Appendix A.7 visualization."""
+
+    old_boxes: tuple[ClusterBox, ...]
+    new_boxes: tuple[ClusterBox, ...]
+    bands: tuple[Band, ...]
+    overlap: tuple[tuple[int, ...], ...]
+    matched_distance: int
+    default_distance: int
+    matched_crossings: int
+    default_crossings: int
+
+    def render_ascii(self) -> str:
+        """Terminal rendering: boxes by position, bands with thickness."""
+        lines = ["old clusters                ->  new clusters"]
+        old_by_pos = sorted(self.old_boxes, key=lambda b: b.position)
+        new_by_pos = sorted(self.new_boxes, key=lambda b: b.position)
+        height = max(len(old_by_pos), len(new_by_pos))
+        for row in range(height):
+            left = (
+                "[%s |%d|]" % (old_by_pos[row].label, old_by_pos[row].size)
+                if row < len(old_by_pos)
+                else ""
+            )
+            right = (
+                "[%s |%d|]" % (new_by_pos[row].label, new_by_pos[row].size)
+                if row < len(new_by_pos)
+                else ""
+            )
+            lines.append("%-30s    %s" % (left, right))
+        lines.append("bands (old -> new: shared):")
+        for band in sorted(
+            self.bands, key=lambda b: (-b.shared, b.old_index, b.new_index)
+        ):
+            lines.append(
+                "  %d -> %d : %d" % (band.old_index, band.new_index, band.shared)
+            )
+        lines.append(
+            "distance: matched=%d default=%d   crossings: matched=%d default=%d"
+            % (
+                self.matched_distance,
+                self.default_distance,
+                self.matched_crossings,
+                self.default_crossings,
+            )
+        )
+        return "\n".join(lines)
+
+
+def overlap_matrix(old: Solution, new: Solution) -> list[list[int]]:
+    """m_ij = |cov(old_i) intersect cov(new_j)|."""
+    return [
+        [len(c_old.covered & c_new.covered) for c_new in new.clusters]
+        for c_old in old.clusters
+    ]
+
+
+def _label(pattern: tuple[int, ...], answers: AnswerSet) -> str:
+    if answers.codec is not None:
+        return "(%s)" % ", ".join(str(v) for v in answers.decode(pattern))
+    return "(%s)" % ", ".join(
+        "*" if v == -1 else str(v) for v in pattern
+    )
+
+
+def build_comparison(
+    old: Solution,
+    new: Solution,
+    answers: AnswerSet,
+    L: int | None = None,
+) -> ComparisonView:
+    """Assemble the comparison view with optimal placement of the new side.
+
+    The old side keeps its by-value ordering (it is already on screen); the
+    new side is ordered by the min-cost bipartite matching.  *L* (for the
+    darker top-L segments) defaults to the number of top elements covered
+    by the old solution.
+    """
+    overlap = overlap_matrix(old, new)
+    pa = default_ordering(len(old.clusters))
+    pb_default = default_ordering(len(new.clusters))
+    pb_matched = optimal_ordering(overlap, pa)
+    if L is None:
+        L = 0
+        for rank in range(answers.n):
+            if rank in old.covered or rank in new.covered:
+                L = rank + 1
+            else:
+                break
+    top_ranks = set(range(L))
+    old_boxes = tuple(
+        ClusterBox(
+            side="old",
+            index=i,
+            position=pa[i],
+            label=_label(cluster.pattern, answers),
+            size=cluster.size,
+            top_count=len(set(cluster.covered) & top_ranks),
+            avg=cluster.avg,
+        )
+        for i, cluster in enumerate(old.clusters)
+    )
+    new_boxes = tuple(
+        ClusterBox(
+            side="new",
+            index=j,
+            position=pb_matched[j],
+            label=_label(cluster.pattern, answers),
+            size=cluster.size,
+            top_count=len(set(cluster.covered) & top_ranks),
+            avg=cluster.avg,
+        )
+        for j, cluster in enumerate(new.clusters)
+    )
+    bands = tuple(
+        Band(old_index=i, new_index=j, shared=overlap[i][j])
+        for i in range(len(old.clusters))
+        for j in range(len(new.clusters))
+        if overlap[i][j] > 0
+    )
+    return ComparisonView(
+        old_boxes=old_boxes,
+        new_boxes=new_boxes,
+        bands=bands,
+        overlap=tuple(tuple(row) for row in overlap),
+        matched_distance=total_distance(overlap, pa, pb_matched),
+        default_distance=total_distance(overlap, pa, pb_default),
+        matched_crossings=count_crossings(overlap, pa, pb_matched),
+        default_crossings=count_crossings(overlap, pa, pb_default),
+    )

@@ -1,0 +1,136 @@
+"""Hypothesis property tests over whole algorithm runs.
+
+Random instances are drawn with hypothesis; every greedy algorithm must
+return a feasible solution (Definition 4.1), every solution must dominate
+the trivial lower bound, and the structural invariants of Section 5.1 must
+hold along any merge trajectory.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.answers import AnswerSet
+from repro.core.bottom_up import bottom_up
+from repro.core.brute_force import lower_bound
+from repro.core.fixed_order import fixed_order
+from repro.core.hybrid import hybrid
+from repro.core.merge import MergeEngine
+from repro.core.semilattice import ClusterPool
+from repro.core.solution import check_feasibility
+
+
+@st.composite
+def instances(draw):
+    """(answers, k, L, D) with 8-24 elements over 3-4 attributes."""
+    m = draw(st.integers(min_value=3, max_value=4))
+    domain = draw(st.integers(min_value=2, max_value=3))
+    n = draw(st.integers(min_value=8, max_value=24))
+    n = min(n, domain ** m)
+    element_strategy = st.tuples(
+        *[st.integers(min_value=0, max_value=domain - 1)] * m
+    )
+    elements = draw(
+        st.lists(
+            element_strategy, min_size=n, max_size=n, unique=True
+        )
+    )
+    values = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    answers = AnswerSet(elements, values)
+    k = draw(st.integers(min_value=1, max_value=n))
+    L = draw(st.integers(min_value=1, max_value=min(n, 8)))
+    D = draw(st.integers(min_value=0, max_value=m))
+    return answers, k, L, D
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances())
+def test_bottom_up_always_feasible(instance):
+    answers, k, L, D = instance
+    pool = ClusterPool(answers, L=L)
+    solution = bottom_up(pool, k, D)
+    assert not check_feasibility(solution, answers, k, L, D)
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances())
+def test_fixed_order_always_feasible(instance):
+    answers, k, L, D = instance
+    pool = ClusterPool(answers, L=L)
+    solution = fixed_order(pool, k, D)
+    assert not check_feasibility(solution, answers, k, L, D)
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances())
+def test_hybrid_always_feasible(instance):
+    answers, k, L, D = instance
+    pool = ClusterPool(answers, L=L)
+    solution = hybrid(pool, k, D)
+    assert not check_feasibility(solution, answers, k, L, D)
+
+
+@settings(max_examples=30, deadline=None)
+@given(instances())
+def test_everything_dominates_lower_bound(instance):
+    answers, k, L, D = instance
+    pool = ClusterPool(answers, L=L)
+    floor = lower_bound(pool).avg
+    for algorithm in (bottom_up, fixed_order, hybrid):
+        assert algorithm(pool, k, D).avg >= floor - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(instances())
+def test_merge_trajectory_invariants(instance):
+    """Along any merge order: coverage of the top-L never breaks, the
+    antichain property holds, and the minimum pairwise distance never
+    decreases (the three invariants of Section 5.1)."""
+    from repro.core.cluster import strictly_covers
+
+    answers, _, L, _ = instance
+    pool = ClusterPool(answers, L=L)
+    engine = MergeEngine(pool, (pool.singleton(i) for i in range(L)))
+    previous_distance = engine.min_pairwise_distance()
+    top = set(range(L))
+    while engine.size > 1:
+        clusters = engine.clusters()
+        engine.merge(clusters[0], clusters[-1])
+        assert all(engine.is_covered(i) for i in top)
+        current = engine.clusters()
+        for i, a in enumerate(current):
+            for b in current[i + 1:]:
+                assert not strictly_covers(a.pattern, b.pattern)
+                assert not strictly_covers(b.pattern, a.pattern)
+        distance_now = engine.min_pairwise_distance()
+        assert distance_now >= previous_distance
+        previous_distance = distance_now
+
+
+@settings(max_examples=25, deadline=None)
+@given(instances())
+def test_snapshot_avg_equals_recomputed_avg(instance):
+    answers, k, L, D = instance
+    pool = ClusterPool(answers, L=L)
+    for algorithm in (bottom_up, fixed_order, hybrid):
+        solution = algorithm(pool, k, D)
+        recomputed = answers.avg_of(solution.covered)
+        assert abs(solution.avg - recomputed) < 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(instances())
+def test_solution_clusters_come_from_pool(instance):
+    """Every output pattern is a generalization of some top-L element."""
+    answers, k, L, D = instance
+    pool = ClusterPool(answers, L=L)
+    for algorithm in (bottom_up, fixed_order, hybrid):
+        for cluster in algorithm(pool, k, D).clusters:
+            assert cluster.pattern in pool

@@ -1,0 +1,118 @@
+"""Tests for AnswerSet (repro.core.answers) and value interning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import InvalidParameterError, SchemaError
+from repro.common.interning import STAR, AttributeCodec, ValueInterner
+from repro.core.answers import AnswerSet
+
+
+class TestValueInterner:
+    def test_intern_assigns_dense_codes(self):
+        interner = ValueInterner()
+        assert interner.intern("a") == 0
+        assert interner.intern("b") == 1
+        assert interner.intern("a") == 0
+
+    def test_value_roundtrip(self):
+        interner = ValueInterner(["x", "y"])
+        assert interner.value(interner.code("y")) == "y"
+
+    def test_star_decodes_to_star_glyph(self):
+        interner = ValueInterner(["x"])
+        assert interner.value(STAR) == "*"
+
+    def test_unknown_value_raises(self):
+        with pytest.raises(KeyError):
+            ValueInterner().code("missing")
+
+    def test_domain_in_code_order(self):
+        interner = ValueInterner(["c", "a", "b", "a"])
+        assert interner.domain() == ("c", "a", "b")
+
+
+class TestAttributeCodec:
+    def test_encode_decode_roundtrip(self):
+        codec = AttributeCodec(["x", "y"])
+        codes = codec.encode(("hello", 42))
+        assert codec.decode(codes) == ("hello", 42)
+
+    def test_encode_arity_mismatch(self):
+        codec = AttributeCodec(["x", "y"])
+        with pytest.raises(ValueError):
+            codec.encode(("only-one",))
+
+    def test_decode_with_star(self):
+        codec = AttributeCodec(["x", "y"])
+        codec.encode(("a", "b"))
+        assert codec.decode((0, STAR)) == ("a", "*")
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeCodec(["x", "x"])
+
+    def test_domain_sizes(self):
+        codec = AttributeCodec(["x"])
+        for value in ("a", "b", "a", "c"):
+            codec.encode((value,))
+        assert codec.domain_size(0) == 3
+
+
+class TestAnswerSet:
+    def test_sorted_by_descending_value(self):
+        answers = AnswerSet.from_rows(
+            [("a",), ("b",), ("c",)], [1.0, 3.0, 2.0]
+        )
+        assert answers.values == [3.0, 2.0, 1.0]
+
+    def test_deterministic_tie_break(self):
+        answers = AnswerSet.from_rows([("b",), ("a",)], [2.0, 2.0])
+        # Ties broken by encoded element tuple: "b" was seen first -> code 0.
+        assert answers.decode(answers.elements[0]) == ("b",)
+
+    def test_top_returns_prefix(self, small_answers):
+        assert small_answers.top(5) == [0, 1, 2, 3, 4]
+
+    def test_top_out_of_range(self, small_answers):
+        with pytest.raises(InvalidParameterError):
+            small_answers.top(small_answers.n + 1)
+
+    def test_avg_all(self):
+        answers = AnswerSet.from_rows([("a",), ("b",)], [1.0, 3.0])
+        assert answers.avg_all() == pytest.approx(2.0)
+
+    def test_avg_of_subset(self):
+        answers = AnswerSet.from_rows([("a",), ("b",), ("c",)], [1.0, 2.0, 6.0])
+        assert answers.avg_of([0, 2]) == pytest.approx(3.5)
+
+    def test_avg_of_empty_raises(self, small_answers):
+        with pytest.raises(InvalidParameterError):
+            small_answers.avg_of([])
+
+    def test_duplicate_elements_rejected(self):
+        with pytest.raises(SchemaError):
+            AnswerSet.from_rows([("a",), ("a",)], [1.0, 2.0])
+
+    def test_ragged_rows_rejected(self):
+        codec = AttributeCodec(["x", "y"])
+        with pytest.raises(SchemaError):
+            AnswerSet([(0, 1), (0,)], [1.0, 2.0], codec)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            AnswerSet.from_rows([("a",)], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            AnswerSet([], [], None)
+
+    def test_decode_without_codec_raises(self):
+        answers = AnswerSet([(0,), (1,)], [1.0, 2.0], None)
+        with pytest.raises(SchemaError):
+            answers.decode((0,))
+
+    def test_generated_attribute_names(self):
+        answers = AnswerSet.from_rows([("a", "b")], [1.0])
+        assert answers.codec.attributes == ("A1", "A2")

@@ -1,0 +1,188 @@
+"""Tests for the comparison baselines (Appendix A.5, Section 8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.disc import disc_exact_minimum, disc_greedy
+from repro.baselines.diversified_topk import (
+    diversified_topk_exact,
+    diversified_topk_greedy,
+)
+from repro.baselines.kmodes import KModesResult, hamming, kmodes
+from repro.baselines.mmr import mmr_select
+from repro.baselines.smart_drilldown import drilldown_score, smart_drilldown
+from repro.common.errors import InvalidParameterError
+from repro.common.interning import STAR
+from repro.core.cluster import distance
+from tests.conftest import random_answer_set
+
+
+class TestSmartDrilldown:
+    def test_returns_at_most_k_rules(self, small_answers):
+        rules = smart_drilldown(small_answers, k=3, restrict_to_top=10)
+        assert len(rules) <= 3
+
+    def test_rules_have_positive_marginal_count(self, small_answers):
+        for rule in smart_drilldown(small_answers, k=4, restrict_to_top=10):
+            assert rule.marginal_count > 0
+            assert rule.weight >= 1
+
+    def test_never_emits_all_star_rule(self, small_answers):
+        for rule in smart_drilldown(small_answers, k=5):
+            assert any(v != STAR for v in rule.pattern)
+
+    def test_greedy_gains_nonincreasing(self, small_answers):
+        rules = smart_drilldown(small_answers, k=4, restrict_to_top=12)
+        gains = [rule.gain for rule in rules]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_count_mode_prefers_prevalent_patterns(self):
+        """Without value weighting, smart drill-down picks high-coverage
+        rules regardless of value — the Appendix A.5.1 criticism."""
+        answers = random_answer_set(n=40, m=4, domain=3, seed=13)
+        rules = smart_drilldown(answers, k=1, weighted_by_value=False)
+        best = rules[0]
+        assert best.marginal_count * best.weight == pytest.approx(best.gain)
+
+    def test_score_is_sum_of_gains(self, small_answers):
+        rules = smart_drilldown(small_answers, k=3, restrict_to_top=10)
+        assert drilldown_score(rules) == pytest.approx(
+            sum(r.gain for r in rules)
+        )
+
+    def test_invalid_parameters(self, small_answers):
+        with pytest.raises(InvalidParameterError):
+            smart_drilldown(small_answers, k=0)
+        with pytest.raises(InvalidParameterError):
+            smart_drilldown(small_answers, k=2, restrict_to_top=0)
+
+
+class TestDiversifiedTopk:
+    def test_pairwise_distance_constraint(self, small_answers):
+        for picker in (diversified_topk_greedy, diversified_topk_exact):
+            reps = picker(small_answers, k=4, D=2, L=10)
+            for i in range(len(reps)):
+                for j in range(i + 1, len(reps)):
+                    assert distance(reps[i].element, reps[j].element) >= 2
+
+    def test_exact_at_least_greedy(self, small_answers):
+        greedy = diversified_topk_greedy(small_answers, k=4, D=2, L=12)
+        exact = diversified_topk_exact(small_answers, k=4, D=2, L=12)
+        assert sum(r.score for r in exact) >= sum(
+            r.score for r in greedy
+        ) - 1e-9
+
+    def test_returns_elements_not_patterns(self, small_answers):
+        reps = diversified_topk_greedy(small_answers, k=3, D=1, L=8)
+        for rep in reps:
+            assert STAR not in rep.element  # no summarization: the critique
+
+    def test_neighbourhood_stats(self, small_answers):
+        reps = diversified_topk_greedy(small_answers, k=2, D=3, L=8)
+        for rep in reps:
+            assert rep.neighbourhood_size >= 1
+
+    def test_exact_size_guard(self, small_answers):
+        with pytest.raises(InvalidParameterError):
+            diversified_topk_exact(small_answers, k=2, D=1, L=41)
+
+
+class TestDisc:
+    def test_greedy_is_disc_diverse(self, small_answers):
+        reps = disc_greedy(small_answers, D=2, L=12)
+        elements = [r.element for r in reps]
+        # Dissimilarity: no two chosen within distance D.
+        for i in range(len(elements)):
+            for j in range(i + 1, len(elements)):
+                assert distance(elements[i], elements[j]) > 2
+        # Coverage: every top-L element within distance D of some chosen.
+        for rank in range(12):
+            element = small_answers.elements[rank]
+            assert any(distance(element, e) <= 2 for e in elements)
+
+    def test_no_size_bound(self, small_answers):
+        # DisC has no k: with D=0 every element is its own representative.
+        reps = disc_greedy(small_answers, D=0, L=10)
+        assert len(reps) == 10
+
+    def test_exact_not_larger_than_greedy(self, tiny_answers):
+        greedy = disc_greedy(tiny_answers, D=2, L=8)
+        exact = disc_exact_minimum(tiny_answers, D=2, L=8)
+        assert len(exact) <= len(greedy)
+
+    def test_exact_size_guard(self, small_answers):
+        with pytest.raises(InvalidParameterError):
+            disc_exact_minimum(small_answers, D=1, L=17)
+
+
+class TestMmr:
+    def test_lambda_zero_is_topk(self, small_answers):
+        picks = mmr_select(small_answers, k=4, lam=0.0, L=10)
+        assert [p.rank for p in picks] == [0, 1, 2, 3]
+
+    def test_lambda_one_diversifies(self, paper_example_answers):
+        # On Figure 1a-like data the top tuples share most attributes, so
+        # pure diversity must look past the plain top-4.
+        picks = mmr_select(paper_example_answers, k=4, lam=1.0, L=10)
+        ranks = [p.rank for p in picks]
+        assert ranks[0] == 0  # ties at the start resolve to the top element
+        assert ranks != [0, 1, 2, 3]
+
+    def test_lambda_increases_dispersion(self, small_answers):
+        def dispersion(lam):
+            picks = mmr_select(small_answers, k=4, lam=lam, L=12)
+            elements = [p.element for p in picks]
+            return sum(
+                distance(a, b)
+                for i, a in enumerate(elements)
+                for b in elements[i + 1:]
+            )
+
+        assert dispersion(1.0) >= dispersion(0.0)
+
+    def test_invalid_lambda(self, small_answers):
+        with pytest.raises(InvalidParameterError):
+            mmr_select(small_answers, k=2, lam=1.5)
+
+    def test_k_larger_than_scope(self, small_answers):
+        picks = mmr_select(small_answers, k=50, lam=0.5, L=5)
+        assert len(picks) == 5
+
+
+class TestKmodes:
+    def test_basic_two_cluster_separation(self):
+        points = [(0, 0, 0), (0, 0, 1), (5, 5, 5), (5, 5, 4)]
+        result = kmodes(points, k=2, seed=0)
+        assert result.labels[0] == result.labels[1]
+        assert result.labels[2] == result.labels[3]
+        assert result.labels[0] != result.labels[2]
+
+    def test_cost_is_total_hamming_to_modes(self):
+        points = [(0, 0), (0, 1), (1, 1)]
+        result = kmodes(points, k=1, seed=0)
+        expected = sum(hamming(p, result.modes[0]) for p in points)
+        assert result.cost == expected
+
+    def test_k_equals_n_zero_cost(self):
+        points = [(0, 0), (1, 1), (2, 2)]
+        result = kmodes(points, k=3, seed=1)
+        assert result.cost == 0
+
+    def test_deterministic_given_seed(self):
+        points = [(i % 3, i % 5, i % 2) for i in range(20)]
+        points = list(dict.fromkeys(points))
+        a = kmodes(points, k=3, seed=7)
+        b = kmodes(points, k=3, seed=7)
+        assert a.labels == b.labels
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            kmodes([], k=1)
+        with pytest.raises(InvalidParameterError):
+            kmodes([(1,)], k=2)
+
+    def test_result_is_dataclass_with_k(self):
+        result = kmodes([(0,), (1,)], k=2, seed=0)
+        assert isinstance(result, KModesResult)
+        assert result.k == 2

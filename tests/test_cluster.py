@@ -1,0 +1,194 @@
+"""Unit tests for the pattern algebra (repro.core.cluster)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.interning import STAR
+from repro.core.cluster import (
+    Cluster,
+    ancestors_at_level,
+    comparable,
+    covers,
+    distance,
+    format_pattern,
+    generalizations,
+    is_element,
+    lca,
+    lca_many,
+    level,
+    parents,
+    strictly_covers,
+)
+
+S = STAR
+
+
+class TestCoverage:
+    def test_identical_patterns_cover_each_other(self):
+        assert covers((1, 2, 3), (1, 2, 3))
+
+    def test_star_covers_any_value(self):
+        assert covers((S, 2, 3), (9, 2, 3))
+
+    def test_value_mismatch_blocks_coverage(self):
+        assert not covers((1, 2, 3), (1, 2, 4))
+
+    def test_concrete_does_not_cover_star(self):
+        # A star in the descendant needs a star in the ancestor.
+        assert not covers((1, 2, 3), (1, 2, S))
+
+    def test_root_covers_everything(self):
+        assert covers((S, S, S), (4, 5, 6))
+        assert covers((S, S, S), (S, 1, S))
+
+    def test_strictly_covers_excludes_self(self):
+        assert not strictly_covers((1, S), (1, S))
+        assert strictly_covers((1, S), (1, 2))
+
+    def test_comparable_both_directions(self):
+        assert comparable((1, S), (1, 2))
+        assert comparable((1, 2), (1, S))
+        assert not comparable((1, S), (S, 2))
+
+    def test_paper_figure3a_c1_covers_its_elements(self):
+        # C1 = (*, *, c1, d1) covers (a1, b2, c1, d1) etc. (Figure 3a).
+        c1 = (S, S, 0, 0)
+        for element in [(0, 1, 0, 0), (0, 2, 0, 0), (1, 0, 0, 0)]:
+            assert covers(c1, element)
+        assert not covers(c1, (1, 0, 3, 0))  # c4 != c1
+
+
+class TestDistance:
+    def test_identical_elements_distance_zero(self):
+        assert distance((1, 2, 3), (1, 2, 3)) == 0
+
+    def test_hamming_on_elements(self):
+        assert distance((1, 2, 3), (1, 9, 9)) == 2
+
+    def test_star_always_contributes(self):
+        # Definition 3.1: a position where either side is * counts.
+        assert distance((S, 2), (1, 2)) == 1
+        assert distance((S, 2), (S, 2)) == 1
+
+    def test_paper_example_distance_three(self):
+        # d((*, *, c1, d1), (a2, b1, *, d1)) = 3 (Section 3).
+        assert distance((S, S, 0, 0), (1, 1, S, 0)) == 3
+
+    def test_symmetry(self):
+        p, q = (S, 1, 2), (0, S, 2)
+        assert distance(p, q) == distance(q, p)
+
+    def test_max_distance_is_m(self):
+        assert distance((S, S, S), (S, S, S)) == 3
+
+    def test_distance_counts_disagreements_and_stars(self):
+        assert distance((1, 2, S, 4), (1, 3, S, S)) == 3
+
+
+class TestLca:
+    def test_lca_stars_out_differences(self):
+        assert lca((0, 1, 2, S), (0, 3, 2, S)) == (0, S, 2, S)
+
+    def test_paper_lca_example(self):
+        # LCA((a1, *, c1, *), (a1, b2, c2, *)) = (a1, *, *, *) (Section 5.1).
+        a1, b2, c1, c2 = 1, 2, 3, 4
+        assert lca((a1, S, c1, S), (a1, b2, c2, S)) == (a1, S, S, S)
+
+    def test_lca_covers_both_inputs(self):
+        p, q = (1, 2, 3), (1, 5, 3)
+        joined = lca(p, q)
+        assert covers(joined, p) and covers(joined, q)
+
+    def test_lca_is_least(self):
+        # Any pattern covering both inputs covers their LCA.
+        p, q = (1, 2, 3), (1, 5, 3)
+        joined = lca(p, q)
+        for candidate in generalizations((1, 2, 3)):
+            if covers(candidate, p) and covers(candidate, q):
+                assert covers(candidate, joined)
+
+    def test_lca_many_matches_pairwise_fold(self):
+        patterns = [(1, 2, 3), (1, 2, 4), (1, 9, 3)]
+        assert lca_many(patterns) == lca(lca(patterns[0], patterns[1]), patterns[2])
+
+    def test_lca_many_empty_raises(self):
+        with pytest.raises(ValueError):
+            lca_many([])
+
+    def test_lca_idempotent(self):
+        assert lca((1, S, 2), (1, S, 2)) == (1, S, 2)
+
+
+class TestLevelsAndEnumeration:
+    def test_level_counts_stars(self):
+        assert level((1, 2, 3)) == 0
+        assert level((S, 2, S)) == 2
+
+    def test_is_element(self):
+        assert is_element((1, 2, 3))
+        assert not is_element((1, S, 3))
+
+    def test_generalizations_count_is_power_of_two(self):
+        assert len(generalizations((1, 2, 3))) == 8
+
+    def test_generalizations_are_distinct_and_cover_base(self):
+        base = (1, 2, 3, 4)
+        gens = generalizations(base)
+        assert len(set(gens)) == 16
+        assert all(covers(g, base) for g in gens)
+
+    def test_generalizations_of_starred_pattern(self):
+        gens = generalizations((1, S, 3))
+        assert len(gens) == 4
+        assert (S, S, S) in gens
+
+    def test_parents_star_one_position(self):
+        assert sorted(parents((1, 2))) == sorted([(1, S), (S, 2)])
+
+    def test_parents_of_root_is_empty(self):
+        assert parents((S, S)) == []
+
+    def test_ancestors_at_level(self):
+        found = ancestors_at_level((1, 2, 3), 2)
+        assert sorted(found) == sorted([(1, S, S), (S, 2, S), (S, S, 3)])
+
+    def test_ancestors_at_level_below_own_level(self):
+        assert ancestors_at_level((1, S, 3), 0) == []
+
+    def test_ancestors_at_own_level_is_self(self):
+        assert ancestors_at_level((1, S, 3), 1) == [(1, S, 3)]
+
+    def test_distinct_same_level_patterns_satisfy_distance(self):
+        # The level-(D-1) feasibility argument of Appendix A.2.
+        for target_level in (1, 2):
+            pool = ancestors_at_level((1, 2, 3, 4), target_level)
+            pool += ancestors_at_level((1, 2, 9, 8), target_level)
+            for i, p in enumerate(pool):
+                for q in pool[i + 1:]:
+                    if p != q:
+                        assert distance(p, q) >= target_level + 1
+
+
+class TestClusterObject:
+    def test_avg_and_size(self):
+        cluster = Cluster(
+            pattern=(1, S), covered=frozenset({0, 1, 2}), value_sum=9.0
+        )
+        assert cluster.size == 3
+        assert cluster.avg == pytest.approx(3.0)
+        assert cluster.level == 1
+
+    def test_avg_of_empty_cluster_raises(self):
+        cluster = Cluster(pattern=(1, S), covered=frozenset(), value_sum=0.0)
+        with pytest.raises(ValueError):
+            _ = cluster.avg
+
+    def test_ordering_is_by_pattern(self):
+        a = Cluster(pattern=(1, 2), covered=frozenset({0}), value_sum=1.0)
+        b = Cluster(pattern=(1, 3), covered=frozenset({1}), value_sum=9.0)
+        assert a < b
+
+    def test_format_pattern(self):
+        assert format_pattern((1, S, 2)) == "(1, *, 2)"
+        assert format_pattern((S,), values=("x",)) == "(x)"

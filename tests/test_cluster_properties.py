@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) for the pattern algebra.
+
+These pin down the structural facts the paper's algorithms rely on: the
+distance function is a metric and monotone under generalization
+(Proposition 4.2), LCA is the semilattice join, and coverage is a partial
+order.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.interning import STAR
+from repro.core.cluster import covers, distance, generalizations, lca, level
+
+M = 5
+values = st.integers(min_value=0, max_value=3)
+position = st.one_of(st.just(STAR), values)
+patterns = st.tuples(*([position] * M))
+elements = st.tuples(*([values] * M))
+
+
+@given(patterns, patterns)
+def test_distance_symmetric(p, q):
+    assert distance(p, q) == distance(q, p)
+
+
+@given(patterns)
+def test_distance_to_self_counts_stars(p):
+    # d(C, C) equals the number of * positions: each is a position where
+    # "at least one of the values is *" (Definition 3.1).
+    assert distance(p, p) == level(p)
+
+
+@given(elements, elements)
+def test_distance_on_elements_is_hamming(p, q):
+    hamming = sum(1 for a, b in zip(p, q) if a != b)
+    assert distance(p, q) == hamming
+
+
+@given(patterns, patterns, patterns)
+def test_distance_triangle_inequality(p, q, r):
+    assert distance(p, r) <= distance(p, q) + distance(q, r)
+
+
+@given(elements, elements)
+def test_elements_identity_of_indiscernibles(p, q):
+    assert (distance(p, q) == 0) == (p == q)
+
+
+@given(patterns, patterns)
+def test_lca_covers_both(p, q):
+    joined = lca(p, q)
+    assert covers(joined, p)
+    assert covers(joined, q)
+
+
+@given(patterns, patterns)
+def test_lca_commutative(p, q):
+    assert lca(p, q) == lca(q, p)
+
+
+@given(patterns, patterns, patterns)
+def test_lca_associative(p, q, r):
+    assert lca(lca(p, q), r) == lca(p, lca(q, r))
+
+
+@given(patterns, patterns, patterns)
+def test_lca_is_least_upper_bound(p, q, r):
+    # Any common ancestor r of p and q covers lca(p, q).
+    if covers(r, p) and covers(r, q):
+        assert covers(r, lca(p, q))
+
+
+@given(patterns, patterns)
+def test_coverage_antisymmetric(p, q):
+    if covers(p, q) and covers(q, p):
+        assert p == q
+
+
+@given(patterns, patterns, patterns)
+def test_coverage_transitive(p, q, r):
+    if covers(p, q) and covers(q, r):
+        assert covers(p, r)
+
+
+@settings(max_examples=60)
+@given(elements)
+def test_generalizations_exactly_the_ancestors(element):
+    # The generalizations of an element are exactly the patterns covering it.
+    gens = set(generalizations(element))
+    assert len(gens) == 2 ** M
+    for pattern in gens:
+        assert covers(pattern, element)
+
+
+@given(patterns, patterns, patterns)
+def test_proposition_4_2_monotonicity(c1, c2_seed, other):
+    """Replacing a cluster with an ancestor never reduces its distance to a
+    third cluster — the merge-safety property (Proposition 4.2)."""
+    ancestor = lca(c1, c2_seed)  # some ancestor of c1
+    assert distance(ancestor, other) >= distance(c1, other)
+
+
+@given(patterns, patterns)
+def test_merged_cluster_keeps_distance_to_others(p, q):
+    # d(LCA(p,q), r) >= max(d(p,r), d(q,r)) follows from monotonicity twice.
+    joined = lca(p, q)
+    r = (0, 1, STAR, 2, 3)
+    assert distance(joined, r) >= max(distance(p, r), distance(q, r))

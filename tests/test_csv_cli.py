@@ -1,0 +1,138 @@
+"""Tests for CSV IO and the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.common.errors import SchemaError
+from repro.query.csv_io import infer_column_type, read_csv, write_csv
+from repro.query.relation import Relation
+
+
+class TestTypeInference:
+    def test_int_column(self):
+        assert infer_column_type(["1", "2", "30"]) == "int"
+
+    def test_float_column(self):
+        assert infer_column_type(["1.5", "2", "3.25"]) == "float"
+
+    def test_string_column(self):
+        assert infer_column_type(["a", "2", "3"]) == "str"
+
+    def test_empty_values_ignored(self):
+        assert infer_column_type(["", "7", ""]) == "int"
+
+    def test_all_empty_is_str(self):
+        assert infer_column_type(["", ""]) == "str"
+
+
+class TestCsvRoundtrip:
+    def test_read_types(self):
+        source = io.StringIO("name,age,score\nann,31,4.5\nbob,45,3.25\n")
+        relation = read_csv(source, name="people")
+        assert relation.rows == [("ann", 31, 4.5), ("bob", 45, 3.25)]
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(SchemaError):
+            read_csv(io.StringIO(""))
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(SchemaError):
+            read_csv(io.StringIO("a,b\n1\n"))
+
+    def test_roundtrip_through_file(self, tmp_path):
+        relation = Relation("r", ("x", "y"), [(1, "a"), (2, "b")])
+        path = tmp_path / "r.csv"
+        write_csv(relation, path)
+        loaded = read_csv(path)
+        assert loaded.rows == relation.rows
+        assert loaded.columns == relation.columns
+        assert loaded.name == "r"
+
+    def test_none_written_as_empty(self):
+        relation = Relation("r", ("x",), [(None,), (3,)])
+        buffer = io.StringIO()
+        write_csv(relation, buffer)
+        # The csv module quotes a lone empty field ('""') to keep the
+        # row distinguishable from a blank line.
+        assert buffer.getvalue().splitlines()[1] in ('', '""')
+
+
+@pytest.fixture
+def answers_csv(tmp_path):
+    path = tmp_path / "answers.csv"
+    rows = ["era,group,val"]
+    values = [("1970s", "student", 4.5), ("1970s", "educator", 4.2),
+              ("1980s", "student", 4.0), ("1980s", "engineer", 3.9),
+              ("1990s", "student", 2.5), ("1990s", "writer", 2.2),
+              ("1990s", "artist", 2.0), ("1980s", "artist", 3.0)]
+    rows += ["%s,%s,%s" % r for r in values]
+    path.write_text("\n".join(rows) + "\n")
+    return path
+
+
+@pytest.fixture
+def raw_csv(tmp_path):
+    path = tmp_path / "ratings.csv"
+    # "group" is a reserved word in the SQL template (as in real SQL),
+    # so the column is named grp.
+    lines = ["era,grp,rating"]
+    for era, group, rating in [
+        ("1970s", "student", 5), ("1970s", "student", 4),
+        ("1980s", "student", 4), ("1980s", "student", 4),
+        ("1990s", "writer", 2), ("1990s", "writer", 3),
+        ("1990s", "artist", 2), ("1990s", "artist", 3),
+    ]:
+        lines.append("%s,%s,%d" % (era, group, rating))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+class TestCli:
+    def test_answers_mode(self, answers_csv, capsys):
+        code = main([str(answers_csv), "-k", "3", "-L", "4", "-D", "1"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "avg(O)=" in captured.out
+
+    def test_sql_mode(self, raw_csv, capsys):
+        code = main([
+            str(raw_csv),
+            "--sql",
+            "SELECT era, grp, avg(rating) AS val FROM ratings "
+            "GROUP BY era, grp",
+            "-k", "2", "-L", "3", "-D", "1",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "clusters" in captured.out
+
+    def test_expand_flag(self, answers_csv, capsys):
+        main([str(answers_csv), "-k", "3", "-L", "4", "-D", "1", "--expand"])
+        assert "rank" in capsys.readouterr().out
+
+    def test_guidance_flag(self, answers_csv, capsys):
+        code = main([
+            str(answers_csv), "-k", "3", "-L", "4", "-D", "1", "--guidance"
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "legend:" in captured.out
+
+    def test_bad_sql_reports_error(self, raw_csv, capsys):
+        code = main([
+            str(raw_csv), "--sql", "SELECT nonsense", "-k", "2", "-L", "2",
+            "-D", "0",
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+
+    def test_single_column_csv_rejected(self, tmp_path, capsys):
+        path = tmp_path / "one.csv"
+        path.write_text("x\n1\n2\n")
+        code = main([str(path), "-k", "1", "-L", "1", "-D", "0"])
+        assert code == 2

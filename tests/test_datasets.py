@@ -1,0 +1,166 @@
+"""Tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.movielens import (
+    GENRES,
+    MovieLensConfig,
+    OCCUPATIONS,
+    age_group,
+    build_database,
+    decade,
+    generate_movies,
+    generate_ratings,
+    generate_users,
+    half_decade,
+)
+from repro.datasets.tpcds import (
+    STORE_SALES_COLUMNS,
+    TpcdsConfig,
+    generate_store_sales,
+    tpcds_answer_set,
+)
+from repro.datasets.loader import synthetic_answer_set
+
+SMALL = MovieLensConfig(n_users=120, n_movies=150, n_ratings=4000, seed=5)
+
+
+class TestDerivedFeatures:
+    def test_age_group(self):
+        assert age_group(13) == "10s"
+        assert age_group(27) == "20s"
+        assert age_group(40) == "40s"
+
+    def test_half_decade(self):
+        assert half_decade(1993) == 1990
+        assert half_decade(1995) == 1995
+        assert half_decade(1999) == 1995
+
+    def test_decade(self):
+        assert decade(1993) == 1990
+        assert decade(1989) == 1980
+
+
+class TestMovieLensGenerator:
+    def test_users_shape(self):
+        users = generate_users(SMALL)
+        assert len(users) == 120
+        genders = set(users.column_values("gender"))
+        assert genders <= {"M", "F"}
+        assert set(users.column_values("occupation")) <= set(OCCUPATIONS)
+        assert all(7 <= age <= 73 for age in users.column_values("age"))
+
+    def test_movies_shape(self):
+        movies = generate_movies(SMALL)
+        assert len(movies) == 150
+        assert "genres_adventure" in movies.columns
+        # Every movie has at least one genre flag set.
+        flag_columns = ["genres_%s" % g for g in GENRES]
+        for row in movies.rows:
+            flags = [row[movies.column_index(c)] for c in flag_columns]
+            assert sum(flags) >= 1
+
+    def test_ratings_in_star_range(self):
+        users = generate_users(SMALL)
+        movies = generate_movies(SMALL)
+        ratings = generate_ratings(SMALL, users, movies)
+        assert len(ratings) == 4000
+        assert all(1 <= r <= 5 for r in ratings.column_values("rating"))
+
+    def test_ratings_unique_user_movie_pairs(self):
+        users = generate_users(SMALL)
+        movies = generate_movies(SMALL)
+        ratings = generate_ratings(SMALL, users, movies)
+        pairs = list(zip(ratings.column_values("user_id"),
+                         ratings.column_values("movie_id")))
+        assert len(pairs) == len(set(pairs))
+
+    def test_deterministic_given_seed(self):
+        first = generate_users(SMALL)
+        second = generate_users(SMALL)
+        assert first.rows == second.rows
+
+    def test_database_contains_rating_table(self):
+        db = build_database(SMALL)
+        table = db.get("RatingTable")
+        for column in ("agegrp", "decade", "hdec", "rating", "occupation"):
+            assert column in table.columns
+        assert len(table) == 4000
+
+    def test_planted_structure_visible(self):
+        """Young technical men rate old adventure higher than the mid-90s
+        crop — the Example 1.1 shape the generator plants."""
+        db = build_database(
+            MovieLensConfig(n_users=300, n_movies=400, n_ratings=20000, seed=5)
+        )
+        table = db.get("RatingTable")
+
+        def mean_rating(predicate):
+            rows = table.select(predicate)
+            ratings = rows.column_values("rating")
+            return sum(ratings) / len(ratings)
+
+        young_tech_old = mean_rating(
+            lambda r: r["genres_adventure"] == 1
+            and r["gender"] == "M"
+            and r["age"] < 30
+            and r["occupation"] in ("student", "programmer", "engineer")
+            and r["hdec"] <= 1985
+        )
+        anyone_mid90s = mean_rating(
+            lambda r: r["genres_adventure"] == 1 and r["hdec"] >= 1995
+        )
+        assert young_tech_old > anyone_mid90s + 0.5
+
+
+class TestTpcds:
+    def test_store_sales_schema(self):
+        relation = generate_store_sales(TpcdsConfig(n_rows=500, seed=3))
+        assert relation.columns == STORE_SALES_COLUMNS
+        assert len(relation.columns) == 23
+        assert len(relation) == 500
+
+    def test_net_profit_varies_with_store(self):
+        relation = generate_store_sales(TpcdsConfig(n_rows=4000, seed=3))
+        store_idx = relation.column_index("ss_store_sk")
+        profit_idx = relation.column_index("ss_net_profit")
+        by_store: dict[int, list[float]] = {}
+        for row in relation.rows:
+            by_store.setdefault(row[store_idx], []).append(row[profit_idx])
+        means = sorted(sum(v) / len(v) for v in by_store.values())
+        assert means[-1] - means[0] > 1.0  # planted bias is visible
+
+    def test_answer_set_exact_n(self):
+        answers = tpcds_answer_set(n_groups=1234, m=5, seed=1)
+        assert answers.n == 1234
+        assert answers.m == 5
+
+    def test_answer_set_values_integral(self):
+        answers = tpcds_answer_set(n_groups=100, m=4, seed=1)
+        assert all(float(v).is_integer() for v in answers.values)
+
+    def test_answer_set_capacity_guard(self):
+        with pytest.raises(ValueError):
+            tpcds_answer_set(n_groups=10_000, m=2, seed=1)
+
+
+class TestSyntheticAnswerSet:
+    def test_exact_size_and_arity(self):
+        answers = synthetic_answer_set(321, m=6, domain_size=8, seed=2)
+        assert answers.n == 321
+        assert answers.m == 6
+
+    def test_values_in_range(self):
+        answers = synthetic_answer_set(100, m=4, seed=2)
+        assert all(1.0 <= v <= 5.0 for v in answers.values)
+
+    def test_deterministic(self):
+        a = synthetic_answer_set(50, m=4, seed=9)
+        b = synthetic_answer_set(50, m=4, seed=9)
+        assert a.values == b.values
+
+    def test_capacity_guard(self):
+        with pytest.raises(ValueError):
+            synthetic_answer_set(1000, m=2, domain_size=3)

@@ -1,0 +1,118 @@
+"""Tests for the from-scratch CART and the Section 8 tree summarizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.decision_tree import (
+    Condition,
+    DecisionTreeClassifier,
+    positive_leaf_patterns,
+    tune_tree,
+)
+from repro.common.errors import InvalidParameterError
+from tests.conftest import random_answer_set
+
+
+class TestCondition:
+    def test_equality_match(self):
+        condition = Condition(1, "==", 5)
+        assert condition.matches((0, 5, 9))
+        assert not condition.matches((0, 4, 9))
+
+    def test_negation_match(self):
+        condition = Condition(0, "!=", 2)
+        assert condition.matches((3, 0))
+        assert not condition.matches((2, 0))
+
+
+class TestClassifier:
+    def test_perfectly_separable(self):
+        X = [(0, 0), (0, 1), (1, 0), (1, 1)]
+        y = [True, True, False, False]
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert all(tree.predict(x) == label for x, label in zip(X, y))
+
+    def test_pure_labels_make_single_leaf(self):
+        X = [(0, 0), (1, 1), (2, 2)]
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, [True] * 3)
+        assert tree.depth() == 0
+        assert len(tree.leaves()) == 1
+
+    def test_depth_respected(self):
+        X = [(i % 2, i % 3, i % 5) for i in range(30)]
+        y = [i % 7 < 3 for i in range(30)]
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.depth() <= 2
+
+    def test_leaf_paths_partition_data(self):
+        X = [(i % 2, (i // 2) % 2) for i in range(16)]
+        y = [i < 8 for i in range(16)]
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        counts = sum(len(indices) for _, indices in tree.leaves())
+        assert counts == len(X)
+
+    def test_path_conditions_route_their_members(self):
+        X = [(i % 3, i % 4) for i in range(12)]
+        y = [i % 2 == 0 for i in range(12)]
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        for path, indices in tree.leaves():
+            for index in indices:
+                assert all(c.matches(X[index]) for c in path)
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(InvalidParameterError):
+            DecisionTreeClassifier().predict((0,))
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(InvalidParameterError):
+            DecisionTreeClassifier().fit([], [])
+        with pytest.raises(InvalidParameterError):
+            DecisionTreeClassifier().fit([(1,)], [True, False])
+
+
+class TestSummarizer:
+    def test_tuned_tree_positive_leaves_at_most_k(self):
+        answers = random_answer_set(n=120, m=5, domain=4, seed=17)
+        for k in (3, 5, 10):
+            _, patterns = tune_tree(answers, L=20, k=k)
+            assert len(patterns) <= k
+
+    def test_patterns_are_top_majority(self):
+        answers = random_answer_set(n=120, m=5, domain=4, seed=17)
+        _, patterns = tune_tree(answers, L=20, k=8)
+        for pattern in patterns:
+            assert pattern.positive_count > pattern.negative_count
+
+    def test_pattern_matches_align_with_membership(self):
+        answers = random_answer_set(n=80, m=4, domain=4, seed=19)
+        tree, patterns = tune_tree(answers, L=15, k=6)
+        for pattern in patterns:
+            members = [
+                rank
+                for rank in range(answers.n)
+                if pattern.matches(answers.elements[rank])
+            ]
+            assert pattern.positive_count == sum(1 for r in members if r < 15)
+
+    def test_complexity_counts_negations_double(self):
+        answers = random_answer_set(n=80, m=4, domain=4, seed=19)
+        _, patterns = tune_tree(answers, L=15, k=6)
+        for pattern in patterns:
+            eq = sum(1 for c in pattern.conditions if c.operator == "==")
+            ne = sum(1 for c in pattern.conditions if c.operator == "!=")
+            assert pattern.complexity == eq + 2 * ne
+
+    def test_describe_uses_attribute_names(self):
+        answers = random_answer_set(n=60, m=4, domain=3, seed=23)
+        _, patterns = tune_tree(answers, L=10, k=5)
+        assert patterns, "expected at least one positive leaf"
+        text = patterns[0].describe(answers)
+        assert "A1" in text or "A2" in text or "A3" in text or "A4" in text
+
+    def test_invalid_L(self):
+        answers = random_answer_set(n=30, m=4, domain=3, seed=23)
+        with pytest.raises(InvalidParameterError):
+            tune_tree(answers, L=0, k=3)

@@ -1,0 +1,23 @@
+"""Run the docstring examples shipped in the public modules."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.common.timing
+import repro.core.problem
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.core.problem, repro.common.timing],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, "%d doctest failures in %s" % (
+        results.failed, module.__name__
+    )
+    assert results.attempted > 0, "expected at least one doctest"

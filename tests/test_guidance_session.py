@@ -1,0 +1,133 @@
+"""Tests for the guidance view (Figure 2) and the exploration session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import InvalidParameterError
+from repro.core.semilattice import ClusterPool
+from repro.core.solution import check_feasibility
+from repro.interactive.guidance import GuidanceView, build_guidance_view
+from repro.interactive.precompute import SolutionStore
+from repro.interactive.session import ExplorationSession
+from tests.conftest import random_answer_set
+
+
+@pytest.fixture(scope="module")
+def guidance_setup():
+    answers = random_answer_set(n=80, m=5, domain=4, seed=33)
+    pool = ClusterPool(answers, L=10)
+    store = SolutionStore(pool, k_range=(2, 10), d_values=[1, 2, 3])
+    return answers, store, build_guidance_view(store)
+
+
+class TestGuidanceView:
+    def test_one_series_per_d(self, guidance_setup):
+        _, store, view = guidance_setup
+        assert tuple(s.D for s in view.series) == store.d_values
+
+    def test_series_values_match_store(self, guidance_setup):
+        _, store, view = guidance_setup
+        for series in view.series:
+            for k, avg in series.as_pairs():
+                assert avg == pytest.approx(store.objective(k, series.D))
+
+    def test_unknown_d_raises(self, guidance_setup):
+        _, _, view = guidance_setup
+        with pytest.raises(KeyError):
+            view.for_distance(9)
+
+    def test_knee_points_are_real_drops(self, guidance_setup):
+        _, store, view = guidance_setup
+        for D in (1, 2, 3):
+            curve = dict(view.for_distance(D).as_pairs())
+            for knee in view.knee_points(D, threshold=0.05):
+                assert curve[knee] > curve[knee - 1]
+
+    def test_flat_regions_are_flat(self, guidance_setup):
+        _, store, view = guidance_setup
+        for D in (1, 2, 3):
+            series = dict(view.for_distance(D).as_pairs())
+            for lo, hi in view.flat_regions(D, tolerance=1e-9):
+                baseline = series[lo]
+                for k in range(lo, hi + 1):
+                    assert series[k] == pytest.approx(baseline)
+
+    def test_bundles_partition_all_d(self, guidance_setup):
+        _, store, view = guidance_setup
+        bundles = view.overlapping_distance_bundles()
+        flattened = sorted(d for bundle in bundles for d in bundle)
+        assert flattened == sorted(store.d_values)
+
+    def test_ascii_render_mentions_legend(self, guidance_setup):
+        _, _, view = guidance_setup
+        art = view.render_ascii(width=40, height=8)
+        assert "legend:" in art
+        assert "D=1" in art
+
+
+class TestExplorationSession:
+    def test_solve_produces_feasible_timed_solution(self):
+        answers = random_answer_set(n=50, m=4, domain=4, seed=2)
+        session = ExplorationSession(answers)
+        timed = session.solve(k=4, L=8, D=2)
+        assert not check_feasibility(timed.solution, answers, 4, 8, 2)
+        assert timed.init_seconds >= 0
+        assert timed.algo_seconds >= 0
+        assert timed.total_seconds == pytest.approx(
+            timed.init_seconds + timed.algo_seconds
+        )
+
+    def test_pool_cached_across_solves(self):
+        answers = random_answer_set(n=50, m=4, domain=4, seed=2)
+        session = ExplorationSession(answers)
+        assert session.pool(8) is session.pool(8)
+
+    def test_retrieve_matches_precompute(self):
+        answers = random_answer_set(n=60, m=4, domain=4, seed=4)
+        session = ExplorationSession(answers)
+        store = session.precompute(L=8, k_range=(2, 8), d_values=[1, 2])
+        timed = session.retrieve(
+            k=4, L=8, D=2, k_range=(2, 8), d_values=[1, 2]
+        )
+        assert timed.solution.avg == pytest.approx(store.objective(4, 2))
+
+    def test_precompute_store_cached(self):
+        answers = random_answer_set(n=60, m=4, domain=4, seed=4)
+        session = ExplorationSession(answers)
+        first = session.precompute(L=8, k_range=(2, 8), d_values=[1, 2])
+        second = session.precompute(L=8, k_range=(2, 8), d_values=[2, 1])
+        assert first is second
+
+    def test_expand_lists_covered_elements_with_ranks(self):
+        answers = random_answer_set(n=30, m=4, domain=3, seed=6)
+        session = ExplorationSession(answers)
+        timed = session.solve(k=3, L=6, D=2)
+        for cluster in timed.solution.clusters:
+            rows = session.expand(cluster)
+            assert len(rows) == cluster.size
+            assert [r.rank for r in rows] == sorted(
+                i + 1 for i in cluster.covered
+            )
+
+    def test_describe_two_layers(self):
+        answers = random_answer_set(n=30, m=4, domain=3, seed=6)
+        session = ExplorationSession(answers)
+        timed = session.solve(k=3, L=6, D=2)
+        flat = session.describe(timed.solution)
+        deep = session.describe(timed.solution, expand_all=True)
+        assert len(deep.splitlines()) > len(flat.splitlines())
+        assert "rank" in deep
+
+    def test_unknown_algorithm_rejected(self):
+        answers = random_answer_set(n=30, m=4, domain=3, seed=6)
+        session = ExplorationSession(answers)
+        with pytest.raises(InvalidParameterError):
+            session.solve(k=3, L=6, D=2, algorithm="bogus")
+
+    def test_guidance_through_session(self):
+        answers = random_answer_set(n=60, m=4, domain=4, seed=8)
+        session = ExplorationSession(answers)
+        view = session.guidance(L=8, k_range=(2, 8), d_values=[1, 2])
+        assert isinstance(view, GuidanceView)
+        assert view.L == 8

@@ -1,0 +1,174 @@
+"""Tests for concept hierarchies and generalized clusters (Appendix A.6)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common.errors import InvalidParameterError, SchemaError
+from repro.core.answers import AnswerSet
+from repro.hierarchy.generalized import GeneralizedSpace, star_hierarchy
+from repro.hierarchy.range_tree import (
+    HierarchyNode,
+    HierarchyTree,
+    build_date_hierarchy,
+    build_range_hierarchy,
+)
+
+
+class TestHierarchyTree:
+    def test_leaf_lookup(self):
+        tree = build_range_hierarchy([1, 2, 3, 4], fanout=2)
+        assert tree.leaf(3).value == 3
+        with pytest.raises(InvalidParameterError):
+            tree.leaf(99)
+
+    def test_lca_of_siblings_is_parent_range(self):
+        tree = build_range_hierarchy([0, 1, 2, 3], fanout=2)
+        node = tree.lca_values(0, 1)
+        assert "[0, 1]" in node.label
+
+    def test_lca_of_distant_values_is_higher(self):
+        tree = build_range_hierarchy(range(16), fanout=2)
+        near = tree.lca_values(0, 1)
+        far = tree.lca_values(0, 15)
+        assert tree.depth_of(near) > tree.depth_of(far)
+        assert far is tree.root
+
+    def test_lca_of_leaf_with_itself(self):
+        tree = build_range_hierarchy([5, 6, 7])
+        leaf = tree.leaf(6)
+        assert tree.lca(leaf, leaf) is leaf
+
+    def test_lca_matches_naive_on_random_pairs(self):
+        tree = build_range_hierarchy(range(40), fanout=3)
+        rng = random.Random(5)
+        for _ in range(100):
+            a = tree.leaf(rng.randrange(40))
+            b = tree.leaf(rng.randrange(40))
+            assert tree.lca(a, b) is tree.lca_naive(a, b)
+
+    def test_lca_with_internal_nodes(self):
+        tree = build_range_hierarchy(range(8), fanout=2)
+        internal = tree.lca_values(0, 1)
+        leaf = tree.leaf(7)
+        joined = tree.lca(internal, leaf)
+        assert joined is tree.root
+
+    def test_is_ancestor(self):
+        tree = build_range_hierarchy(range(8), fanout=2)
+        assert tree.is_ancestor(tree.root, tree.leaf(3))
+        assert tree.is_ancestor(tree.leaf(3), tree.leaf(3))
+        assert not tree.is_ancestor(tree.leaf(3), tree.leaf(4))
+
+    def test_leaves_under(self):
+        tree = build_range_hierarchy(range(8), fanout=2)
+        node = tree.lca_values(4, 5)
+        assert sorted(tree.leaves_under(node)) == [4, 5]
+
+    def test_paper_figure11_example(self):
+        # Join of the [20, 40) range and the value 55 lands in [20, 60)-ish:
+        # with our balanced builder the exact ranges differ, but the LCA of
+        # 20 and 55 must strictly contain both.
+        tree = build_range_hierarchy(range(0, 80, 5), fanout=2, attribute="age")
+        node = tree.lca_values(20, 55)
+        values = set(tree.leaves_under(node))
+        assert {20, 55} <= values
+
+    def test_duplicate_leaf_value_rejected(self):
+        root = HierarchyNode("root")
+        root.add(HierarchyNode("a", value=1))
+        root.add(HierarchyNode("b", value=1))
+        with pytest.raises(InvalidParameterError):
+            HierarchyTree(root)
+
+    def test_leaf_without_value_rejected(self):
+        root = HierarchyNode("root")
+        root.add(HierarchyNode("empty-leaf"))
+        with pytest.raises(InvalidParameterError):
+            HierarchyTree(root)
+
+
+class TestDateHierarchy:
+    def test_same_half_decade(self):
+        tree = build_date_hierarchy(range(1970, 2000))
+        assert tree.lca_values(1991, 1993).label == "1990-1994"
+
+    def test_same_decade_different_half(self):
+        tree = build_date_hierarchy(range(1970, 2000))
+        assert tree.lca_values(1991, 1997).label == "1990s"
+
+    def test_different_decades(self):
+        tree = build_date_hierarchy(range(1970, 2000))
+        assert tree.lca_values(1975, 1995).label == "all years"
+
+
+class TestGeneralizedSpace:
+    @pytest.fixture
+    def space(self):
+        rows = [
+            (13, "M"), (25, "M"), (27, "F"), (44, "M"),
+            (61, "F"), (33, "M"), (52, "F"), (19, "F"),
+        ]
+        values = [4.5, 4.2, 4.0, 3.0, 2.0, 3.5, 2.5, 4.4]
+        answers = AnswerSet.from_rows(rows, values, attributes=("age", "gender"))
+        hierarchies = [
+            build_range_hierarchy(sorted({r[0] for r in rows}), fanout=2,
+                                  attribute="age"),
+            star_hierarchy([r[1] for r in rows], attribute="gender"),
+        ]
+        return GeneralizedSpace(answers, hierarchies)
+
+    def test_singleton_coverage(self, space):
+        cluster = space.singleton(0)
+        assert space.coverage(cluster) == [0]
+
+    def test_root_covers_everything(self, space):
+        assert space.coverage(space.root_cluster()) == list(range(8))
+
+    def test_lca_covers_both_singletons(self, space):
+        a, b = space.singleton(0), space.singleton(3)
+        joined = space.lca(a, b)
+        assert space.covers(joined, a)
+        assert space.covers(joined, b)
+
+    def test_distance_zero_only_for_equal_leaves(self, space):
+        a = space.singleton(0)
+        assert space.distance(a, a) == 0
+        assert space.distance(a, space.singleton(1)) >= 1
+        assert space.distance(space.root_cluster(), space.root_cluster()) == 2
+
+    def test_avg(self, space):
+        assert space.avg(space.root_cluster()) == pytest.approx(
+            space.answers.avg_all()
+        )
+
+    def test_summarize_feasible(self, space):
+        clusters = space.summarize(k=3, L=4, D=1)
+        assert len(clusters) <= 3
+        covered = set()
+        for cluster in clusters:
+            covered.update(space.coverage(cluster))
+        assert set(range(4)) <= covered
+        for i, a in enumerate(clusters):
+            for b in clusters[i + 1:]:
+                assert space.distance(a, b) >= 1
+                assert not space.covers(a, b)
+                assert not space.covers(b, a)
+
+    def test_summarize_produces_range_labels(self, space):
+        clusters = space.summarize(k=2, L=4, D=1)
+        labels = [" ".join(c.labels()) for c in clusters]
+        assert any("[" in label or "*" in label for label in labels)
+
+    def test_hierarchy_count_mismatch_rejected(self, space):
+        with pytest.raises(SchemaError):
+            GeneralizedSpace(space.answers, space.hierarchies[:1])
+
+    def test_missing_domain_value_rejected(self):
+        answers = AnswerSet.from_rows([(1,), (2,)], [1.0, 2.0],
+                                      attributes=("x",))
+        bad_hierarchy = build_range_hierarchy([1], attribute="x")
+        with pytest.raises(SchemaError):
+            GeneralizedSpace(answers, [bad_hierarchy])

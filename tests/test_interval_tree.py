@@ -1,0 +1,97 @@
+"""Tests for the centered interval tree, incl. hypothesis vs naive scan."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import InvalidParameterError
+from repro.interactive.interval_tree import Interval, IntervalTree
+
+
+class TestInterval:
+    def test_contains_endpoints(self):
+        interval = Interval(2, 5, "x")
+        assert interval.contains(2)
+        assert interval.contains(5)
+        assert not interval.contains(1)
+        assert not interval.contains(6)
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Interval(5, 2, "x")
+
+    def test_point_interval(self):
+        assert Interval(3, 3, "x").contains(3)
+
+
+class TestIntervalTree:
+    def test_empty_tree(self):
+        tree = IntervalTree([])
+        assert len(tree) == 0
+        assert tree.stab(5) == []
+
+    def test_single_interval(self):
+        tree = IntervalTree([Interval(1, 10, "a")])
+        assert tree.stab_payloads(5) == ["a"]
+        assert tree.stab_payloads(11) == []
+
+    def test_disjoint_intervals(self):
+        tree = IntervalTree(
+            [Interval(0, 2, "a"), Interval(5, 7, "b"), Interval(9, 9, "c")]
+        )
+        assert tree.stab_payloads(1) == ["a"]
+        assert tree.stab_payloads(6) == ["b"]
+        assert tree.stab_payloads(9) == ["c"]
+        assert tree.stab_payloads(4) == []
+
+    def test_nested_intervals(self):
+        tree = IntervalTree(
+            [Interval(0, 10, "outer"), Interval(3, 5, "inner")]
+        )
+        assert set(tree.stab_payloads(4)) == {"outer", "inner"}
+        assert tree.stab_payloads(8) == ["outer"]
+
+    def test_depth_logarithmic(self):
+        intervals = [Interval(i, i + 2, i) for i in range(0, 512, 1)]
+        tree = IntervalTree(intervals)
+        assert tree.depth() <= 12  # ~log2(513) + slack
+
+    def test_intervals_accessor(self):
+        items = [Interval(1, 2, "a"), Interval(0, 9, "b")]
+        tree = IntervalTree(items)
+        assert tree.intervals() == items
+
+
+interval_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=0, max_value=50),
+    ).map(lambda pair: (min(pair), max(pair))),
+    min_size=0,
+    max_size=40,
+)
+
+
+@given(interval_lists, st.integers(min_value=-5, max_value=55))
+def test_stab_matches_naive_scan(raw, point):
+    intervals = [
+        Interval(low, high, index) for index, (low, high) in enumerate(raw)
+    ]
+    tree = IntervalTree(intervals)
+    expected = sorted(
+        iv.payload for iv in intervals if iv.low <= point <= iv.high
+    )
+    assert sorted(tree.stab_payloads(point)) == expected
+
+
+@given(interval_lists)
+def test_every_interval_stabbable_at_endpoints(raw):
+    intervals = [
+        Interval(low, high, index) for index, (low, high) in enumerate(raw)
+    ]
+    tree = IntervalTree(intervals)
+    for interval in intervals:
+        assert interval.payload in tree.stab_payloads(interval.low)
+        assert interval.payload in tree.stab_payloads(interval.high)

@@ -1,0 +1,171 @@
+"""Tests for MergeEngine: Merge semantics, invariants, delta judgment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cluster import covers, distance, lca
+from repro.core.merge import MergeEngine
+from repro.core.semilattice import ClusterPool
+from tests.conftest import random_answer_set
+
+
+def _engine(answers, L, use_delta=True):
+    pool = ClusterPool(answers, L=L)
+    return pool, MergeEngine(
+        pool, (pool.singleton(i) for i in range(L)), use_delta=use_delta
+    )
+
+
+class TestMergeSemantics:
+    def test_merge_replaces_pair_with_lca(self, small_answers):
+        pool, engine = _engine(small_answers, L=4)
+        clusters = engine.clusters()
+        c1, c2 = clusters[0], clusters[1]
+        merged = engine.merge(c1, c2)
+        assert merged.pattern == lca(c1.pattern, c2.pattern)
+        patterns = {c.pattern for c in engine.clusters()}
+        assert c1.pattern not in patterns
+        assert c2.pattern not in patterns
+        assert merged.pattern in patterns
+
+    def test_merge_removes_swallowed_clusters(self, small_answers):
+        pool, engine = _engine(small_answers, L=6)
+        # Merge everything pairwise toward the root; no cluster covered by
+        # the merged one may survive.
+        while engine.size > 1:
+            clusters = engine.clusters()
+            merged = engine.merge(clusters[0], clusters[1])
+            for cluster in engine.clusters():
+                if cluster.pattern != merged.pattern:
+                    assert not covers(merged.pattern, cluster.pattern)
+
+    def test_merge_requires_membership(self, small_answers):
+        pool, engine = _engine(small_answers, L=3)
+        foreign = pool.singleton(10)
+        with pytest.raises(ValueError):
+            engine.merge(foreign, engine.clusters()[0])
+
+    def test_coverage_never_shrinks(self, small_answers):
+        pool, engine = _engine(small_answers, L=6)
+        covered_before = set()
+        for i in range(6):
+            covered_before |= pool.singleton(i).covered
+        while engine.size > 1:
+            clusters = engine.clusters()
+            engine.merge(clusters[0], clusters[1])
+            assert covered_before <= {
+                i for i in range(small_answers.n) if engine.is_covered(i)
+            }
+
+    def test_min_distance_never_decreases(self, small_answers):
+        # The Proposition 4.2 invariant, observed on live merges.
+        pool, engine = _engine(small_answers, L=8)
+        previous = engine.min_pairwise_distance()
+        while engine.size > 1:
+            clusters = engine.clusters()
+            engine.merge(clusters[0], clusters[-1])
+            current = engine.min_pairwise_distance()
+            assert current >= previous
+            previous = current
+
+    def test_avg_matches_recomputation(self, small_answers):
+        pool, engine = _engine(small_answers, L=6)
+        while engine.size > 2:
+            c1, c2 = engine.best_pair(engine.all_pairs())
+            engine.merge(c1, c2)
+            snapshot = engine.snapshot()
+            assert engine.avg() == pytest.approx(
+                small_answers.avg_of(snapshot.covered)
+            )
+
+    def test_merge_into_external_cluster(self, small_answers):
+        pool, engine = _engine(small_answers, L=3)
+        incoming = pool.singleton(5)
+        target = engine.clusters()[0]
+        merged = engine.merge_into(target, incoming)
+        assert covers(merged.pattern, incoming.pattern)
+        assert covers(merged.pattern, target.pattern)
+
+    def test_add_deduplicates(self, small_answers):
+        pool, engine = _engine(small_answers, L=3)
+        size = engine.size
+        engine.add(engine.clusters()[0])
+        assert engine.size == size
+
+
+class TestBestPair:
+    def test_best_pair_maximizes_merged_avg(self, small_answers):
+        pool, engine = _engine(small_answers, L=6)
+        pairs = engine.all_pairs()
+        best = engine.best_pair(pairs)
+        best_avg, _ = engine.evaluate_pair(*best)
+        for pair in pairs:
+            avg, _ = engine.evaluate_pair(*pair)
+            assert best_avg >= avg - 1e-12
+
+    def test_best_pair_empty_raises(self, small_answers):
+        pool, engine = _engine(small_answers, L=3)
+        with pytest.raises(ValueError):
+            engine.best_pair([])
+
+    def test_violating_pairs_filter(self, small_answers):
+        pool, engine = _engine(small_answers, L=8)
+        for D in range(small_answers.m + 1):
+            pairs = engine.violating_pairs(D)
+            for c1, c2 in pairs:
+                assert distance(c1.pattern, c2.pattern) < D
+
+
+class TestDeltaJudgment:
+    def test_delta_and_naive_agree_on_every_evaluation(self):
+        answers = random_answer_set(n=60, m=4, domain=3, seed=5)
+        pool = ClusterPool(answers, L=10)
+        fast = MergeEngine(pool, (pool.singleton(i) for i in range(10)))
+        slow = MergeEngine(
+            pool, (pool.singleton(i) for i in range(10)), use_delta=False
+        )
+        while fast.size > 2:
+            fast_pairs = fast.all_pairs()
+            slow_pairs = slow.all_pairs()
+            assert [
+                (a.pattern, b.pattern) for a, b in fast_pairs
+            ] == [(a.pattern, b.pattern) for a, b in slow_pairs]
+            for fast_pair, slow_pair in zip(fast_pairs, slow_pairs):
+                fast_avg, _ = fast.evaluate_pair(*fast_pair)
+                slow_avg, _ = slow.evaluate_pair(*slow_pair)
+                assert fast_avg == pytest.approx(slow_avg)
+            f1, f2 = fast.best_pair(fast_pairs)
+            s1, s2 = slow.best_pair(slow_pairs)
+            assert (f1.pattern, f2.pattern) == (s1.pattern, s2.pattern)
+            fast.merge(f1, f2)
+            slow.merge(s1, s2)
+
+    def test_delta_cache_survives_interleaved_rounds(self, small_answers):
+        # Evaluate, merge, evaluate again: the one-round-stale refresh path.
+        pool, engine = _engine(small_answers, L=8)
+        pairs = engine.all_pairs()
+        candidate = pool.cluster(
+            lca(pairs[0][0].pattern, pairs[0][1].pattern)
+        )
+        first = engine.evaluate_candidate(candidate)
+        assert first > 0
+        c1, c2 = engine.best_pair(pairs)
+        engine.merge(c1, c2)
+        again = engine.evaluate_candidate(candidate)
+        expected_union = set(candidate.covered) | {
+            i for i in range(small_answers.n) if engine.is_covered(i)
+        }
+        assert again == pytest.approx(small_answers.avg_of(expected_union))
+
+    def test_clone_is_independent(self, small_answers):
+        pool, engine = _engine(small_answers, L=6)
+        twin = engine.clone()
+        c1, c2 = engine.best_pair(engine.all_pairs())
+        engine.merge(c1, c2)
+        assert twin.size == 6
+        assert engine.size < 6
+        # The clone can continue independently.
+        t1, t2 = twin.best_pair(twin.all_pairs())
+        twin.merge(t1, t2)
+        assert twin.size == 5

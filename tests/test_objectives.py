@@ -1,0 +1,62 @@
+"""Tests for the alternative Min-Size objective (footnote 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bottom_up import bottom_up
+from repro.core.objectives import max_avg, min_size, min_size_greedy
+from repro.core.semilattice import ClusterPool
+from repro.core.solution import check_feasibility
+from tests.conftest import random_answer_set
+
+
+@pytest.fixture(scope="module")
+def setup():
+    answers = random_answer_set(n=60, m=4, domain=4, seed=31)
+    return answers, ClusterPool(answers, L=10)
+
+
+class TestObjectives:
+    def test_max_avg_is_solution_avg(self, setup):
+        answers, pool = setup
+        solution = bottom_up(pool, 4, 2)
+        assert max_avg(solution) == solution.avg
+
+    def test_min_size_counts_redundant(self, setup):
+        answers, pool = setup
+        solution = bottom_up(pool, 4, 2)
+        expected = sum(1 for i in solution.covered if i >= 10)
+        assert min_size(solution, 10) == expected
+
+    def test_min_size_of_top_only_solution_is_zero(self, setup):
+        answers, pool = setup
+        singletons = [pool.singleton(i) for i in range(10)]
+        from repro.core.solution import Solution
+
+        solution = Solution.from_clusters(singletons, answers)
+        assert min_size(solution, 10) == 0
+
+
+class TestMinSizeGreedy:
+    @pytest.mark.parametrize("k,D", [(4, 2), (2, 3), (6, 1), (3, 0)])
+    def test_feasibility(self, setup, k, D):
+        answers, pool = setup
+        solution = min_size_greedy(pool, k, D)
+        assert not check_feasibility(solution, answers, k, 10, D)
+
+    def test_never_more_redundant_than_max_avg(self, setup):
+        """Each objective wins its own metric (footnote 5's trade-off)."""
+        answers, pool = setup
+        for k, D in [(4, 2), (3, 3), (5, 1)]:
+            frugal = min_size_greedy(pool, k, D)
+            greedy = bottom_up(pool, k, D)
+            assert min_size(frugal, 10) <= min_size(greedy, 10)
+            assert greedy.avg >= frugal.avg - 1e-9
+
+    def test_invalid_k(self, setup):
+        answers, pool = setup
+        from repro.common.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            min_size_greedy(pool, 0, 1)

@@ -1,0 +1,135 @@
+"""Tests for the (k, D)-sweep precomputation and the solution store.
+
+The key contracts: retrieved solutions are feasible; they match the
+objective recorded during the sweep; cluster lifetimes are contiguous in k
+(Continuity, Proposition 6.1); and the interval-tree storage is smaller
+than materializing every (k, D) solution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import InvalidParameterError
+from repro.core.semilattice import ClusterPool
+from repro.core.solution import check_feasibility
+from repro.interactive.precompute import SolutionStore
+from tests.conftest import random_answer_set
+
+
+@pytest.fixture(scope="module")
+def store_setup():
+    answers = random_answer_set(n=80, m=5, domain=4, seed=21)
+    pool = ClusterPool(answers, L=12)
+    store = SolutionStore(pool, k_range=(2, 12), d_values=[0, 1, 2, 3])
+    return answers, pool, store
+
+
+class TestRetrieval:
+    def test_all_retrievals_feasible(self, store_setup):
+        answers, pool, store = store_setup
+        for D in store.d_values:
+            for k in range(store.k_min, store.k_max + 1):
+                solution = store.retrieve(k, D)
+                violations = check_feasibility(solution, answers, k, 12, D)
+                assert not violations, (k, D, violations)
+
+    def test_objective_matches_retrieved_solution(self, store_setup):
+        answers, pool, store = store_setup
+        for D in store.d_values:
+            for k in range(store.k_min, store.k_max + 1):
+                solution = store.retrieve(k, D)
+                assert solution.avg == pytest.approx(store.objective(k, D))
+
+    def test_solution_size_matches(self, store_setup):
+        _, _, store = store_setup
+        for D in store.d_values:
+            for k in range(store.k_min, store.k_max + 1):
+                assert store.retrieve(k, D).size == store.solution_size(k, D)
+                assert store.solution_size(k, D) <= k
+
+    def test_out_of_range_k_rejected(self, store_setup):
+        _, _, store = store_setup
+        with pytest.raises(InvalidParameterError):
+            store.retrieve(1, 1)
+        with pytest.raises(InvalidParameterError):
+            store.retrieve(13, 1)
+
+    def test_unprecomputed_d_rejected(self, store_setup):
+        _, _, store = store_setup
+        with pytest.raises(InvalidParameterError):
+            store.retrieve(5, 4)
+
+
+class TestContinuity:
+    def test_cluster_lifetimes_are_contiguous(self, store_setup):
+        """Proposition 6.1: for fixed (L, D), the k values where a cluster
+        appears form one contiguous interval."""
+        _, _, store = store_setup
+        for D in store.d_values:
+            appearances: dict[tuple[int, ...], list[int]] = {}
+            for k in range(store.k_min, store.k_max + 1):
+                for cluster in store.retrieve(k, D).clusters:
+                    appearances.setdefault(cluster.pattern, []).append(k)
+            for pattern, ks in appearances.items():
+                ks = sorted(ks)
+                assert ks == list(range(ks[0], ks[-1] + 1)), (D, pattern, ks)
+                assert store.cluster_lifetime(pattern, D) == (ks[0], ks[-1])
+
+    def test_interval_storage_compresses(self, store_setup):
+        _, _, store = store_setup
+        assert store.stored_interval_count() < store.naive_storage_count()
+
+
+class TestObjectiveShape:
+    def test_objective_nonincreasing_as_k_shrinks(self, store_setup):
+        # Merging can only lower (or keep) the achievable average, so the
+        # guidance curves are monotone along each sweep.
+        _, _, store = store_setup
+        for D in store.d_values:
+            curve = [
+                store.objective(k, D)
+                for k in range(store.k_min, store.k_max + 1)
+            ]
+            assert all(a <= b + 1e-9 for a, b in zip(curve, curve[1:]))
+
+    def test_distance_zero_dominates_larger_d(self, store_setup):
+        # A looser distance constraint never hurts the greedy's start state,
+        # and at k_max (no forced merging) D=0 keeps the most detail.
+        _, _, store = store_setup
+        k = store.k_max
+        assert store.objective(k, 0) >= store.objective(k, 3) - 1e-9
+
+
+class TestParameterValidation:
+    def test_bad_k_range(self, store_setup):
+        _, pool, _ = store_setup
+        with pytest.raises(InvalidParameterError):
+            SolutionStore(pool, k_range=(5, 2), d_values=[1])
+
+    def test_empty_d_values(self, store_setup):
+        _, pool, _ = store_setup
+        with pytest.raises(InvalidParameterError):
+            SolutionStore(pool, k_range=(2, 5), d_values=[])
+
+
+def test_precompute_quality_close_to_dedicated_hybrid():
+    """The sweep's per-(k, D) solutions track dedicated Hybrid runs.
+
+    The shared Fixed-Order phase runs once with D=0 and the largest budget,
+    so individual (k, D) cells can be somewhat worse than a dedicated run —
+    the speed/quality trade Section 6.2 accepts.  We bound the loss and
+    check the sweep always beats the trivial solution."""
+    from repro.core.brute_force import lower_bound
+    from repro.core.hybrid import hybrid
+
+    answers = random_answer_set(n=60, m=4, domain=4, seed=9)
+    pool = ClusterPool(answers, L=10)
+    store = SolutionStore(pool, k_range=(3, 8), d_values=[1, 2])
+    floor = lower_bound(pool).avg
+    for D in (1, 2):
+        for k in (3, 5, 8):
+            dedicated = hybrid(pool, k, D)
+            swept = store.retrieve(k, D)
+            assert swept.avg >= 0.85 * dedicated.avg
+            assert swept.avg >= floor - 1e-9

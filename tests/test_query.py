@@ -1,0 +1,192 @@
+"""Tests for the relational substrate: relations, joins, aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import QueryError, SchemaError
+from repro.query.aggregate import AggregateQuery, run_aggregate
+from repro.query.relation import Database, Relation
+
+
+@pytest.fixture
+def people() -> Relation:
+    return Relation(
+        "people",
+        ("name", "dept", "age", "salary"),
+        [
+            ("ann", "eng", 31, 120.0),
+            ("bob", "eng", 45, 110.0),
+            ("cat", "ops", 29, 90.0),
+            ("dan", "ops", 35, 95.0),
+            ("eve", "eng", 31, 130.0),
+        ],
+    )
+
+
+class TestRelation:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("r", ("a", "a"))
+
+    def test_arity_checked(self):
+        with pytest.raises(SchemaError):
+            Relation("r", ("a", "b"), [(1,)])
+
+    def test_unknown_column(self, people):
+        with pytest.raises(SchemaError):
+            people.column_index("nope")
+
+    def test_select_predicate(self, people):
+        young = people.select(lambda r: r["age"] < 32)
+        assert len(young) == 3
+
+    def test_where_equal(self, people):
+        eng = people.where_equal("dept", "eng")
+        assert {row[0] for row in eng.rows} == {"ann", "bob", "eve"}
+
+    def test_project(self, people):
+        names = people.project(["name"])
+        assert names.columns == ("name",)
+        assert len(names) == 5
+
+    def test_rename(self, people):
+        renamed = people.rename({"dept": "department"})
+        assert "department" in renamed.columns
+        assert "dept" not in renamed.columns
+
+    def test_derive(self, people):
+        derived = people.derive("age_group", lambda r: (r["age"] // 10) * 10)
+        assert derived.columns[-1] == "age_group"
+        assert derived.rows[0][-1] == 30
+
+    def test_derive_existing_column_rejected(self, people):
+        with pytest.raises(SchemaError):
+            people.derive("age", lambda r: 0)
+
+    def test_distinct_values(self, people):
+        assert people.distinct_values("dept") == ["'eng'", "'ops'"] or \
+            people.distinct_values("dept") == ["eng", "ops"]
+
+    def test_join(self, people):
+        departments = Relation(
+            "departments",
+            ("dept_name", "floor"),
+            [("eng", 2), ("ops", 3)],
+        )
+        joined = people.join(departments, on=[("dept", "dept_name")])
+        assert len(joined) == 5
+        assert "floor" in joined.columns
+        assert "dept_name" not in joined.columns
+
+    def test_join_duplicate_columns_rejected(self, people):
+        other = Relation("other", ("name", "dept"), [("x", "eng")])
+        with pytest.raises(SchemaError):
+            people.join(other, on=[("dept", "dept")])
+
+    def test_join_empty_on_rejected(self, people):
+        with pytest.raises(SchemaError):
+            people.join(people.rename({"name": "n2", "dept": "d2",
+                                       "age": "a2", "salary": "s2"}), on=[])
+
+    def test_head(self, people):
+        assert len(people.head(2)) == 2
+
+
+class TestDatabase:
+    def test_add_get(self, people):
+        db = Database()
+        db.add(people)
+        assert db.get("people") is people
+        assert "people" in db
+        assert db.names() == ["people"]
+
+    def test_unknown_relation(self):
+        with pytest.raises(SchemaError):
+            Database().get("missing")
+
+
+class TestAggregation:
+    def test_group_by_avg(self, people):
+        query = AggregateQuery(group_by=("dept",), aggregate="avg",
+                               target="salary")
+        result = run_aggregate(people, query)
+        as_dict = dict(zip([g[0] for g in result.groups], result.values))
+        assert as_dict["eng"] == pytest.approx(120.0)
+        assert as_dict["ops"] == pytest.approx(92.5)
+
+    def test_order_desc_default(self, people):
+        query = AggregateQuery(group_by=("dept",), aggregate="avg",
+                               target="salary")
+        result = run_aggregate(people, query)
+        assert result.values == sorted(result.values, reverse=True)
+
+    def test_order_asc(self, people):
+        query = AggregateQuery(group_by=("dept",), aggregate="avg",
+                               target="salary", descending=False)
+        result = run_aggregate(people, query)
+        assert result.values == sorted(result.values)
+
+    def test_having_count(self, people):
+        query = AggregateQuery(group_by=("age",), aggregate="avg",
+                               target="salary", having_count_gt=1)
+        result = run_aggregate(people, query)
+        assert result.groups == [(31,)]
+
+    def test_where_filters(self, people):
+        query = AggregateQuery(
+            group_by=("dept",), aggregate="count", target=None,
+            where=(("age", ">", 30),),
+        )
+        result = run_aggregate(people, query)
+        as_dict = dict(zip([g[0] for g in result.groups], result.values))
+        assert as_dict == {"eng": 3.0, "ops": 1.0}
+
+    def test_limit(self, people):
+        query = AggregateQuery(group_by=("name",), aggregate="avg",
+                               target="salary", limit=2)
+        result = run_aggregate(people, query)
+        assert result.n == 2
+
+    def test_sum_min_max_median(self, people):
+        for aggregate, expected_eng in [
+            ("sum", 360.0), ("min", 110.0), ("max", 130.0), ("median", 120.0),
+        ]:
+            query = AggregateQuery(group_by=("dept",), aggregate=aggregate,
+                                   target="salary")
+            result = run_aggregate(people, query)
+            as_dict = dict(zip([g[0] for g in result.groups], result.values))
+            assert as_dict["eng"] == pytest.approx(expected_eng), aggregate
+
+    def test_to_answer_set(self, people):
+        query = AggregateQuery(group_by=("dept", "age"), aggregate="avg",
+                               target="salary")
+        answers = run_aggregate(people, query).to_answer_set()
+        assert answers.m == 2
+        assert answers.values == sorted(answers.values, reverse=True)
+
+    def test_to_relation(self, people):
+        query = AggregateQuery(group_by=("dept",), aggregate="avg",
+                               target="salary")
+        relation = run_aggregate(people, query).to_relation()
+        assert relation.columns == ("dept", "val")
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(QueryError):
+            AggregateQuery(group_by=("a",), aggregate="stdev", target="x")
+
+    def test_missing_target_rejected(self):
+        with pytest.raises(QueryError):
+            AggregateQuery(group_by=("a",), aggregate="avg", target=None)
+
+    def test_empty_group_by_rejected(self):
+        with pytest.raises(QueryError):
+            AggregateQuery(group_by=(), aggregate="avg", target="x")
+
+    def test_unknown_where_column_rejected(self, people):
+        query = AggregateQuery(
+            group_by=("dept",), aggregate="avg", target="salary",
+            where=(("ghost", "=", 1),),
+        )
+        with pytest.raises(SchemaError):
+            run_aggregate(people, query)

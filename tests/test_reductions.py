@@ -1,0 +1,110 @@
+"""Empirical verification of the Theorem A.2 NP-hardness reduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import InvalidParameterError
+from repro.core.reductions import (
+    TripartiteInstance,
+    has_nontrivial_feasible_solution,
+    minimum_vertex_cover,
+    random_tripartite,
+    reduction_answer_set,
+    verify_reduction,
+)
+
+
+@pytest.fixture
+def triangle_instance() -> TripartiteInstance:
+    """One edge between each pair of parts: min vertex cover = 2."""
+    return TripartiteInstance(
+        x_part=("x1",), y_part=("y1",), z_part=("z1",),
+        edges=(("x1", "y1"), ("y1", "z1"), ("x1", "z1")),
+    )
+
+
+class TestConstruction:
+    def test_one_tuple_per_edge(self, triangle_instance):
+        answers = reduction_answer_set(triangle_instance)
+        assert answers.n == 3
+        assert answers.m == 3
+
+    def test_uniform_weights(self, triangle_instance):
+        answers = reduction_answer_set(triangle_instance)
+        assert set(answers.values) == {1.0}
+
+    def test_fresh_fillers_are_unique(self):
+        instance = TripartiteInstance(
+            x_part=("x1", "x2"), y_part=("y1",), z_part=(),
+            edges=(("x1", "y1"), ("x2", "y1")),
+        )
+        answers = reduction_answer_set(instance)
+        fillers = [answers.decode(e)[2] for e in answers.elements]
+        assert len(set(fillers)) == 2
+
+    def test_parts_must_be_disjoint(self):
+        with pytest.raises(InvalidParameterError):
+            TripartiteInstance(("a",), ("a",), (), (("a", "a"),))
+
+    def test_edges_within_a_part_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            TripartiteInstance(
+                ("x1", "x2"), ("y1",), (), (("x1", "x2"),)
+            )
+
+    def test_graph_export(self, triangle_instance):
+        graph = triangle_instance.graph()
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 3
+
+
+class TestVertexCover:
+    def test_triangle_cover_is_two(self, triangle_instance):
+        assert len(minimum_vertex_cover(triangle_instance)) == 2
+
+    def test_star_cover_is_one(self):
+        instance = TripartiteInstance(
+            x_part=("x1",), y_part=("y1", "y2"), z_part=("z1",),
+            edges=(("x1", "y1"), ("x1", "y2"), ("x1", "z1")),
+        )
+        cover = minimum_vertex_cover(instance)
+        assert cover == {"x1"}
+
+    def test_size_guard(self):
+        instance = random_tripartite(part_size=6, edge_probability=0.5, seed=1)
+        with pytest.raises(InvalidParameterError):
+            minimum_vertex_cover(instance)
+
+
+class TestEquivalence:
+    def test_triangle_equivalence(self, triangle_instance):
+        result = verify_reduction(triangle_instance)
+        assert result["cover_size"] == 2
+        assert result["feasible_at_cover_size"] is True
+        assert result["feasible_below_cover_size"] is False
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_instances_equivalence(self, seed):
+        """The reduction's iff, checked by exhaustive search both sides."""
+        instance = random_tripartite(
+            part_size=2, edge_probability=0.5, seed=seed
+        )
+        result = verify_reduction(instance)
+        assert result["feasible_at_cover_size"] is True
+        if result["cover_size"] > 0:
+            assert result["feasible_below_cover_size"] is False
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_feasibility_monotone_in_k(self, seed):
+        instance = random_tripartite(
+            part_size=2, edge_probability=0.6, seed=seed + 50
+        )
+        answers = reduction_answer_set(instance)
+        feasible = [
+            has_nontrivial_feasible_solution(answers, k)
+            for k in range(1, 7)
+        ]
+        # Once feasible, staying feasible for larger k.
+        first_true = feasible.index(True) if True in feasible else len(feasible)
+        assert all(feasible[first_true:])

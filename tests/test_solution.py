@@ -1,0 +1,106 @@
+"""Tests for Solution and the Definition 4.1 feasibility checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.semilattice import ClusterPool
+from repro.core.solution import (
+    Solution,
+    check_feasibility,
+    is_feasible,
+    redundant_elements,
+)
+
+
+def _solution_from_patterns(pool, patterns):
+    return Solution.from_clusters(
+        [pool.cluster(p) for p in patterns], pool.answers
+    )
+
+
+class TestSolutionObject:
+    def test_avg_counts_each_element_once(self, small_answers):
+        pool = ClusterPool(small_answers, L=6)
+        # Two overlapping clusters: covered union must dedupe.
+        c1 = pool.singleton(0)
+        c2 = pool.cluster(
+            tuple(
+                v if i == 0 else -1
+                for i, v in enumerate(small_answers.elements[0])
+            )
+        )
+        solution = Solution.from_clusters([c1, c2], small_answers)
+        assert solution.covered == c1.covered | c2.covered
+        assert solution.avg == pytest.approx(
+            small_answers.avg_of(solution.covered)
+        )
+
+    def test_clusters_sorted_by_avg_descending(self, small_answers):
+        pool = ClusterPool(small_answers, L=6)
+        solution = _solution_from_patterns(
+            pool, [small_answers.elements[i] for i in range(4)]
+        )
+        averages = [c.avg for c in solution.clusters]
+        assert averages == sorted(averages, reverse=True)
+
+    def test_describe_renders_one_line_per_cluster(self, small_answers):
+        pool = ClusterPool(small_answers, L=3)
+        solution = _solution_from_patterns(
+            pool, [small_answers.elements[0]]
+        )
+        text = solution.describe(small_answers)
+        assert "avg=" in text and text.count("\n") == 0
+
+    def test_redundant_elements(self, small_answers):
+        pool = ClusterPool(small_answers, L=2)
+        solution = Solution.from_clusters([pool.root()], small_answers)
+        redundant = redundant_elements(solution, small_answers, L=2)
+        assert redundant == set(range(2, small_answers.n))
+
+
+class TestFeasibility:
+    def test_trivial_solution_always_feasible(self, small_answers):
+        pool = ClusterPool(small_answers, L=5)
+        solution = Solution.from_clusters([pool.root()], small_answers)
+        assert is_feasible(solution, small_answers, k=1, L=5, D=4)
+
+    def test_size_violation(self, small_answers):
+        pool = ClusterPool(small_answers, L=5)
+        solution = _solution_from_patterns(
+            pool, [small_answers.elements[i] for i in range(5)]
+        )
+        violations = check_feasibility(solution, small_answers, k=2, L=5, D=0)
+        assert any(v.startswith("size") for v in violations)
+
+    def test_coverage_violation_reports_missing_ranks(self, small_answers):
+        pool = ClusterPool(small_answers, L=5)
+        solution = _solution_from_patterns(pool, [small_answers.elements[0]])
+        violations = check_feasibility(solution, small_answers, k=5, L=3, D=0)
+        coverage = [v for v in violations if v.startswith("coverage")]
+        assert len(coverage) == 1
+        assert "1" in coverage[0] and "2" in coverage[0]
+
+    def test_distance_violation(self, small_answers):
+        pool = ClusterPool(small_answers, L=5)
+        solution = _solution_from_patterns(
+            pool, [small_answers.elements[0], small_answers.elements[1]]
+        )
+        high_d = small_answers.m + 1
+        violations = check_feasibility(
+            solution, small_answers, k=5, L=1, D=high_d
+        )
+        assert any(v.startswith("distance") for v in violations)
+
+    def test_incomparability_violation(self, small_answers):
+        pool = ClusterPool(small_answers, L=5)
+        element = small_answers.elements[0]
+        parent = tuple(-1 if i == 0 else v for i, v in enumerate(element))
+        solution = _solution_from_patterns(pool, [element, parent])
+        violations = check_feasibility(solution, small_answers, k=5, L=1, D=0)
+        assert any(v.startswith("incomparability") for v in violations)
+
+    def test_L_zero_means_no_coverage_requirement(self, small_answers):
+        pool = ClusterPool(small_answers, L=5)
+        solution = _solution_from_patterns(pool, [small_answers.elements[4]])
+        assert is_feasible(solution, small_answers, k=1, L=0, D=0)

@@ -1,0 +1,148 @@
+"""Tests for the restricted SQL parser (Appendix A.8 template)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.query.relation import Database, Relation
+from repro.query.sql import execute_sql, parse_query, tokenize
+
+
+@pytest.fixture
+def ratings() -> Relation:
+    return Relation(
+        "ratings",
+        ("genre", "gender", "rating", "adventure"),
+        [
+            ("action", "M", 4.0, 1),
+            ("action", "F", 3.0, 1),
+            ("drama", "M", 5.0, 0),
+            ("drama", "F", 4.0, 0),
+            ("action", "M", 2.0, 1),
+        ],
+    )
+
+
+class TestTokenizer:
+    def test_keywords_lowered(self):
+        tokens = tokenize("SELECT x FROM t")
+        assert tokens[0].kind == "keyword" and tokens[0].text == "select"
+
+    def test_numbers_and_strings(self):
+        tokens = tokenize("42 3.14 'it''s'")
+        assert [t.kind for t in tokens] == ["number", "number", "string"]
+
+    def test_operators(self):
+        tokens = tokenize("<= >= != <> = < >")
+        assert all(t.kind == "op" for t in tokens)
+
+    def test_illegal_character(self):
+        with pytest.raises(QueryError):
+            tokenize("select ; from t")
+
+
+class TestParser:
+    def test_full_template(self):
+        table, query = parse_query(
+            "SELECT genre, gender, avg(rating) AS val FROM ratings "
+            "WHERE adventure = 1 GROUP BY genre, gender "
+            "HAVING count(*) > 1 ORDER BY val DESC LIMIT 10"
+        )
+        assert table == "ratings"
+        assert query.group_by == ("genre", "gender")
+        assert query.aggregate == "avg"
+        assert query.target == "rating"
+        assert query.where == (("adventure", "=", 1),)
+        assert query.having_count_gt == 1
+        assert query.descending is True
+        assert query.limit == 10
+
+    def test_minimal_template(self):
+        table, query = parse_query(
+            "SELECT g, avg(r) AS val FROM t GROUP BY g"
+        )
+        assert table == "t"
+        assert query.having_count_gt == 0
+        assert query.limit is None
+
+    def test_count_star(self):
+        _, query = parse_query(
+            "SELECT g, count(*) AS val FROM t GROUP BY g"
+        )
+        assert query.aggregate == "count"
+        assert query.target is None
+
+    def test_order_asc(self):
+        _, query = parse_query(
+            "SELECT g, avg(r) AS val FROM t GROUP BY g ORDER BY val ASC"
+        )
+        assert query.descending is False
+
+    def test_string_literal_predicate(self):
+        _, query = parse_query(
+            "SELECT g, avg(r) AS val FROM t WHERE name = 'it''s' GROUP BY g"
+        )
+        assert query.where == (("name", "=", "it's"),)
+
+    def test_multiple_and_predicates(self):
+        _, query = parse_query(
+            "SELECT g, avg(r) AS val FROM t "
+            "WHERE a >= 2 AND b != 'x' AND c < 1.5 GROUP BY g"
+        )
+        assert query.where == (
+            ("a", ">=", 2), ("b", "!=", "x"), ("c", "<", 1.5)
+        )
+
+    @pytest.mark.parametrize("bad", [
+        "SELECT avg(r) AS val FROM t GROUP BY g",      # no grouping column
+        "SELECT g, avg(r) AS score FROM t GROUP BY g",  # alias must be val
+        "SELECT g, avg(r) AS val FROM t GROUP BY h",    # group-by mismatch
+        "SELECT g, stdev(r) AS val FROM t GROUP BY g",  # unknown aggregate
+        "SELECT g, avg(r) AS val FROM t GROUP BY g HAVING sum(*) > 1",
+        "SELECT g, avg(r) AS val FROM t GROUP BY g HAVING count(*) >= 1",
+        "SELECT g, avg(r) AS val FROM t GROUP BY g ORDER BY g",
+        "SELECT g, avg(r) AS val FROM t GROUP BY g LIMIT 2.5",
+        "SELECT g, avg(r) AS val FROM t GROUP BY g trailing",
+        "SELECT g, avg(*) AS val FROM t GROUP BY g",    # * only for count
+        "SELECT g, avg(r) AS val WHERE a = 1 GROUP BY g",  # missing FROM
+    ])
+    def test_rejected_queries(self, bad):
+        with pytest.raises(QueryError):
+            parse_query(bad)
+
+
+class TestExecution:
+    def test_execute_against_relation(self, ratings):
+        result = execute_sql(
+            "SELECT genre, avg(rating) AS val FROM ratings "
+            "WHERE adventure = 1 GROUP BY genre",
+            ratings,
+        )
+        assert result.groups == [("action",)]
+        assert result.values[0] == pytest.approx(3.0)
+
+    def test_execute_against_database(self, ratings):
+        db = Database()
+        db.add(ratings)
+        result = execute_sql(
+            "SELECT gender, avg(rating) AS val FROM ratings GROUP BY gender",
+            db,
+        )
+        assert result.n == 2
+
+    def test_wrong_relation_name(self, ratings):
+        with pytest.raises(QueryError):
+            execute_sql(
+                "SELECT g, avg(r) AS val FROM other GROUP BY g", ratings
+            )
+
+    def test_example_query_shape(self, ratings):
+        # The Example 1.1 shape end to end.
+        result = execute_sql(
+            "SELECT genre, gender, avg(rating) AS val FROM ratings "
+            "GROUP BY genre, gender HAVING count(*) > 1 ORDER BY val DESC",
+            ratings,
+        )
+        answers = result.to_answer_set()
+        assert answers.values == sorted(answers.values, reverse=True)
