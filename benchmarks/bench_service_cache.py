@@ -1,0 +1,102 @@
+"""Service-layer cache: cold vs. warm Engine request latency.
+
+The engine's claim (and the paper's serving model, Section 6 / Figure 7):
+the first request over a (dataset, L) pays initialization, every later one
+is answered from shared cached state at interactive speed.  This benchmark
+pins that down so cache regressions (a key that stops matching, an LRU
+bound that thrashes, an accidental rebuild) show up as a collapsed
+warm/cold ratio or a sunk hit rate.
+
+Reported series: per-request latency cold (first submission) and warm
+(resubmission), the speedup, and the engine's pool/store hit rates over a
+simulated multi-user exploration trace.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.loader import PAPER_N_DEFAULT, synthetic_answer_set
+from repro.service import Engine, ExploreRequest, SummaryRequest
+
+from conftest import measure
+
+L_VALUES = (50, 100, 200)
+K, D = 10, 2
+
+
+def _engine(n=PAPER_N_DEFAULT):
+    engine = Engine()
+    engine.register_dataset(
+        "synthetic", synthetic_answer_set(n, m=8, domain_size=6, seed=1)
+    )
+    return engine
+
+
+def test_cold_vs_warm_summary(report, benchmark):
+    engine = _engine()
+    report.add("Service cache: cold vs warm SummaryRequest latency "
+               "(N=%d, k=%d, D=%d)" % (PAPER_N_DEFAULT, K, D))
+    rows = []
+    for L in L_VALUES:
+        request = SummaryRequest(dataset="synthetic", k=K, L=L, D=D)
+        cold, cold_seconds = measure(lambda: engine.submit(request))
+        warm, warm_seconds = measure(lambda: engine.submit(request))
+        assert cold.cache_hit is False
+        assert warm.cache_hit is True
+        rows.append([
+            L,
+            "%.1f" % (cold_seconds * 1e3),
+            "%.1f" % (warm_seconds * 1e3),
+            "%.0fx" % (cold_seconds / max(warm_seconds, 1e-9)),
+        ])
+    report.table(["L", "cold (ms)", "warm (ms)", "speedup"], rows)
+    warm_request = SummaryRequest(dataset="synthetic", k=K, L=L_VALUES[0],
+                                  D=D)
+    benchmark(lambda: engine.submit(warm_request))
+
+
+def test_cold_vs_warm_explore(report, benchmark):
+    engine = _engine()
+    L, k_range, d_values = 100, (2, 20), (1, 2, 3)
+    report.add("Service cache: ExploreRequest store build vs retrieval "
+               "(L=%d, k in %s, D in %s)" % (L, list(k_range),
+                                             list(d_values)))
+    request = ExploreRequest(dataset="synthetic", k=10, L=L, D=2,
+                             k_range=k_range, d_values=d_values)
+    cold, cold_seconds = measure(lambda: engine.submit(request))
+    warm, warm_seconds = measure(lambda: engine.submit(request))
+    assert cold.cache_hit is False and warm.cache_hit is True
+    report.table(
+        ["phase", "latency (ms)"],
+        [["cold (pool + sweep)", "%.1f" % (cold_seconds * 1e3)],
+         ["warm (retrieval)", "%.2f" % (warm_seconds * 1e3)]],
+    )
+    benchmark(lambda: engine.submit(request))
+
+
+def test_multi_user_trace_hit_rate(report, benchmark):
+    """A Figure 7b-style trace: several users tweaking (k, L, D)."""
+    engine = _engine()
+    trace = [
+        (10, 100, 2), (12, 100, 2), (10, 100, 3),   # user 1 tweaks k, D
+        (10, 100, 2), (8, 100, 2),                  # user 2, same L
+        (10, 200, 2), (12, 200, 2),                 # user 3, bigger L
+        (10, 100, 2),                               # user 4 repeats user 1
+    ]
+    _, total_seconds = measure(lambda: [
+        engine.submit(SummaryRequest(dataset="synthetic", k=k, L=L, D=D))
+        for k, L, D in trace
+    ])
+    stats = engine.stats()
+    report.add("Service cache: %d-request multi-user trace in %.1f ms"
+               % (len(trace), total_seconds * 1e3))
+    report.table(
+        ["metric", "value"],
+        [["pool builds", stats.pools.misses],
+         ["pool hits", stats.pools.hits],
+         ["pool hit rate", "%.2f" % stats.pools.hit_rate],
+         ["requests", stats.requests]],
+    )
+    assert stats.pools.misses == 2  # only L=100 and L=200 were built
+    benchmark(lambda: engine.submit(
+        SummaryRequest(dataset="synthetic", k=11, L=100, D=2)
+    ))

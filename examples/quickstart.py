@@ -1,17 +1,18 @@
 """Quickstart: summarize the top answers of an aggregate query.
 
 Builds a tiny ratings table, runs the paper's aggregate query template
-through the SQL front end, and summarizes the high-valued groups as k=3
-clusters covering the top L=6 answers with pairwise distance >= 2 —
-the core operation of the paper in ~30 lines.
+through the SQL front end, registers the result with a service
+:class:`~repro.service.Engine`, and submits a typed
+:class:`~repro.service.SummaryRequest`: k=3 clusters covering the top L=6
+answers with pairwise distance >= 2 — the core operation of the paper,
+through the stable API every front end uses.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import summarize
-from repro.interactive import ExplorationSession
+from repro import Engine, SummaryRequest
 from repro.query import Relation, execute_sql
 
 ratings = Relation(
@@ -51,12 +52,28 @@ def main() -> None:
                answers.values[rank])
         )
 
-    solution = summarize(answers, k=3, L=6, D=2, algorithm="hybrid")
+    engine = Engine()
+    engine.register_dataset("ratings", answers)
+    response = engine.submit(
+        SummaryRequest(dataset="ratings", k=3, L=6, D=2,
+                       algorithm="hybrid", include_elements=True)
+    )
+
     print("\nk=3 clusters covering the top 6 (distance >= 2):")
-    session = ExplorationSession(answers)
-    print(session.describe(solution, expand_all=True))
+    for cluster in response.clusters:
+        rendered = ", ".join(str(v) for v in cluster.pattern)
+        print("(%s)  avg=%.4f  [%d elements]"
+              % (rendered, cluster.avg, cluster.size))
+        for row in cluster.elements:
+            print("    rank %3d: (%s)  val=%.4f"
+                  % (row.rank, ", ".join(str(v) for v in row.values),
+                     row.value))
+
     print("\nobjective avg(O) = %.3f  (trivial lower bound = %.3f)"
-          % (solution.avg, answers.avg_all()))
+          % (response.objective, answers.avg_all()))
+    print("served in %.1f ms (init %.1f ms, cache_hit=%s)"
+          % (response.total_seconds * 1e3, response.init_seconds * 1e3,
+             response.cache_hit))
 
 
 if __name__ == "__main__":

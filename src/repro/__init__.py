@@ -6,18 +6,32 @@ most ``k`` clusters (patterns with don't-care ``*`` values) that cover the
 top-``L`` original answers and are pairwise at distance >= ``D``, maximizing
 the average value of everything the clusters cover (Max-Avg).
 
-Quickstart::
+Quickstart (service API)::
 
-    from repro import AnswerSet, summarize
+    from repro import AnswerSet, Engine, SummaryRequest
 
-    answers = AnswerSet.from_rows(rows, values, attributes=names)
-    solution = summarize(answers, k=4, L=8, D=2)
-    print(solution.describe(answers))
+    engine = Engine()
+    engine.register_dataset(
+        "answers", AnswerSet.from_rows(rows, values, attributes=names))
+    response = engine.submit(
+        SummaryRequest(dataset="answers", k=4, L=8, D=2))
+    print(response.objective, response.cache_hit)
+
+The engine caches initialization per (dataset, L), so resubmitting with
+tweaked parameters is answered at interactive speed — the paper's Section 6
+serving model.  Every request/response round-trips through JSON
+(``to_dict``/``from_dict``), which is also what ``repro-summarize --json``
+and ``repro-serve`` emit.  The older one-call :func:`repro.summarize` still
+works but is deprecated in favour of the engine.
 
 Subpackages
 -----------
 ``repro.core``
-    Pattern algebra, problem model, greedy + exact algorithms (Sections 3-5).
+    Pattern algebra, problem model, the pluggable algorithm registry,
+    greedy + exact algorithms (Sections 3-5).
+``repro.service``
+    Typed request/response wire format, the shared cached engine, and the
+    JSON-lines serving loop behind ``repro-serve``.
 ``repro.interactive``
     Incremental precomputation, interval-tree solution store, parameter
     guidance view, exploration sessions (Section 6).
@@ -37,27 +51,49 @@ Subpackages
 
 from repro.core import (
     ALGORITHMS,
+    AlgorithmInfo,
     AnswerSet,
     Cluster,
     ClusterPool,
     ProblemInstance,
     Solution,
+    algorithm_infos,
+    algorithm_names,
     check_feasibility,
+    get_algorithm,
     is_feasible,
+    register_algorithm,
     summarize,
 )
+from repro.service import (
+    Engine,
+    ExploreRequest,
+    GuidanceRequest,
+    SummaryRequest,
+    SummaryResponse,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ALGORITHMS",
+    "AlgorithmInfo",
     "AnswerSet",
     "Cluster",
     "ClusterPool",
+    "Engine",
+    "ExploreRequest",
+    "GuidanceRequest",
     "ProblemInstance",
     "Solution",
+    "SummaryRequest",
+    "SummaryResponse",
+    "algorithm_infos",
+    "algorithm_names",
     "check_feasibility",
+    "get_algorithm",
     "is_feasible",
+    "register_algorithm",
     "summarize",
     "__version__",
 ]

@@ -1,29 +1,50 @@
 """Command-line interface: summarize aggregate answers from a CSV.
 
-The paper ships a web GUI; the library's equivalent entry point is a CLI::
+The paper ships a web GUI; the library's equivalent entry points are CLIs::
 
     repro-summarize data.csv \\
         --sql "SELECT a, b, avg(x) AS val FROM data GROUP BY a, b" \\
-        -k 4 -L 8 -D 2 [--algorithm hybrid] [--expand] [--guidance]
+        -k 4 -L 8 -D 2 [--algorithm hybrid] [--expand] [--guidance] [--json]
+
+    repro-serve [preload.csv ...]    # JSON-lines requests on stdin
 
 ``--sql`` runs the restricted aggregate template against the loaded CSV
 (the FROM name must match the file stem or --name); without it, the CSV is
 taken to *be* the answer set: every column but the last is a grouping
 attribute, the last column is the value.
+
+Both commands sit on :mod:`repro.service`: ``--json`` emits the same
+schema-versioned wire format the engine speaks, and ``repro-serve`` is the
+:func:`repro.service.serve.serve` loop over stdin/stdout.
+
+Exit codes: 0 success, 2 parameter/query errors, 3 I/O errors.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro.common.errors import ReproError
 from repro.core.answers import AnswerSet
-from repro.core.problem import ALGORITHMS, summarize
-from repro.interactive.session import ExplorationSession
-from repro.query.csv_io import read_csv
+from repro.core.registry import algorithm_names
+from repro.query.csv_io import answer_set_from_relation, read_csv
 from repro.query.sql import execute_sql
+from repro.service.api import GuidanceRequest, SummaryRequest
+from repro.service.engine import Engine
+
+#: Parameter, schema, or query errors — the request itself was wrong.
+EXIT_PARAM_ERROR = 2
+#: The request was fine but reading/writing data failed.
+EXIT_IO_ERROR = 3
+
+
+def _version() -> str:
+    from repro import __version__
+
+    return "%(prog)s " + __version__
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -32,6 +53,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Summarize top aggregate query answers as k diverse "
         "clusters covering the top-L (VLDB 2018 reproduction).",
     )
+    parser.add_argument("--version", action="version", version=_version())
     parser.add_argument("csv", type=Path, help="input CSV file")
     parser.add_argument(
         "--sql",
@@ -46,7 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("-D", type=int, required=True,
                         help="minimum pairwise cluster distance")
     parser.add_argument(
-        "--algorithm", default="hybrid", choices=sorted(ALGORITHMS),
+        "--algorithm", default="hybrid", choices=algorithm_names(),
         help="algorithm (default: hybrid)",
     )
     parser.add_argument("--expand", action="store_true",
@@ -55,55 +77,156 @@ def build_parser() -> argparse.ArgumentParser:
         "--guidance", action="store_true",
         help="print the parameter-guidance view around the chosen k and D",
     )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the service wire format (one JSON object per response) "
+        "instead of text",
+    )
     return parser
 
 
-def _answers_from_args(args: argparse.Namespace) -> AnswerSet:
-    relation = read_csv(args.csv, name=args.name)
-    if args.sql:
-        return execute_sql(args.sql, relation).to_answer_set()
+def _answers_from_csv(
+    csv_path: Path, sql: str | None, name: str | None
+) -> tuple[str, AnswerSet]:
+    """Load a CSV into a (dataset name, AnswerSet) pair."""
+    relation = read_csv(csv_path, name=name)
+    if sql:
+        return relation.name, execute_sql(sql, relation).to_answer_set()
     if len(relation.columns) < 2:
         raise ReproError(
             "without --sql the CSV needs grouping columns plus a value "
             "column"
         )
-    groups = [row[:-1] for row in relation.rows]
-    values = [float(row[-1]) for row in relation.rows]
-    return AnswerSet.from_rows(
-        groups, values, attributes=relation.columns[:-1]
+    return relation.name, answer_set_from_relation(relation)
+
+
+def _describe_response(response, expand_all: bool = False) -> str:
+    """Render a SummaryResponse like Figure 1b (or 1c with *expand_all*)."""
+    lines = []
+    for cluster in response.clusters:
+        rendered = ", ".join(str(v) for v in cluster.pattern)
+        lines.append(
+            "(%s)  avg=%.4f  [%d elements]"
+            % (rendered, cluster.avg, cluster.size)
+        )
+        if expand_all:
+            for row in cluster.elements:
+                rendered_row = ", ".join(str(v) for v in row.values)
+                lines.append(
+                    "    rank %3d: (%s)  val=%.4f"
+                    % (row.rank, rendered_row, row.value)
+                )
+    return "\n".join(lines)
+
+
+def _print_text_summary(args, answers, response) -> None:
+    print(
+        "n=%d answers; %d clusters (k=%d, L=%d, D=%d, %s); "
+        "avg(O)=%.4f  [init %.0f ms, algo %.0f ms]"
+        % (
+            answers.n, response.solution_size, response.k, response.L,
+            response.D, response.algorithm, response.objective,
+            response.init_seconds * 1e3, response.algo_seconds * 1e3,
+        )
     )
+    print(_describe_response(response, expand_all=args.expand))
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        answers = _answers_from_args(args)
-        session = ExplorationSession(answers)
+        dataset, answers = _answers_from_csv(args.csv, args.sql, args.name)
+    except OSError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return EXIT_IO_ERROR
+    except ReproError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return EXIT_PARAM_ERROR
+    try:
+        engine = Engine()
+        engine.register_dataset(dataset, answers)
         L = min(args.L, answers.n)
-        timed = session.solve(
-            k=args.k, L=L, D=args.D, algorithm=args.algorithm
+        request = SummaryRequest(
+            dataset=dataset,
+            k=args.k,
+            L=L,
+            D=args.D,
+            algorithm=args.algorithm,
+            include_elements=args.expand or args.json,
         )
-        print(
-            "n=%d answers; %d clusters (k=%d, L=%d, D=%d, %s); "
-            "avg(O)=%.4f  [init %.0f ms, algo %.0f ms]"
-            % (
-                answers.n, timed.solution.size, args.k, L, args.D,
-                args.algorithm, timed.solution.avg,
-                timed.init_seconds * 1e3, timed.algo_seconds * 1e3,
-            )
-        )
-        print(session.describe(timed.solution, expand_all=args.expand))
+        response = engine.submit(request)
+        if args.json:
+            print(response.to_json())
+        else:
+            _print_text_summary(args, answers, response)
         if args.guidance:
             k_lo = max(2, args.k - 4)
             k_hi = min(answers.n, args.k + 4)
             d_values = sorted({max(0, args.D - 1), args.D, args.D + 1})
             d_values = [d for d in d_values if d <= answers.m]
-            view = session.guidance(L, (k_lo, k_hi), d_values)
-            print()
-            print(view.render_ascii(width=48, height=10))
+            if args.json:
+                guidance = engine.submit(
+                    GuidanceRequest(
+                        dataset=dataset, L=L, k_range=(k_lo, k_hi),
+                        d_values=tuple(d_values),
+                    )
+                )
+                print(guidance.to_json())
+            else:
+                from repro.interactive.guidance import build_guidance_view
+
+                store, _, _ = engine.checkout_store(
+                    dataset, L, (k_lo, k_hi), d_values
+                )
+                view = build_guidance_view(store)
+                print()
+                print(view.render_ascii(width=48, height=10))
     except ReproError as error:
         print("error: %s" % error, file=sys.stderr)
-        return 2
+        return EXIT_PARAM_ERROR
+    return 0
+
+
+# -- repro-serve ----------------------------------------------------------------
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve summarization requests as JSON lines: one "
+        "request object per stdin line, one response per stdout line.",
+    )
+    parser.add_argument("--version", action="version", version=_version())
+    parser.add_argument(
+        "csv", nargs="*", type=Path,
+        help="CSV files to preload as datasets (named by file stem; last "
+        "column is the value)",
+    )
+    return parser
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    from repro.service.serve import serve
+
+    args = build_serve_parser().parse_args(argv)
+    engine = Engine()
+    try:
+        for csv_path in args.csv:
+            dataset, answers = _answers_from_csv(csv_path, None, None)
+            engine.register_dataset(dataset, answers)
+    except OSError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return EXIT_IO_ERROR
+    except ReproError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return EXIT_PARAM_ERROR
+    banner = {
+        "schema_version": 1,
+        "kind": "ready",
+        "datasets": engine.dataset_names(),
+    }
+    print(json.dumps(banner, sort_keys=True), flush=True)
+    serve(sys.stdin, sys.stdout, engine=engine)
     return 0
 
 

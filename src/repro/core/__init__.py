@@ -16,6 +16,15 @@ from repro.core.cluster import (
     lca_many,
     level,
 )
+from repro.core.registry import (
+    AlgorithmInfo,
+    algorithm_infos,
+    algorithm_names,
+    get_algorithm,
+    register_algorithm,
+    unregister_algorithm,
+    validate_algorithm_kwargs,
+)
 from repro.core.semilattice import ClusterPool
 from repro.core.solution import Solution, check_feasibility, is_feasible
 from repro.core.problem import ProblemInstance, summarize, ALGORITHMS
@@ -43,6 +52,13 @@ __all__ = [
     "ProblemInstance",
     "MergeEngine",
     "ALGORITHMS",
+    "AlgorithmInfo",
+    "algorithm_infos",
+    "algorithm_names",
+    "get_algorithm",
+    "register_algorithm",
+    "unregister_algorithm",
+    "validate_algorithm_kwargs",
     "covers",
     "distance",
     "lca",

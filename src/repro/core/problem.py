@@ -3,16 +3,29 @@
 :class:`ProblemInstance` bundles an :class:`~repro.core.answers.AnswerSet`
 with the three user parameters of Definition 4.1 — size k, coverage L,
 distance D — validates them, and lazily materializes the cluster pool.
-:func:`summarize` is the one-call API most examples use.
+
+The paper's nine algorithms register themselves here with
+:func:`~repro.core.registry.register_algorithm`; new front ends should
+resolve algorithms through :mod:`repro.core.registry` (or, one level up,
+submit requests through :class:`repro.service.Engine`).  The module-level
+``ALGORITHMS`` mapping and the one-call :func:`summarize` helper remain as
+deprecated shims for pre-service-layer code.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Literal
+from typing import Literal
 
 from repro.common.errors import InvalidParameterError
 from repro.core.answers import AnswerSet
+from repro.core.registry import (
+    AlgorithmsView,
+    get_algorithm,
+    register_algorithm,
+    validate_algorithm_kwargs,
+)
 from repro.core.semilattice import ClusterPool, MappingStrategy
 from repro.core.solution import Solution
 
@@ -34,27 +47,37 @@ class ProblemInstance:
     """An (S, k, L, D) instance of the Max-Avg summarization problem.
 
     Parameter semantics follow Section 4.1: all three parameters are
-    optional in spirit — ``D=0`` disables the distance constraint, ``L``
-    defaults to k (cover the original top-k), and ``k`` defaults to n (no
-    size limit).  ``L=0`` (no coverage constraint) is normalized to ``L=1``
-    for the algorithms, which matches the paper's suggestion of covering at
-    least the single highest-valued element.
+    optional — ``D=0`` disables the distance constraint, ``L=None``
+    defaults to k (cover the original top-k), and ``k=None`` defaults to n
+    (no size limit).  ``L=0`` (no coverage constraint) is normalized to
+    ``L=1``, which matches the paper's suggestion of covering at least the
+    single highest-valued element.  Normalization happens once, before
+    validation, so the stored fields are the effective values the
+    algorithms run with.
     """
 
     answers: AnswerSet
-    k: int
-    L: int
-    D: int
+    k: int | None = None
+    L: int | None = None
+    D: int = 0
     mapping: MappingStrategy = "eager"
     _pool: ClusterPool | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         n, m = self.answers.n, self.answers.m
+        # Resolve the optional parameters to their effective values first;
+        # validation then sees exactly what the algorithms will see.
+        if self.k is None:
+            self.k = n
+        if self.L is None:
+            self.L = self.k
+        elif self.L == 0:
+            self.L = 1
         if not 1 <= self.k <= n:
             raise InvalidParameterError(
                 "k=%d out of range [1, %d]" % (self.k, n)
             )
-        if not 0 <= self.L <= n:
+        if not 1 <= self.L <= n:
             raise InvalidParameterError(
                 "L=%d out of range [0, %d]" % (self.L, n)
             )
@@ -62,8 +85,6 @@ class ProblemInstance:
             raise InvalidParameterError(
                 "D=%d out of range [0, %d]" % (self.D, m)
             )
-        if self.L == 0:
-            self.L = 1
 
     @property
     def pool(self) -> ClusterPool:
@@ -75,89 +96,135 @@ class ProblemInstance:
         return self._pool
 
     def solve(self, algorithm: AlgorithmName = "hybrid", **kwargs) -> Solution:
-        """Run the chosen algorithm; see :data:`ALGORITHMS` for names."""
-        try:
-            runner = ALGORITHMS[algorithm]
-        except KeyError:
-            raise InvalidParameterError(
-                "unknown algorithm %r; expected one of %s"
-                % (algorithm, sorted(ALGORITHMS))
-            ) from None
-        return runner(self, **kwargs)
+        """Run the chosen algorithm; see :func:`repro.core.registry.algorithm_names`."""
+        info = validate_algorithm_kwargs(algorithm, kwargs)
+        return info.runner(self, **kwargs)
 
 
+@register_algorithm(
+    "bottom-up",
+    cost="greedy",
+    complexity="O(L^2) merge candidates per step",
+    kwargs=("use_delta",),
+    summary="Algorithm 1: greedy pairwise merging from the top-L singletons",
+)
 def _run_bottom_up(instance: ProblemInstance, **kwargs) -> Solution:
     from repro.core.bottom_up import bottom_up
 
     return bottom_up(instance.pool, instance.k, instance.D, **kwargs)
 
 
+@register_algorithm(
+    "bottom-up-level",
+    cost="greedy",
+    complexity="O(L^2) after seeding at semilattice level D-1",
+    kwargs=("use_delta",),
+    summary="Section 5.1 variant (i): seed at level D-1 ancestors",
+)
 def _run_bottom_up_level(instance: ProblemInstance, **kwargs) -> Solution:
     from repro.core.bottom_up import bottom_up_level_start
 
     return bottom_up_level_start(instance.pool, instance.k, instance.D, **kwargs)
 
 
+@register_algorithm(
+    "bottom-up-pairwise",
+    cost="greedy",
+    complexity="O(L^2) with pairwise-LCA merge scoring",
+    summary="Section 5.1 variant (ii): merge the pair with the best LCA avg",
+)
 def _run_bottom_up_pairwise(instance: ProblemInstance, **kwargs) -> Solution:
     from repro.core.bottom_up import bottom_up_pairwise_avg
 
     return bottom_up_pairwise_avg(instance.pool, instance.k, instance.D, **kwargs)
 
 
+@register_algorithm(
+    "fixed-order",
+    cost="greedy",
+    complexity="O(L * k) incoming-element processing",
+    kwargs=("use_delta", "size_budget"),
+    summary="Algorithm 3: stream the top-L in value order into <= k clusters",
+)
 def _run_fixed_order(instance: ProblemInstance, **kwargs) -> Solution:
     from repro.core.fixed_order import fixed_order
 
     return fixed_order(instance.pool, instance.k, instance.D, **kwargs)
 
 
+@register_algorithm(
+    "random-fixed-order",
+    cost="heuristic",
+    complexity="O(L * k), randomized prefix",
+    kwargs=("seed",),
+    summary="Section 5.2: process k random top-L elements before the rest",
+)
 def _run_random_fixed_order(instance: ProblemInstance, **kwargs) -> Solution:
     from repro.core.fixed_order import random_fixed_order
 
     return random_fixed_order(instance.pool, instance.k, instance.D, **kwargs)
 
 
+@register_algorithm(
+    "kmeans-fixed-order",
+    cost="heuristic",
+    complexity="O(L * k) plus a k-modes clustering pass",
+    kwargs=("seed", "max_iterations"),
+    summary="Section 5.2: seed Fixed-Order with k-modes group patterns",
+)
 def _run_kmeans_fixed_order(instance: ProblemInstance, **kwargs) -> Solution:
     from repro.core.fixed_order import kmeans_fixed_order
 
     return kmeans_fixed_order(instance.pool, instance.k, instance.D, **kwargs)
 
 
+@register_algorithm(
+    "hybrid",
+    cost="greedy",
+    complexity="Fixed-Order with budget c*k, then Bottom-Up",
+    kwargs=("pool_factor", "use_delta"),
+    summary="Algorithm 4: the paper's recommended two-phase algorithm",
+)
 def _run_hybrid(instance: ProblemInstance, **kwargs) -> Solution:
     from repro.core.hybrid import hybrid
 
     return hybrid(instance.pool, instance.k, instance.D, **kwargs)
 
 
+@register_algorithm(
+    "brute-force",
+    cost="exact",
+    complexity="exponential branch-and-bound over candidate clusters",
+    summary="Section 5 baseline: exact optimum by exhaustive search",
+)
 def _run_brute_force(instance: ProblemInstance, **kwargs) -> Solution:
     from repro.core.brute_force import brute_force
 
     return brute_force(instance.pool, instance.k, instance.D, **kwargs)
 
 
+@register_algorithm(
+    "lower-bound",
+    cost="bound",
+    complexity="O(L): the all-covering root cluster",
+    summary="Trivial feasible solution; lower-bounds every objective",
+)
 def _run_lower_bound(instance: ProblemInstance, **kwargs) -> Solution:
     from repro.core.brute_force import lower_bound
 
     return lower_bound(instance.pool, **kwargs)
 
 
-ALGORITHMS: dict[str, Callable[..., Solution]] = {
-    "bottom-up": _run_bottom_up,
-    "bottom-up-level": _run_bottom_up_level,
-    "bottom-up-pairwise": _run_bottom_up_pairwise,
-    "fixed-order": _run_fixed_order,
-    "random-fixed-order": _run_random_fixed_order,
-    "kmeans-fixed-order": _run_kmeans_fixed_order,
-    "hybrid": _run_hybrid,
-    "brute-force": _run_brute_force,
-    "lower-bound": _run_lower_bound,
-}
+#: Deprecated name -> runner mapping; a live read-only view of the registry.
+#: Use :mod:`repro.core.registry` (or :class:`repro.service.Engine`) instead.
+ALGORITHMS = AlgorithmsView()
 
 
 def summarize(
     answers: AnswerSet,
-    k: int,
-    L: int,
-    D: int,
+    k: int | None = None,
+    L: int | None = None,
+    D: int = 0,
     algorithm: AlgorithmName = "hybrid",
     mapping: MappingStrategy = "eager",
     **kwargs,
@@ -165,12 +232,28 @@ def summarize(
     """Summarize an answer set with at most k clusters covering the top-L,
     pairwise distance >= D — the paper's core operation in one call.
 
+    .. deprecated:: 1.1
+        ``summarize`` runs with no shared state: every call rebuilds the
+        cluster pool.  Go through :meth:`repro.service.Engine.submit` (or
+        :class:`~repro.interactive.session.ExplorationSession`) to share
+        initialization across requests.
+
+    >>> import warnings
     >>> from repro.core.answers import AnswerSet
     >>> answers = AnswerSet.from_rows(
     ...     [("a", "x"), ("a", "y"), ("b", "x")], [3.0, 2.0, 1.0])
-    >>> solution = summarize(answers, k=1, L=2, D=0)
+    >>> with warnings.catch_warnings():
+    ...     warnings.simplefilter("ignore", DeprecationWarning)
+    ...     solution = summarize(answers, k=1, L=2, D=0)
     >>> solution.size
     1
     """
+    warnings.warn(
+        "repro.summarize() is deprecated; submit a SummaryRequest to a "
+        "repro.service.Engine (or use ExplorationSession) so pool "
+        "initialization is cached and shared",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     instance = ProblemInstance(answers, k=k, L=L, D=D, mapping=mapping)
     return instance.solve(algorithm, **kwargs)

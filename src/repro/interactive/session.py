@@ -6,8 +6,10 @@ generation + mapping) once per query, chooses an algorithm, and serves
 successive parameter changes from partial updates.  :class:`ExplorationSession`
 reproduces that flow as an API:
 
-* per-L cluster pools are cached (the "initialization" phase the paper
-  times separately);
+* initialization (per-L cluster pools, precomputed stores) is delegated to
+  a :class:`repro.service.Engine` — by default a private one, but sessions
+  can share an engine so concurrent explorations of the same dataset reuse
+  each other's initialization work;
 * ``solve`` runs a single algorithm invocation (the "single run" mode of
   Figure 7);
 * ``precompute``/``retrieve`` serve whole (k, D) ranges via
@@ -22,6 +24,7 @@ reproduces that flow as an API:
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass
 from typing import Any, Sequence
@@ -29,11 +32,14 @@ from typing import Any, Sequence
 from repro.common.errors import InvalidParameterError
 from repro.core.answers import AnswerSet
 from repro.core.cluster import Cluster
-from repro.core.problem import ALGORITHMS, ProblemInstance
+from repro.core.problem import ProblemInstance
+from repro.core.registry import validate_algorithm_kwargs
 from repro.core.semilattice import ClusterPool, MappingStrategy
 from repro.core.solution import Solution
 from repro.interactive.guidance import GuidanceView, build_guidance_view
 from repro.interactive.precompute import SolutionStore
+
+_session_counter = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -43,6 +49,7 @@ class TimedSolution:
     solution: Solution
     init_seconds: float
     algo_seconds: float
+    cache_hit: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -59,35 +66,65 @@ class ExpandedRow:
 
 
 class ExplorationSession:
-    """Stateful interactive exploration over one answer set."""
+    """Stateful interactive exploration over one answer set.
+
+    Parameters
+    ----------
+    answers:
+        The answer set to explore.
+    mapping:
+        Cluster-to-element mapping strategy for pool construction.
+    engine:
+        A shared :class:`repro.service.Engine` to draw cached pools and
+        stores from.  Omitted, the session creates a private engine —
+        the original single-user behaviour.
+    dataset:
+        Name to register (or find) *answers* under in the engine.
+    """
 
     def __init__(
         self,
         answers: AnswerSet,
         mapping: MappingStrategy = "eager",
+        engine=None,
+        dataset: str | None = None,
     ) -> None:
+        from repro.service.engine import Engine
+
         self.answers = answers
         self.mapping = mapping
-        self._pools: dict[int, ClusterPool] = {}
+        if engine is None:
+            engine = Engine()
+        self.engine = engine
+        if dataset is None:
+            dataset = "session-%d" % next(_session_counter)
+        self.dataset = dataset
+        try:
+            registered = engine.dataset(dataset)
+        except InvalidParameterError:
+            engine.register_dataset(dataset, answers)
+        else:
+            if registered is not answers:
+                raise ValueError(
+                    "dataset %r is already registered with a different "
+                    "answer set" % dataset
+                )
         self._pool_seconds: dict[int, float] = {}
-        self._stores: dict[tuple[int, tuple[int, int], tuple[int, ...]], SolutionStore] = {}
 
     # -- initialization ---------------------------------------------------------
 
     def pool(self, L: int) -> ClusterPool:
-        """The cluster pool for top-L (cached; building it is 'Init')."""
-        cached = self._pools.get(L)
-        if cached is not None:
-            return cached
-        start = time.perf_counter()
-        pool = ClusterPool(self.answers, L, strategy=self.mapping)
-        self._pool_seconds[L] = time.perf_counter() - start
-        self._pools[L] = pool
+        """The cluster pool for top-L (engine-cached; building is 'Init')."""
+        pool, build_seconds, cache_hit = self.engine.checkout_pool(
+            self.dataset, L, self.mapping
+        )
+        if not cache_hit:
+            self._pool_seconds[L] = build_seconds
         return pool
 
     def init_seconds(self, L: int) -> float:
-        """Wall-clock seconds the pool construction for L took (0 if cached
-        before this session or not yet built)."""
+        """Wall-clock seconds this session spent building the pool for L
+        (0 if it was already cached in the engine)."""
         self.pool(L)
         return self._pool_seconds.get(L, 0.0)
 
@@ -95,30 +132,30 @@ class ExplorationSession:
 
     def solve(
         self,
-        k: int,
+        k: int | None,
         L: int,
         D: int,
         algorithm: str = "hybrid",
         **kwargs,
     ) -> TimedSolution:
         """One algorithm invocation with the Init/Algo timing split."""
-        if algorithm not in ALGORITHMS:
-            raise InvalidParameterError(
-                "unknown algorithm %r; expected one of %s"
-                % (algorithm, sorted(ALGORITHMS))
-            )
-        pool = self.pool(L)
-        init_seconds = self._pool_seconds.get(L, 0.0)
+        validate_algorithm_kwargs(algorithm, kwargs)
         instance = ProblemInstance(
             self.answers, k=k, L=L, D=D, mapping=self.mapping
         )
-        instance._pool = pool  # reuse the session cache
+        pool, init_seconds, cache_hit = self.engine.checkout_pool(
+            self.dataset, instance.L, self.mapping
+        )
+        if not cache_hit:
+            self._pool_seconds[instance.L] = init_seconds
+        instance._pool = pool  # reuse the engine cache
         start = time.perf_counter()
         solution = instance.solve(algorithm, **kwargs)
         return TimedSolution(
             solution=solution,
             init_seconds=init_seconds,
             algo_seconds=time.perf_counter() - start,
+            cache_hit=cache_hit,
         )
 
     # -- precomputation ------------------------------------------------------------
@@ -128,15 +165,12 @@ class ExplorationSession:
         L: int,
         k_range: tuple[int, int],
         d_values: Sequence[int],
-        **kwargs,
     ) -> SolutionStore:
-        """Build (and cache) the solution store for all (k, D) at this L."""
-        key = (L, tuple(k_range), tuple(sorted(set(d_values))))
-        cached = self._stores.get(key)
-        if cached is not None:
-            return cached
-        store = SolutionStore(self.pool(L), k_range, d_values, **kwargs)
-        self._stores[key] = store
+        """The solution store for all (k, D) at this L (engine-cached)."""
+        self.pool(L)  # records this session's init cost before the sweep
+        store, _seconds, _hit = self.engine.checkout_store(
+            self.dataset, L, tuple(k_range), d_values, self.mapping
+        )
         return store
 
     def retrieve(
@@ -148,13 +182,17 @@ class ExplorationSession:
         d_values: Sequence[int],
     ) -> TimedSolution:
         """Serve (k, D) from the precomputed store, timing the retrieval."""
-        store = self.precompute(L, k_range, d_values)
+        self.pool(L)
+        store, store_seconds, cache_hit = self.engine.checkout_store(
+            self.dataset, L, tuple(k_range), d_values, self.mapping
+        )
         start = time.perf_counter()
         solution = store.retrieve(k, D)
         return TimedSolution(
             solution=solution,
-            init_seconds=self._pool_seconds.get(L, 0.0),
+            init_seconds=self._pool_seconds.get(L, 0.0) + store_seconds,
             algo_seconds=time.perf_counter() - start,
+            cache_hit=cache_hit,
         )
 
     def guidance(

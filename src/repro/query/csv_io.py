@@ -99,6 +99,37 @@ def read_csv(
     return Relation(name or "csv", header, rows)
 
 
+def answer_set_from_relation(relation: Relation):
+    """Treat *relation* as an answer set: last column is the value, every
+    other column a grouping attribute.
+
+    This is the no-SQL path of ``repro-summarize`` and ``repro-serve``'s
+    ``load_csv``; schema problems (too few columns, a non-numeric value
+    column) surface as :class:`SchemaError` so front ends can map them to
+    their error contract instead of leaking a ``ValueError``.
+    """
+    from repro.core.answers import AnswerSet
+
+    if len(relation.columns) < 2:
+        raise SchemaError(
+            "relation %r needs grouping columns plus a value column"
+            % relation.name
+        )
+    groups = [row[:-1] for row in relation.rows]
+    values = []
+    for row in relation.rows:
+        try:
+            values.append(float(row[-1]))
+        except (TypeError, ValueError):
+            raise SchemaError(
+                "value column %r must be numeric; got %r"
+                % (relation.columns[-1], row[-1])
+            ) from None
+    return AnswerSet.from_rows(
+        groups, values, attributes=relation.columns[:-1]
+    )
+
+
 def write_csv(
     relation: Relation,
     target: str | Path | io.TextIOBase,

@@ -1,0 +1,66 @@
+"""Service layer: the stable, serializable API over the summarization core.
+
+The paper's system is an interactive *service* (Sections 6-7): a user
+submits an aggregate query once, the backend initializes caches, and
+successive (k, L, D) tweaks are answered in milliseconds.  This package is
+that shape as a library subsystem:
+
+``repro.service.api``
+    Typed, schema-versioned request/response dataclasses with
+    ``to_dict``/``from_dict`` JSON round-tripping — the wire format every
+    front end (CLI ``--json``, ``repro-serve``, examples, benchmarks, a
+    future HTTP server) speaks.
+``repro.service.engine``
+    :class:`Engine`: owns named answer sets plus LRU-bounded, thread-safe
+    caches of cluster pools and precomputed solution stores, so concurrent
+    sessions share initialization work.
+``repro.service.serve``
+    A JSON-lines request/response loop over arbitrary text streams,
+    backing the ``repro-serve`` CLI mode.
+
+Quickstart::
+
+    from repro.service import Engine, SummaryRequest
+
+    engine = Engine()
+    engine.register_dataset("ratings", answers)
+    response = engine.submit(
+        SummaryRequest(dataset="ratings", k=4, L=8, D=2))
+    print(response.objective, response.cache_hit)
+"""
+
+from repro.service.api import (
+    SCHEMA_VERSION,
+    ClusterDTO,
+    ErrorResponse,
+    ExpandedElementDTO,
+    ExploreRequest,
+    GuidanceRequest,
+    GuidanceResponse,
+    GuidanceSeriesDTO,
+    SummaryRequest,
+    SummaryResponse,
+    parse_request,
+    parse_response,
+)
+from repro.service.engine import CacheStats, Engine, EngineStats
+from repro.service.serve import serve
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CacheStats",
+    "ClusterDTO",
+    "Engine",
+    "EngineStats",
+    "ErrorResponse",
+    "ExpandedElementDTO",
+    "ExploreRequest",
+    "GuidanceRequest",
+    "GuidanceResponse",
+    "GuidanceSeriesDTO",
+    "SummaryRequest",
+    "SummaryResponse",
+    "parse_request",
+    "parse_response",
+    "serve",
+]

@@ -1,0 +1,447 @@
+"""The shared engine: named datasets + LRU caches of initialized state.
+
+Initialization (cluster generation + mapping, Section 6's "Init" phase)
+dominates request latency, and the precomputation sweep (Section 6.2)
+dominates exploration start-up.  The paper's prototype therefore keeps both
+per query on the server; :class:`Engine` is that server-side state as an
+object.  Front ends register an :class:`~repro.core.answers.AnswerSet`
+under a name once and then submit wire-format requests; concurrent
+sessions over the same dataset share pools and stores instead of each
+rebuilding them.
+
+Both caches are LRU-bounded (pools and stores over large L are big) and
+guarded by a lock, with per-key build locks so two threads asking for the
+same cold pool build it once while builds for *different* keys proceed in
+parallel.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Generic, Hashable, Sequence, TypeVar
+
+from repro.common.errors import InvalidParameterError, ReproError
+from repro.common.interning import STAR
+from repro.core.answers import AnswerSet
+from repro.core.problem import ProblemInstance
+from repro.core.registry import validate_algorithm_kwargs
+from repro.core.semilattice import ClusterPool
+from repro.core.solution import Solution
+from repro.interactive.precompute import SolutionStore
+from repro.service.api import (
+    ClusterDTO,
+    ErrorResponse,
+    ExpandedElementDTO,
+    ExploreRequest,
+    GuidanceRequest,
+    GuidanceResponse,
+    GuidanceSeriesDTO,
+    SummaryRequest,
+    SummaryResponse,
+    parse_request,
+)
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss/eviction counters for one engine cache."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Snapshot of both caches plus the request counter."""
+
+    pools: CacheStats
+    stores: CacheStats
+    requests: int
+    datasets: tuple[str, ...]
+
+
+class _Entry(Generic[T]):
+    __slots__ = ("value", "build_seconds")
+
+    def __init__(self, value: T, build_seconds: float) -> None:
+        self.value = value
+        self.build_seconds = build_seconds
+
+
+class _LRUCache(Generic[T]):
+    """A small thread-safe LRU with per-key build deduplication.
+
+    ``get_or_build`` returns ``(value, build_seconds, cache_hit)`` where
+    *build_seconds* is the wall-clock cost this call actually paid (0.0 on
+    a hit — the point of sharing the engine).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise InvalidParameterError(
+                "cache capacity must be >= 1, got %d" % capacity
+            )
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, _Entry[T]] = OrderedDict()
+        self._lock = threading.Lock()
+        self._building: dict[Hashable, threading.Lock] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _lookup(self, key: Hashable) -> _Entry[T] | None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def get_or_build(
+        self, key: Hashable, build: Callable[[], T]
+    ) -> tuple[T, float, bool]:
+        with self._lock:
+            entry = self._lookup(key)
+            if entry is not None:
+                self.hits += 1
+                return entry.value, 0.0, True
+            build_lock = self._building.setdefault(key, threading.Lock())
+        with build_lock:
+            try:
+                # Double-check: another thread may have built while we waited.
+                with self._lock:
+                    entry = self._lookup(key)
+                    if entry is not None:
+                        self.hits += 1
+                        return entry.value, 0.0, True
+                start = time.perf_counter()
+                value = build()
+                elapsed = time.perf_counter() - start
+                with self._lock:
+                    self.misses += 1
+                    self._entries[key] = _Entry(value, elapsed)
+                    self._entries.move_to_end(key)
+                    while len(self._entries) > self.capacity:
+                        self._entries.popitem(last=False)
+                        self.evictions += 1
+                return value, elapsed, False
+            finally:
+                # Drop the build lock entry even when build() raises, or
+                # failing keys would accumulate locks forever.
+                with self._lock:
+                    self._building.pop(key, None)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )
+
+
+class Engine:
+    """Serves wire-format requests over named datasets with shared caches.
+
+    Parameters
+    ----------
+    max_pools:
+        LRU bound on cached :class:`ClusterPool`s, keyed by
+        ``(dataset, L, mapping)``.
+    max_stores:
+        LRU bound on cached :class:`SolutionStore`s, keyed by
+        ``(dataset, L, mapping, k_range, d_values)``.
+    """
+
+    def __init__(self, max_pools: int = 64, max_stores: int = 16) -> None:
+        self._datasets: dict[str, AnswerSet] = {}
+        self._datasets_lock = threading.Lock()
+        self._pools: _LRUCache[ClusterPool] = _LRUCache(max_pools)
+        self._stores: _LRUCache[SolutionStore] = _LRUCache(max_stores)
+        self._requests = 0
+        self._requests_lock = threading.Lock()
+
+    # -- datasets ------------------------------------------------------------
+
+    def register_dataset(
+        self, name: str, answers: AnswerSet, replace: bool = False
+    ) -> None:
+        """Make *answers* addressable by requests as *name*."""
+        with self._datasets_lock:
+            if not replace and name in self._datasets:
+                raise InvalidParameterError(
+                    "dataset %r is already registered; pass replace=True "
+                    "to overwrite" % name
+                )
+            self._datasets[name] = answers
+
+    def dataset(self, name: str) -> AnswerSet:
+        with self._datasets_lock:
+            try:
+                return self._datasets[name]
+            except KeyError:
+                raise InvalidParameterError(
+                    "unknown dataset %r; registered: %s"
+                    % (name, sorted(self._datasets))
+                ) from None
+
+    def dataset_names(self) -> list[str]:
+        with self._datasets_lock:
+            return sorted(self._datasets)
+
+    # -- cached initialization ------------------------------------------------
+
+    def checkout_pool(
+        self, dataset: str, L: int, mapping: str = "eager"
+    ) -> tuple[ClusterPool, float, bool]:
+        """The cluster pool for (dataset, L) — ``(pool, init_seconds, hit)``."""
+        answers = self.dataset(dataset)
+        return self._pools.get_or_build(
+            (dataset, L, mapping),
+            lambda: ClusterPool(answers, L, strategy=mapping),
+        )
+
+    def checkout_store(
+        self,
+        dataset: str,
+        L: int,
+        k_range: tuple[int, int],
+        d_values: Sequence[int],
+        mapping: str = "eager",
+    ) -> tuple[SolutionStore, float, bool]:
+        """The precomputed store for (dataset, L, k_range, d_values).
+
+        ``init_seconds`` covers whatever this call actually built: pool
+        construction (if cold) plus the precomputation sweep (if cold).
+        """
+        k_range = tuple(k_range)
+        d_key = tuple(sorted(set(d_values)))
+        pool, pool_seconds, _pool_hit = self.checkout_pool(
+            dataset, L, mapping
+        )
+        store, store_seconds, store_hit = self._stores.get_or_build(
+            (dataset, L, mapping, k_range, d_key),
+            lambda: SolutionStore(pool, k_range, d_key),
+        )
+        return store, pool_seconds + store_seconds, store_hit
+
+    # -- request dispatch -----------------------------------------------------
+
+    def submit(
+        self, request: SummaryRequest | ExploreRequest | GuidanceRequest
+    ):
+        """Serve one typed request; returns the matching typed response."""
+        with self._requests_lock:
+            self._requests += 1
+        if isinstance(request, SummaryRequest):
+            return self._submit_summary(request)
+        if isinstance(request, ExploreRequest):
+            return self._submit_explore(request)
+        if isinstance(request, GuidanceRequest):
+            return self._submit_guidance(request)
+        raise InvalidParameterError(
+            "unsupported request type %s" % type(request).__name__
+        )
+
+    def submit_dict(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Wire-in/wire-out: parse, serve, serialize; errors become
+        ``kind="error"`` payloads instead of exceptions."""
+        try:
+            return self.submit(parse_request(payload)).to_dict()
+        except (ReproError, TypeError, ValueError) as error:
+            return ErrorResponse(
+                error_type=type(error).__name__, message=str(error)
+            ).to_dict()
+
+    # -- handlers -------------------------------------------------------------
+
+    def _submit_summary(self, request: SummaryRequest) -> SummaryResponse:
+        answers = self.dataset(request.dataset)
+        validate_algorithm_kwargs(request.algorithm, request.options)
+        instance = ProblemInstance(
+            answers,
+            k=request.k,
+            L=request.L,
+            D=request.D,
+            mapping=request.mapping,
+        )
+        pool, init_seconds, cache_hit = self.checkout_pool(
+            request.dataset, instance.L, request.mapping
+        )
+        instance._pool = pool
+        start = time.perf_counter()
+        solution = instance.solve(request.algorithm, **request.options)
+        algo_seconds = time.perf_counter() - start
+        return self._summary_response(
+            request.dataset,
+            answers,
+            solution,
+            k=instance.k,
+            L=instance.L,
+            D=instance.D,
+            algorithm=request.algorithm,
+            cache_hit=cache_hit,
+            init_seconds=init_seconds,
+            algo_seconds=algo_seconds,
+            include_elements=request.include_elements,
+        )
+
+    def _submit_explore(self, request: ExploreRequest) -> SummaryResponse:
+        answers = self.dataset(request.dataset)
+        store, init_seconds, cache_hit = self.checkout_store(
+            request.dataset,
+            request.L,
+            request.k_range,
+            request.d_values,
+            request.mapping,
+        )
+        start = time.perf_counter()
+        solution = store.retrieve(request.k, request.D)
+        algo_seconds = time.perf_counter() - start
+        return self._summary_response(
+            request.dataset,
+            answers,
+            solution,
+            k=request.k,
+            L=request.L,
+            D=request.D,
+            algorithm="precomputed",
+            cache_hit=cache_hit,
+            init_seconds=init_seconds,
+            algo_seconds=algo_seconds,
+            include_elements=request.include_elements,
+        )
+
+    def _submit_guidance(self, request: GuidanceRequest) -> GuidanceResponse:
+        from repro.interactive.guidance import build_guidance_view
+
+        store, init_seconds, cache_hit = self.checkout_store(
+            request.dataset,
+            request.L,
+            request.k_range,
+            request.d_values,
+            request.mapping,
+        )
+        start = time.perf_counter()
+        view = build_guidance_view(store)
+        series = tuple(
+            GuidanceSeriesDTO(
+                D=curve.D,
+                k_values=curve.k_values,
+                averages=curve.averages,
+                knee_points=tuple(view.knee_points(curve.D)),
+                flat_regions=tuple(view.flat_regions(curve.D)),
+            )
+            for curve in view.series
+        )
+        return GuidanceResponse(
+            dataset=request.dataset,
+            L=request.L,
+            k_range=tuple(request.k_range),
+            d_values=store.d_values,
+            series=series,
+            cache_hit=cache_hit,
+            init_seconds=init_seconds,
+            algo_seconds=time.perf_counter() - start,
+        )
+
+    # -- serialization helpers ------------------------------------------------
+
+    def _summary_response(
+        self,
+        dataset: str,
+        answers: AnswerSet,
+        solution: Solution,
+        *,
+        k: int,
+        L: int,
+        D: int,
+        algorithm: str,
+        cache_hit: bool,
+        init_seconds: float,
+        algo_seconds: float,
+        include_elements: bool,
+    ) -> SummaryResponse:
+        clusters = tuple(
+            self._cluster_dto(answers, cluster, include_elements)
+            for cluster in solution.clusters
+        )
+        return SummaryResponse(
+            dataset=dataset,
+            k=k,
+            L=L,
+            D=D,
+            algorithm=algorithm,
+            objective=solution.avg,
+            solution_size=solution.size,
+            covered_count=len(solution.covered),
+            clusters=clusters,
+            cache_hit=cache_hit,
+            init_seconds=init_seconds,
+            algo_seconds=algo_seconds,
+        )
+
+    def _cluster_dto(
+        self, answers: AnswerSet, cluster, include_elements: bool
+    ) -> ClusterDTO:
+        pattern = (
+            answers.decode(cluster.pattern)
+            if answers.codec is not None
+            else tuple("*" if v == STAR else v for v in cluster.pattern)
+        )
+        elements: tuple[ExpandedElementDTO, ...] = ()
+        if include_elements:
+            elements = tuple(
+                ExpandedElementDTO(
+                    rank=index + 1,
+                    values=(
+                        answers.decode(answers.elements[index])
+                        if answers.codec is not None
+                        else tuple(answers.elements[index])
+                    ),
+                    value=answers.values[index],
+                )
+                for index in sorted(cluster.covered)
+            )
+        return ClusterDTO(
+            pattern=tuple(pattern),
+            avg=cluster.avg,
+            size=cluster.size,
+            elements=elements,
+        )
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> EngineStats:
+        return EngineStats(
+            pools=self._pools.stats(),
+            stores=self._stores.stats(),
+            requests=self._requests,
+            datasets=tuple(self.dataset_names()),
+        )
+
+    def clear_caches(self) -> None:
+        """Drop all cached pools and stores (datasets stay registered)."""
+        self._pools.clear()
+        self._stores.clear()

@@ -1,0 +1,151 @@
+"""JSON-lines request/response loop — the transport behind ``repro-serve``.
+
+One request object per input line, one response object per output line,
+in order.  Besides the three analytical kinds from :mod:`repro.service.api`
+the loop answers a few admin kinds so a client can drive a cold server end
+to end:
+
+``{"kind": "ping"}``
+    -> ``{"kind": "pong", ...}`` (liveness / version probe).
+``{"kind": "load_csv", "path": ..., "name"?: ..., "sql"?: ...}``
+    Load a CSV (optionally through the restricted SQL template) and
+    register it as a dataset.
+``{"kind": "datasets"}`` / ``{"kind": "algorithms"}`` / ``{"kind": "stats"}``
+    Introspection: registered datasets, the algorithm registry with
+    metadata, engine cache counters.
+
+Malformed lines never kill the loop; they produce ``kind="error"``
+responses so a misbehaving client sees its own mistakes inline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, IO
+
+from repro.common.errors import ReproError, SchemaError
+from repro.core.registry import algorithm_infos
+from repro.service.api import SCHEMA_VERSION, ErrorResponse
+from repro.service.engine import Engine
+
+
+def _error_payload(error: Exception) -> dict[str, Any]:
+    return ErrorResponse(
+        error_type=type(error).__name__, message=str(error)
+    ).to_dict()
+
+
+def _handle_admin(engine: Engine, payload: dict[str, Any]) -> dict[str, Any] | None:
+    """Serve the admin kinds; None means "not an admin request"."""
+    kind = payload.get("kind")
+    if kind == "ping":
+        from repro import __version__
+
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "pong",
+            "version": __version__,
+        }
+    if kind == "load_csv":
+        from repro.query.csv_io import answer_set_from_relation, read_csv
+        from repro.query.sql import execute_sql
+
+        path = payload.get("path")
+        if not isinstance(path, str):
+            raise SchemaError("load_csv needs a string 'path'")
+        name = payload.get("name")
+        relation = read_csv(path, name=name)
+        if payload.get("sql"):
+            answers = execute_sql(payload["sql"], relation).to_answer_set()
+        else:
+            answers = answer_set_from_relation(relation)
+        engine.register_dataset(
+            relation.name, answers, replace=bool(payload.get("replace"))
+        )
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "dataset_loaded",
+            "dataset": relation.name,
+            "n": answers.n,
+            "m": answers.m,
+        }
+    if kind == "datasets":
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "datasets",
+            "datasets": engine.dataset_names(),
+        }
+    if kind == "algorithms":
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "algorithms",
+            "algorithms": [info.describe() for info in algorithm_infos()],
+        }
+    if kind == "stats":
+        stats = engine.stats()
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "stats",
+            "requests": stats.requests,
+            "datasets": list(stats.datasets),
+            "pools": {
+                "hits": stats.pools.hits,
+                "misses": stats.pools.misses,
+                "evictions": stats.pools.evictions,
+                "size": stats.pools.size,
+                "hit_rate": stats.pools.hit_rate,
+            },
+            "stores": {
+                "hits": stats.stores.hits,
+                "misses": stats.stores.misses,
+                "evictions": stats.stores.evictions,
+                "size": stats.stores.size,
+                "hit_rate": stats.stores.hit_rate,
+            },
+        }
+    return None
+
+
+def serve_line(engine: Engine, line: str) -> dict[str, Any] | None:
+    """Serve one JSON line; None for blank lines (skipped, no response)."""
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        return _error_payload(SchemaError("invalid JSON: %s" % error))
+    if not isinstance(payload, dict):
+        return _error_payload(
+            SchemaError("each line must be a JSON object")
+        )
+    try:
+        admin = _handle_admin(engine, payload)
+    except ReproError as error:
+        return _error_payload(error)
+    except OSError as error:
+        return _error_payload(error)
+    if admin is not None:
+        return admin
+    return engine.submit_dict(payload)
+
+
+def serve(
+    input_stream: IO[str],
+    output_stream: IO[str],
+    engine: Engine | None = None,
+    on_response: Callable[[dict[str, Any]], None] | None = None,
+) -> int:
+    """Run the loop until EOF; returns the number of responses written."""
+    engine = engine if engine is not None else Engine()
+    written = 0
+    for line in input_stream:
+        response = serve_line(engine, line)
+        if response is None:
+            continue
+        output_stream.write(json.dumps(response, sort_keys=True) + "\n")
+        output_stream.flush()
+        if on_response is not None:
+            on_response(response)
+        written += 1
+    return written

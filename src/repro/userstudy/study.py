@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 from repro.baselines.decision_tree import tune_tree
 from repro.core.answers import AnswerSet
-from repro.core.problem import summarize
+from repro.core.problem import ProblemInstance
 from repro.userstudy.patterns import from_solution, from_tree_patterns
 from repro.userstudy.simulator import (
     ArmResult,
@@ -51,7 +51,7 @@ class StudyResult:
 
 
 def _our_arm(answers: AnswerSet, name: str, k: int, L: int, D: int) -> StudyArm:
-    solution = summarize(answers, k=k, L=L, D=D, algorithm="hybrid")
+    solution = ProblemInstance(answers, k=k, L=L, D=D).solve("hybrid")
     return StudyArm(
         name=name, patterns=tuple(from_solution(solution, answers, L))
     )

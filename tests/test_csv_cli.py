@@ -3,13 +3,15 @@
 from __future__ import annotations
 
 import io
+import json
 
 import pytest
 
-from repro.cli import main
+from repro.cli import EXIT_IO_ERROR, build_parser, main, serve_main
 from repro.common.errors import SchemaError
 from repro.query.csv_io import infer_column_type, read_csv, write_csv
 from repro.query.relation import Relation
+from repro.service.api import SummaryResponse, parse_response
 
 
 class TestTypeInference:
@@ -136,3 +138,105 @@ class TestCli:
         path.write_text("x\n1\n2\n")
         code = main([str(path), "-k", "1", "-L", "1", "-D", "0"])
         assert code == 2
+
+    def test_non_numeric_value_column_is_param_error(self, tmp_path, capsys):
+        path = tmp_path / "text.csv"
+        path.write_text("era,val\n1970s,high\n1980s,low\n")
+        code = main([str(path), "-k", "1", "-L", "1", "-D", "0"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "numeric" in captured.err
+
+    def test_missing_file_is_io_error(self, tmp_path, capsys):
+        code = main([
+            str(tmp_path / "nope.csv"), "-k", "1", "-L", "1", "-D", "0"
+        ])
+        captured = capsys.readouterr()
+        assert code == EXIT_IO_ERROR
+        assert "error:" in captured.err
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        from repro import __version__
+
+        assert __version__ in capsys.readouterr().out
+
+    def test_algorithm_choices_come_from_registry(self):
+        from repro.core.registry import algorithm_names
+
+        parser = build_parser()
+        (action,) = [
+            a for a in parser._actions if a.dest == "algorithm"
+        ]
+        assert list(action.choices) == algorithm_names()
+
+    def test_json_output_is_wire_schema(self, answers_csv, capsys):
+        code = main([
+            str(answers_csv), "-k", "3", "-L", "4", "-D", "1", "--json"
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        payload = json.loads(captured.out)
+        response = parse_response(payload)
+        assert isinstance(response, SummaryResponse)
+        assert payload["schema_version"] == 1
+        assert payload["solution_size"] == len(payload["clusters"])
+
+    def test_json_matches_engine_wire_schema(self, answers_csv, capsys):
+        """repro-summarize --json emits the same schema Engine.submit does."""
+        main([str(answers_csv), "-k", "3", "-L", "4", "-D", "1", "--json"])
+        cli_payload = json.loads(capsys.readouterr().out)
+
+        from repro.query.csv_io import answer_set_from_relation
+        from repro.service import Engine, SummaryRequest
+
+        answers = answer_set_from_relation(read_csv(answers_csv))
+        engine = Engine()
+        engine.register_dataset("answers", answers)
+        engine_payload = engine.submit(
+            SummaryRequest(dataset="answers", k=3, L=4, D=1,
+                           include_elements=True)
+        ).to_dict()
+        assert set(cli_payload) == set(engine_payload)
+        for key in ("clusters", "objective", "solution_size", "k", "L", "D"):
+            assert json.loads(json.dumps(cli_payload[key])) == json.loads(
+                json.dumps(engine_payload[key])
+            )
+
+    def test_json_guidance_emits_second_object(self, answers_csv, capsys):
+        code = main([
+            str(answers_csv), "-k", "3", "-L", "4", "-D", "1", "--json",
+            "--guidance",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        first, second = captured.out.splitlines()
+        assert json.loads(first)["kind"] == "summary_response"
+        assert json.loads(second)["kind"] == "guidance_response"
+
+
+class TestServeCli:
+    def test_serve_main_preloads_and_answers(self, answers_csv, capsys,
+                                             monkeypatch):
+        request = {
+            "schema_version": 1, "kind": "summary",
+            "dataset": answers_csv.stem, "k": 3, "L": 4, "D": 1,
+        }
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO(json.dumps(request) + "\n")
+        )
+        code = serve_main([str(answers_csv)])
+        captured = capsys.readouterr()
+        assert code == 0
+        banner, response = [
+            json.loads(line) for line in captured.out.splitlines()
+        ]
+        assert banner["kind"] == "ready"
+        assert banner["datasets"] == [answers_csv.stem]
+        assert response["kind"] == "summary_response"
+
+    def test_serve_main_missing_preload_is_io_error(self, tmp_path, capsys):
+        code = serve_main([str(tmp_path / "nope.csv")])
+        assert code == EXIT_IO_ERROR

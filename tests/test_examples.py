@@ -45,6 +45,16 @@ def test_interactive_session():
     assert "retrievals are interactive" in output
     assert "interval-tree storage" in output
     assert "flat k-regions" in output
+    assert "cache_hit=True" in output  # the shared engine is warm
+
+
+def test_service_api():
+    output = run_example("service_api.py")
+    assert "summary request" in output
+    assert "kind=summary_response" in output
+    assert "cache_hit=True" in output
+    assert '"kind": "error"' in output
+    assert "served 3 responses" in output
 
 
 def test_baselines_comparison():
