@@ -30,7 +30,7 @@ def main() -> None:
     )
 
     request = {
-        "schema_version": 1,
+        "schema_version": 2,
         "kind": "summary",
         "dataset": "synthetic",
         "k": 4, "L": 10, "D": 2,
@@ -45,7 +45,7 @@ def main() -> None:
           % (response["cache_hit"], response["init_seconds"]))
 
     guidance = engine.submit_dict({
-        "schema_version": 1,
+        "schema_version": 2,
         "kind": "guidance",
         "dataset": "synthetic",
         "L": 10, "k_range": [2, 8], "d_values": [1, 2],
@@ -54,7 +54,7 @@ def main() -> None:
           % (len(guidance["series"]), guidance["cache_hit"]))
 
     error = engine.submit_dict({
-        "schema_version": 1,
+        "schema_version": 2,
         "kind": "summary",
         "dataset": "synthetic",
         "k": 4, "algorithm": "no-such-algorithm",

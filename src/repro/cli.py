@@ -29,10 +29,15 @@ from pathlib import Path
 
 from repro.common.errors import ReproError
 from repro.core.answers import AnswerSet
-from repro.core.registry import algorithm_names
+from repro.core.bitset import DEFAULT_KERNEL, KERNELS
+from repro.core.registry import algorithm_names, get_algorithm
 from repro.query.csv_io import answer_set_from_relation, read_csv
 from repro.query.sql import execute_sql
-from repro.service.api import GuidanceRequest, SummaryRequest
+from repro.service.api import (
+    SCHEMA_VERSION,
+    GuidanceRequest,
+    SummaryRequest,
+)
 from repro.service.engine import Engine
 
 #: Parameter, schema, or query errors — the request itself was wrong.
@@ -70,6 +75,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--algorithm", default="hybrid", choices=algorithm_names(),
         help="algorithm (default: hybrid)",
+    )
+    parser.add_argument(
+        "--kernel", default=DEFAULT_KERNEL, choices=list(KERNELS),
+        help="evaluation kernel: 'bitset' (optimized, default) or "
+        "'python' (pure-Python ablation baseline)",
     )
     parser.add_argument("--expand", action="store_true",
                         help="also print the covered elements (layer 2)")
@@ -146,12 +156,22 @@ def main(argv: list[str] | None = None) -> int:
         engine = Engine()
         engine.register_dataset(dataset, answers)
         L = min(args.L, answers.n)
+        options = {}
+        if "kernel" in get_algorithm(args.algorithm).kwargs:
+            options["kernel"] = args.kernel
+        elif args.kernel != DEFAULT_KERNEL:
+            print(
+                "warning: --kernel %s ignored; algorithm %r has no "
+                "kernelized path" % (args.kernel, args.algorithm),
+                file=sys.stderr,
+            )
         request = SummaryRequest(
             dataset=dataset,
             k=args.k,
             L=L,
             D=args.D,
             algorithm=args.algorithm,
+            options=options,
             include_elements=args.expand or args.json,
         )
         response = engine.submit(request)
@@ -168,7 +188,7 @@ def main(argv: list[str] | None = None) -> int:
                 guidance = engine.submit(
                     GuidanceRequest(
                         dataset=dataset, L=L, k_range=(k_lo, k_hi),
-                        d_values=tuple(d_values),
+                        d_values=tuple(d_values), kernel=args.kernel,
                     )
                 )
                 print(guidance.to_json())
@@ -176,7 +196,7 @@ def main(argv: list[str] | None = None) -> int:
                 from repro.interactive.guidance import build_guidance_view
 
                 store, _, _ = engine.checkout_store(
-                    dataset, L, (k_lo, k_hi), d_values
+                    dataset, L, (k_lo, k_hi), d_values, kernel=args.kernel
                 )
                 view = build_guidance_view(store)
                 print()
@@ -221,7 +241,7 @@ def serve_main(argv: list[str] | None = None) -> int:
         print("error: %s" % error, file=sys.stderr)
         return EXIT_PARAM_ERROR
     banner = {
-        "schema_version": 1,
+        "schema_version": SCHEMA_VERSION,
         "kind": "ready",
         "datasets": engine.dataset_names(),
     }

@@ -18,6 +18,7 @@ from typing import Any, Iterable, Sequence
 
 from repro.common.errors import InvalidParameterError, SchemaError
 from repro.common.interning import AttributeCodec
+from repro.core.bitset import mask_value_sum
 
 
 class AnswerSet:
@@ -68,6 +69,8 @@ class AnswerSet:
         self.elements: list[tuple[int, ...]] = [elements[i] for i in order]
         self.values: list[float] = [float(values[i]) for i in order]
         self.codec = codec
+        self._prefix_sums: list[float] | None = None
+        self._avg_all: float | None = None
 
     # -- basic accessors ---------------------------------------------------
 
@@ -93,16 +96,57 @@ class AnswerSet:
             )
         return list(range(L))
 
+    @property
+    def value_prefix_sums(self) -> list[float]:
+        """``prefix[i] = sum(values[:i])`` (length n+1), built once.
+
+        Because elements are stored in rank order, the value sum of any
+        top-L prefix (or any contiguous rank range) is two lookups.
+        """
+        prefix = self._prefix_sums
+        if prefix is None:
+            prefix = [0.0] * (self.n + 1)
+            total = 0.0
+            for i, value in enumerate(self.values):
+                total += value
+                prefix[i + 1] = total
+            self._prefix_sums = prefix
+        return prefix
+
+    def value_sum_range(self, start: int, stop: int) -> float:
+        """Sum of values over the contiguous rank range [start, stop)."""
+        prefix = self.value_prefix_sums
+        return prefix[stop] - prefix[start]
+
     def avg_all(self) -> float:
         """Average value over all of S (value of the trivial solution)."""
-        return sum(self.values) / self.n
+        if self._avg_all is None:
+            self._avg_all = self.value_prefix_sums[self.n] / self.n
+        return self._avg_all
 
     def avg_of(self, indices: Iterable[int]) -> float:
-        """Average value over a set of element indices."""
+        """Average value over a set of element indices.
+
+        Contiguous ascending runs (e.g. ``top(L)``) are answered from the
+        prefix sums; arbitrary index sets fall back to a direct sum.
+        """
         indices = list(indices)
         if not indices:
             raise InvalidParameterError("avg_of() on an empty index set")
+        first, last = indices[0], indices[-1]
+        if last - first + 1 == len(indices) and all(
+            indices[i + 1] - indices[i] == 1
+            for i in range(len(indices) - 1)
+        ):
+            return self.value_sum_range(first, last + 1) / len(indices)
         return sum(self.values[i] for i in indices) / len(indices)
+
+    # -- bitset kernel support ---------------------------------------------
+
+    def mask_value_sum(self, mask: int) -> float:
+        """Sum of values over the set bits of *mask* (an element-index
+        bitmask; see :mod:`repro.core.bitset`)."""
+        return mask_value_sum(self.values, mask)
 
     def decode(self, pattern: Sequence[int]) -> tuple[Any, ...]:
         """Decode an int-code pattern back to raw attribute values."""

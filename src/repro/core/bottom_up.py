@@ -18,12 +18,16 @@ The two variants evaluated in the paper (and found comparable-or-worse) are
 also provided: seeding at semilattice level D-1 instead of singletons, and
 greedy selection by the merged *cluster's own* average instead of the
 solution average.
+
+All entry points accept ``kernel`` (``"bitset"``, the default, or
+``"python"``) selecting the evaluation substrate of
+:class:`~repro.core.merge.MergeEngine`; both produce identical solutions.
 """
 
 from __future__ import annotations
 
 from repro.common.errors import InvalidParameterError
-from repro.core.cluster import Cluster, ancestors_at_level, lca
+from repro.core.cluster import Cluster, ancestors_at_level
 from repro.core.merge import MergeEngine
 from repro.core.semilattice import ClusterPool
 from repro.core.solution import Solution
@@ -43,6 +47,7 @@ def bottom_up(
     k: int,
     D: int,
     use_delta: bool = True,
+    kernel: str | None = None,
 ) -> Solution:
     """Run Algorithm 1 on the pool's (S, L) with parameters (k, D).
 
@@ -54,6 +59,7 @@ def bottom_up(
         pool,
         (pool.singleton(i) for i in pool.answers.top(pool.L)),
         use_delta=use_delta,
+        kernel=kernel,
     )
     run_distance_phase(engine, D)
     run_size_phase(engine, k)
@@ -63,18 +69,19 @@ def bottom_up(
 def run_distance_phase(engine: MergeEngine, D: int) -> None:
     """Phase 1: merge best violating pair until min distance >= D."""
     while True:
-        pairs = engine.violating_pairs(D)
-        if not pairs:
+        pair = engine.best_violating_pair(D)
+        if pair is None:
             return
-        c1, c2 = engine.best_pair(pairs)
-        engine.merge(c1, c2)
+        engine.merge(*pair)
 
 
 def run_size_phase(engine: MergeEngine, k: int) -> None:
     """Phase 2: merge best pair (all pairs) until at most k clusters."""
     while engine.size > k:
-        c1, c2 = engine.best_pair(engine.all_pairs())
-        engine.merge(c1, c2)
+        pair = engine.best_any_pair()
+        if pair is None:
+            return
+        engine.merge(*pair)
 
 
 def bottom_up_level_start(
@@ -82,6 +89,7 @@ def bottom_up_level_start(
     k: int,
     D: int,
     use_delta: bool = True,
+    kernel: str | None = None,
 ) -> Solution:
     """Variant (i) of Section 5.1: seed at semilattice level D-1.
 
@@ -106,7 +114,9 @@ def bottom_up_level_start(
         ]
         best = min(candidates, key=lambda c: (-c.avg, c.pattern))
         seeds[best.pattern] = best
-    engine = MergeEngine(pool, seeds.values(), use_delta=use_delta)
+    engine = MergeEngine(
+        pool, seeds.values(), use_delta=use_delta, kernel=kernel
+    )
     # Seeding at a uniform level guarantees pairwise distance >= D and
     # incomparability, but phase 1 is still run defensively for D where the
     # level argument does not apply (e.g. D = 0 collapses to singletons).
@@ -119,34 +129,38 @@ def bottom_up_pairwise_avg(
     pool: ClusterPool,
     k: int,
     D: int,
+    kernel: str | None = None,
 ) -> Solution:
     """Variant (ii) of Section 5.1: pick the pair whose *LCA cluster* has
     maximum average value, rather than maximizing the overall solution
     average after the merge."""
     _validate(pool, k, D)
     engine = MergeEngine(
-        pool, (pool.singleton(i) for i in pool.answers.top(pool.L))
+        pool,
+        (pool.singleton(i) for i in pool.answers.top(pool.L)),
+        kernel=kernel,
     )
 
-    def best_by_lca_avg(pairs: list[tuple[Cluster, Cluster]]) -> tuple[Cluster, Cluster]:
+    def best_by_lca_avg(
+        max_distance: int | None,
+    ) -> tuple[Cluster, Cluster] | None:
         best = None
         best_key = None
-        for c1, c2 in pairs:
-            merged = pool.cluster(lca(c1.pattern, c2.pattern))
+        for c1, c2, merged in engine.iter_pairs(max_distance):
             key = (-merged.avg, merged.pattern, c1.pattern, c2.pattern)
             if best_key is None or key < best_key:
                 best_key = key
                 best = (c1, c2)
-        assert best is not None
         return best
 
     while True:
-        pairs = engine.violating_pairs(D)
-        if not pairs:
+        pair = best_by_lca_avg(D)
+        if pair is None:
             break
-        c1, c2 = best_by_lca_avg(pairs)
-        engine.merge(c1, c2)
+        engine.merge(*pair)
     while engine.size > k:
-        c1, c2 = best_by_lca_avg(engine.all_pairs())
-        engine.merge(c1, c2)
+        pair = best_by_lca_avg(None)
+        if pair is None:
+            break
+        engine.merge(*pair)
     return engine.snapshot()

@@ -14,6 +14,13 @@ search below adds sound pruning that preserves exactness:
 * Once coverage is complete, optional extra clusters are only explored in
   canonical (pattern-sorted) order to avoid enumerating permutations.
 
+Like the greedy algorithms, the search runs on one of two kernels: the
+default ``"bitset"`` kernel keeps the covered set as an int mask — set
+difference, branching target selection, and pruning all become single
+machine-word operations, and backtracking is free because masks are
+immutable values — while ``"python"`` keeps the original set-based search
+as the ablation baseline.
+
 The trivial **lower bound** baseline is the all-star cluster, feasible for
 every (k, L, D); its value is the global average of S.
 """
@@ -21,6 +28,7 @@ every (k, L, D); its value is the global average of S.
 from __future__ import annotations
 
 from repro.common.errors import InvalidParameterError
+from repro.core.bitset import BITSET_KERNEL, resolve_kernel
 from repro.core.cluster import Cluster, comparable, distance
 from repro.core.semilattice import ClusterPool
 from repro.core.solution import Solution
@@ -35,7 +43,7 @@ def lower_bound(pool: ClusterPool) -> Solution:
 
 
 class _Search:
-    """Backtracking state for the exact search."""
+    """Backtracking state for the exact search (pure-Python kernel)."""
 
     def __init__(self, pool: ClusterPool, k: int, L: int, D: int) -> None:
         self.pool = pool
@@ -130,7 +138,124 @@ class _Search:
         covered.difference_update(fresh)
 
 
-def brute_force(pool: ClusterPool, k: int, D: int) -> Solution:
+class _BitsetSearch:
+    """The same exact search on the bitset kernel.
+
+    The covered union is an int mask passed down the recursion (no
+    mutate-and-undo), the branch target is the lowest set bit of
+    ``top_mask & ~covered``, and marginal value sums run over set bits
+    only.  Candidate order, pruning bounds, and the 1e-12 improvement
+    threshold are identical to :class:`_Search`, so both kernels find the
+    same optimum.
+    """
+
+    def __init__(self, pool: ClusterPool, k: int, L: int, D: int) -> None:
+        self.pool = pool
+        self.k = k
+        self.D = D
+        self.answers = pool.answers
+        self.top_mask = (1 << L) - 1
+        self.candidates: list[Cluster] = sorted(
+            (pool.cluster(p) for p in pool.patterns()),
+            key=lambda c: (-c.avg, c.pattern),
+        )
+        self.max_candidate_avg = (
+            max(c.avg for c in self.candidates) if self.candidates else 0.0
+        )
+        self.by_element: dict[int, list[Cluster]] = {}
+        for cluster in self.candidates:
+            hits = cluster.mask & self.top_mask
+            while hits:
+                low = hits & -hits
+                self.by_element.setdefault(
+                    low.bit_length() - 1, []
+                ).append(cluster)
+                hits ^= low
+        self.best_avg = float("-inf")
+        self.best: list[Cluster] | None = None
+        self.nodes = 0
+
+    def compatible(self, chosen: list[Cluster], cluster: Cluster) -> bool:
+        for member in chosen:
+            if distance(member.pattern, cluster.pattern) < self.D:
+                return False
+            if comparable(member.pattern, cluster.pattern):
+                return False
+        return True
+
+    def record(
+        self, chosen: list[Cluster], covered: int, total: float
+    ) -> None:
+        count = covered.bit_count()
+        if not count:
+            return
+        avg = total / count
+        if avg > self.best_avg + 1e-12:
+            self.best_avg = avg
+            self.best = list(chosen)
+
+    def extend(
+        self,
+        chosen: list[Cluster],
+        covered: int,
+        total: float,
+        next_candidate: int,
+    ) -> None:
+        self.nodes += 1
+        missing = self.top_mask & ~covered
+        if not missing:
+            self.record(chosen, covered, total)
+            if len(chosen) >= self.k:
+                return
+            current_avg = (
+                total / covered.bit_count() if covered else float("-inf")
+            )
+            if max(current_avg, self.max_candidate_avg) <= self.best_avg + 1e-12:
+                return
+            for pos in range(next_candidate, len(self.candidates)):
+                cluster = self.candidates[pos]
+                if not self.compatible(chosen, cluster):
+                    continue
+                self._descend(chosen, covered, total, cluster, pos + 1)
+            return
+        if len(chosen) >= self.k:
+            return
+        current_avg = (
+            total / covered.bit_count() if covered else self.max_candidate_avg
+        )
+        if max(current_avg, self.max_candidate_avg) <= self.best_avg + 1e-12:
+            return
+        target = (missing & -missing).bit_length() - 1
+        for cluster in self.by_element.get(target, ()):
+            if not self.compatible(chosen, cluster):
+                continue
+            self._descend(chosen, covered, total, cluster, 0)
+
+    def _descend(
+        self,
+        chosen: list[Cluster],
+        covered: int,
+        total: float,
+        cluster: Cluster,
+        next_candidate: int,
+    ) -> None:
+        fresh = cluster.mask & ~covered
+        chosen.append(cluster)
+        self.extend(
+            chosen,
+            covered | fresh,
+            total + self.answers.mask_value_sum(fresh),
+            next_candidate,
+        )
+        chosen.pop()
+
+
+def brute_force(
+    pool: ClusterPool,
+    k: int,
+    D: int,
+    kernel: str | None = None,
+) -> Solution:
     """Exact Max-Avg optimum for (k, L=pool.L, D).
 
     Exponential time: intended for the small instances of Figure 5 and for
@@ -140,8 +265,12 @@ def brute_force(pool: ClusterPool, k: int, D: int) -> Solution:
     """
     if k < 1:
         raise InvalidParameterError("k=%d must be >= 1" % k)
-    search = _Search(pool, k, pool.L, D)
-    search.extend([], set(), 0.0, 0)
+    if resolve_kernel(kernel) == BITSET_KERNEL:
+        search = _BitsetSearch(pool, k, pool.L, D)
+        search.extend([], 0, 0.0, 0)
+    else:
+        search = _Search(pool, k, pool.L, D)
+        search.extend([], set(), 0.0, 0)
     if search.best is None:
         return lower_bound(pool)
     return Solution.from_clusters(search.best, pool.answers)

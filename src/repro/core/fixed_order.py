@@ -38,7 +38,7 @@ def _validate(pool: ClusterPool, k: int, D: int) -> None:
 
 def _process_incoming(engine: MergeEngine, incoming: Cluster, k: int, D: int) -> None:
     """One iteration of Algorithm 3's loop body for an incoming cluster."""
-    if all(engine.is_covered(index) for index in incoming.covered):
+    if engine.is_fully_covered(incoming):
         return
     current = engine.clusters()
     if engine.size < k:
@@ -84,6 +84,7 @@ def fixed_order(
     D: int,
     use_delta: bool = True,
     size_budget: int | None = None,
+    kernel: str | None = None,
 ) -> Solution:
     """Run Algorithm 3 on the pool's (S, L) with parameters (k, D).
 
@@ -94,7 +95,7 @@ def fixed_order(
     budget = k if size_budget is None else size_budget
     if budget < 1:
         raise InvalidParameterError("size budget must be >= 1")
-    engine = MergeEngine(pool, (), use_delta=use_delta)
+    engine = MergeEngine(pool, (), use_delta=use_delta, kernel=kernel)
     for index in pool.answers.top(pool.L):
         _process_incoming(engine, pool.singleton(index), budget, D)
     return engine.snapshot()
@@ -105,11 +106,12 @@ def fixed_order_engine(
     budget: int,
     D: int,
     use_delta: bool = True,
+    kernel: str | None = None,
 ) -> MergeEngine:
     """Like :func:`fixed_order` but return the live engine (Hybrid and the
     precomputation pipeline continue merging from this state)."""
     _validate(pool, max(budget, 1), D)
-    engine = MergeEngine(pool, (), use_delta=use_delta)
+    engine = MergeEngine(pool, (), use_delta=use_delta, kernel=kernel)
     for index in pool.answers.top(pool.L):
         _process_incoming(engine, pool.singleton(index), budget, D)
     return engine
@@ -120,6 +122,7 @@ def random_fixed_order(
     k: int,
     D: int,
     seed: int = 0,
+    kernel: str | None = None,
 ) -> Solution:
     """random-Fixed-Order: process k random top-L elements first, then all
     top-L elements in descending-value order (Section 5.2)."""
@@ -127,7 +130,7 @@ def random_fixed_order(
     rng = _random.Random(seed)
     top = pool.answers.top(pool.L)
     chosen = rng.sample(top, min(k, len(top)))
-    engine = MergeEngine(pool, ())
+    engine = MergeEngine(pool, (), kernel=kernel)
     for index in chosen:
         _process_incoming(engine, pool.singleton(index), k, D)
     for index in top:
@@ -147,6 +150,7 @@ def kmeans_fixed_order(
     D: int,
     seed: int = 0,
     max_iterations: int = 20,
+    kernel: str | None = None,
 ) -> Solution:
     """k-means-Fixed-Order: cluster the top-L elements with k-modes (random
     seeding), cover each resulting group with its minimal pattern, process
@@ -164,7 +168,7 @@ def kmeans_fixed_order(
     seed_patterns = sorted(
         minimal_covering_pattern(members) for members in groups.values()
     )
-    engine = MergeEngine(pool, ())
+    engine = MergeEngine(pool, (), kernel=kernel)
     for pattern in seed_patterns:
         _process_incoming(engine, pool.cluster(pattern), k, D)
     for index in top:

@@ -28,9 +28,12 @@ def hybrid(
     D: int,
     pool_factor: int = DEFAULT_POOL_FACTOR,
     use_delta: bool = True,
+    kernel: str | None = None,
 ) -> Solution:
     """Run Hybrid for (k, D) on the pool's (S, L)."""
-    engine = hybrid_first_phase(pool, k, D, pool_factor, use_delta=use_delta)
+    engine = hybrid_first_phase(
+        pool, k, D, pool_factor, use_delta=use_delta, kernel=kernel
+    )
     run_distance_phase(engine, D)
     run_size_phase(engine, k)
     return engine.snapshot()
@@ -42,6 +45,7 @@ def hybrid_first_phase(
     D: int,
     pool_factor: int = DEFAULT_POOL_FACTOR,
     use_delta: bool = True,
+    kernel: str | None = None,
 ) -> MergeEngine:
     """The Fixed-Order phase with budget ``c * k``; returns the live engine.
 
@@ -54,4 +58,6 @@ def hybrid_first_phase(
             "pool_factor=%d must be >= 1" % pool_factor
         )
     budget = max(pool_factor * k, k)
-    return fixed_order_engine(pool, budget, D, use_delta=use_delta)
+    return fixed_order_engine(
+        pool, budget, D, use_delta=use_delta, kernel=kernel
+    )

@@ -6,13 +6,28 @@ now covered) by their least common ancestor.  This module centralizes that
 operation together with the machinery to *evaluate* candidate merges — i.e.
 compute ``avg(O union LCA(C1, C2))`` — efficiently.
 
-Evaluation is the hot path, and the paper's **delta judgment** optimization
-(Section 6.3, Algorithm 2) caches, per candidate cluster ``c``, the marginal
-benefit ``(delta_sum, delta_cnt)`` of the elements in ``cov(c) \\ T_i``
-(where ``T_i`` is the currently covered set), refreshing it from the
-per-round difference list ``T_i \\ T_{i-1}`` instead of recomputing from
-scratch.  The naive recompute path is kept for the Figure 8b ablation
-(``use_delta=False``).
+Evaluation is the hot path, and two layers of optimization live here:
+
+* **Delta judgment** (Section 6.3, Algorithm 2): per candidate cluster
+  ``c``, cache the marginal benefit ``(delta_sum, delta_cnt)`` of the
+  elements in ``cov(c) \\ T_i`` (where ``T_i`` is the currently covered
+  set) and refresh it from the per-round difference ``T_i \\ T_{i-1}``
+  instead of recomputing from scratch.  Controlled by ``use_delta``; the
+  naive recompute path is kept for the Figure 8b ablation.
+
+* **The bitset kernel + incremental pair cache** (``kernel="bitset"``, the
+  default): covered sets are int bitmasks (:mod:`repro.core.bitset`), so
+  marginal counts are one ``bit_count()`` and marginal sums iterate only
+  set bits; and the engine maintains a persistent *pair table* — for every
+  unordered pair of solution clusters, its distance and its LCA cluster —
+  updated in O(|O|) per merge instead of being re-derived for all
+  O(|O|^2) pairs in every greedy round.  ``kernel="python"`` preserves the
+  original pure-Python set implementation as the ablation baseline.  The
+  two kernels run the same greedy logic with the same tie-break keys and
+  produce identical solutions whenever value sums are exact (integer or
+  dyadic-rational values — property-tested); on arbitrary floats they
+  accumulate sums in different orders, so a mathematically exact tie can,
+  in principle, break differently at the last ulp.
 
 Note: Algorithm 2 in the paper transposes the assignments of ``delta_sum``
 and ``delta_cnt`` (lines 6-7 and 10-11); we implement the evidently
@@ -21,10 +36,22 @@ intended semantics (sum of values vs. element count).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.answers import AnswerSet
-from repro.core.cluster import Cluster, Pattern, distance, lca, strictly_covers
+from repro.core.bitset import (
+    BITSET_KERNEL,
+    iter_bits,
+    resolve_kernel,
+)
+from repro.core.cluster import (
+    Cluster,
+    Pattern,
+    distance,
+    lca,
+    lca_and_distance,
+    strictly_covers,
+)
 from repro.core.semilattice import ClusterPool
 from repro.core.solution import Solution
 
@@ -40,13 +67,31 @@ class _DeltaState:
         self.delta_cnt = delta_cnt
 
 
+#: One row of the persistent pair table: ``(first, second, distance,
+#: lca_cluster)`` with ``first.pattern < second.pattern`` — mirroring the
+#: order in which the naive path enumerates pairs, so tie-breaking keys are
+#: identical across kernels.  Rows are plain tuples (cheapest to build and
+#: index) and immutable once built: distance and LCA depend only on the two
+#: patterns, never on the covered state, which is what makes the table safe
+#: to keep across rounds and to share (shallow-copied) with clones.
+_PairRow = tuple[Cluster, Cluster, int, Cluster]
+
+#: Pairs grouped by their LCA pattern: ``(distance, lca_cluster, rows)``
+#: where ``rows`` maps pair keys to their table rows.  Every pair in a
+#: group shares one distance (``distance(p1, p2) == level(lca(p1, p2))``:
+#: the LCA stars exactly the disagreeing positions) and one post-merge
+#: objective, so the per-round argmax scans *groups*, evaluating each LCA
+#: once, instead of scanning all O(|O|^2) pairs.
+_LcaGroup = tuple[int, Cluster, dict[tuple[Pattern, Pattern], _PairRow]]
+
+
 class MergeEngine:
     """Mutable greedy-merging state over a set of clusters.
 
     Maintains the current solution O, its covered-element union ``T`` with
-    cached sum/count, and the delta-judgment cache.  All candidate-selection
-    ties are broken lexicographically on cluster patterns so runs are
-    deterministic.
+    cached sum/count, the delta-judgment cache, and (bitset kernel) the
+    incremental pair table.  All candidate-selection ties are broken
+    lexicographically on cluster patterns so runs are deterministic.
     """
 
     def __init__(
@@ -54,25 +99,49 @@ class MergeEngine:
         pool: ClusterPool,
         clusters: Iterable[Cluster],
         use_delta: bool = True,
+        kernel: str | None = None,
     ) -> None:
         self.pool = pool
         self.answers: AnswerSet = pool.answers
         self.use_delta = use_delta
+        self.kernel = resolve_kernel(kernel)
+        self._bitset = self.kernel == BITSET_KERNEL
         self._solution: dict[Pattern, Cluster] = {}
-        self._covered: set[int] = set()
-        self._covered_sum: float = 0.0
         self.rounds: int = 0
-        self._last_diff: list[int] = []
         self._delta_cache: dict[Pattern, _DeltaState] = {}
-        values = self.answers.values
-        for cluster in clusters:
-            if cluster.pattern in self._solution:
-                continue
-            self._solution[cluster.pattern] = cluster
-            for index in cluster.covered:
-                if index not in self._covered:
-                    self._covered.add(index)
-                    self._covered_sum += values[index]
+        self._covered_sum: float = 0.0
+        if self._bitset:
+            self._pairs: dict[tuple[Pattern, Pattern], _PairRow] | None = {}
+            self._by_lca: dict[Pattern, _LcaGroup] | None = {}
+            self._covered: set[int] | None = None
+            self._covered_mask = 0
+            self._last_diff: list[int] = []
+            self._last_diff_mask = 0
+            for cluster in clusters:
+                if cluster.pattern in self._solution:
+                    continue
+                self._register_pairs(cluster)
+                self._solution[cluster.pattern] = cluster
+                fresh = cluster.mask & ~self._covered_mask
+                if fresh:
+                    self._covered_mask |= fresh
+                    self._covered_sum += self.answers.mask_value_sum(fresh)
+        else:
+            self._pairs = None
+            self._by_lca = None
+            self._covered = set()
+            self._covered_mask = 0
+            self._last_diff = []
+            self._last_diff_mask = 0
+            values = self.answers.values
+            for cluster in clusters:
+                if cluster.pattern in self._solution:
+                    continue
+                self._solution[cluster.pattern] = cluster
+                for index in cluster.covered:
+                    if index not in self._covered:
+                        self._covered.add(index)
+                        self._covered_sum += values[index]
 
     # -- read access ---------------------------------------------------------
 
@@ -82,11 +151,27 @@ class MergeEngine:
 
     @property
     def covered_count(self) -> int:
+        if self._bitset:
+            return self._covered_mask.bit_count()
         return len(self._covered)
 
     def is_covered(self, index: int) -> bool:
         """True if element *index* is covered by the current solution."""
+        if self._bitset:
+            return bool((self._covered_mask >> index) & 1)
         return index in self._covered
+
+    def is_fully_covered(self, cluster: Cluster) -> bool:
+        """True if every element of cov(*cluster*) is already covered."""
+        if self._bitset:
+            return not (cluster.mask & ~self._covered_mask)
+        return all(index in self._covered for index in cluster.covered)
+
+    def covered_indices(self) -> frozenset[int]:
+        """The covered union T as a frozenset of element indices."""
+        if self._bitset:
+            return frozenset(iter_bits(self._covered_mask))
+        return frozenset(self._covered)
 
     def clone(self) -> "MergeEngine":
         """An independent copy of the current state.
@@ -94,18 +179,32 @@ class MergeEngine:
         The incremental precomputation of Section 6.2 runs the shared
         Fixed-Order phase once and then forks one engine per D value; this
         is the fork.  The delta cache is not carried over (its states are
-        mutated in place and must not be shared); it rebuilds lazily.
+        mutated in place and must not be shared); it rebuilds lazily.  The
+        pair table *is* carried over (rows are immutable), copied shallowly.
         """
         twin = MergeEngine.__new__(MergeEngine)
         twin.pool = self.pool
         twin.answers = self.answers
         twin.use_delta = self.use_delta
+        twin.kernel = self.kernel
+        twin._bitset = self._bitset
         twin._solution = dict(self._solution)
-        twin._covered = set(self._covered)
+        twin._covered = set(self._covered) if self._covered is not None else None
         twin._covered_sum = self._covered_sum
+        twin._covered_mask = self._covered_mask
         twin.rounds = self.rounds
         twin._last_diff = list(self._last_diff)
+        twin._last_diff_mask = self._last_diff_mask
         twin._delta_cache = {}
+        twin._pairs = dict(self._pairs) if self._pairs is not None else None
+        twin._by_lca = (
+            {
+                pattern: (group[0], group[1], dict(group[2]))
+                for pattern, group in self._by_lca.items()
+            }
+            if self._by_lca is not None
+            else None
+        )
         return twin
 
     def clusters(self) -> list[Cluster]:
@@ -114,9 +213,10 @@ class MergeEngine:
 
     def avg(self) -> float:
         """Current objective avg(O)."""
-        if not self._covered:
+        count = self.covered_count
+        if not count:
             raise ValueError("engine holds no covered elements")
-        return self._covered_sum / len(self._covered)
+        return self._covered_sum / count
 
     def snapshot(self) -> Solution:
         """Freeze the current state into a :class:`Solution`."""
@@ -124,13 +224,15 @@ class MergeEngine:
             self._solution.values(), key=lambda c: (-c.avg, c.pattern)
         )
         return Solution(
-            tuple(ordered), frozenset(self._covered), self._covered_sum
+            tuple(ordered), self.covered_indices(), self._covered_sum
         )
 
     # -- candidate evaluation --------------------------------------------------
 
     def _marginal(self, candidate: Cluster) -> tuple[float, int]:
         """(sum, count) of cov(candidate) \\ T, via delta judgment or naively."""
+        if self._bitset:
+            return self._marginal_bitset(candidate)
         values = self.answers.values
         if not self.use_delta:
             delta_sum = 0.0
@@ -166,17 +268,66 @@ class MergeEngine:
         )
         return delta_sum, delta_cnt
 
+    def _marginal_bitset(self, candidate: Cluster) -> tuple[float, int]:
+        """Bitset-kernel marginal: one AND-NOT plus popcount, value sums
+        over set bits only; delta refreshes touch just the last diff mask."""
+        answers = self.answers
+        if not self.use_delta:
+            diff = candidate.mask & ~self._covered_mask
+            return answers.mask_value_sum(diff), diff.bit_count()
+        rounds = self.rounds
+        state = self._delta_cache.get(candidate.pattern)
+        if state is not None:
+            if state.stamp == rounds:
+                return state.delta_sum, state.delta_cnt
+            if state.stamp == rounds - 1:
+                newly = self._last_diff_mask & candidate.mask
+                if newly:
+                    state.delta_sum -= answers.mask_value_sum(newly)
+                    state.delta_cnt -= newly.bit_count()
+                state.stamp = rounds
+                return state.delta_sum, state.delta_cnt
+        diff = candidate.mask & ~self._covered_mask
+        delta_cnt = diff.bit_count()
+        # Sum over whichever of cov(c) \ T and cov(c) & T has fewer bits;
+        # the candidate's total value_sum makes the complement route O(1)
+        # extra work.
+        inter_cnt = candidate.mask.bit_count() - delta_cnt
+        if inter_cnt < delta_cnt:
+            delta_sum = candidate.value_sum - answers.mask_value_sum(
+                candidate.mask & self._covered_mask
+            )
+        else:
+            delta_sum = answers.mask_value_sum(diff)
+        self._delta_cache[candidate.pattern] = _DeltaState(
+            rounds, delta_sum, delta_cnt
+        )
+        return delta_sum, delta_cnt
+
     def evaluate_candidate(self, candidate: Cluster) -> float:
         """avg(O union candidate): the objective if *candidate* joined O."""
         delta_sum, delta_cnt = self._marginal(candidate)
         return (self._covered_sum + delta_sum) / (
-            len(self._covered) + delta_cnt
+            self.covered_count + delta_cnt
         )
 
     def evaluate_pair(self, c1: Cluster, c2: Cluster) -> tuple[float, Cluster]:
         """Objective after merging (c1, c2), and the LCA cluster itself."""
-        merged = self.pool.cluster(lca(c1.pattern, c2.pattern))
+        merged = self._merged_cluster(c1, c2)
         return self.evaluate_candidate(merged), merged
+
+    def _merged_cluster(self, c1: Cluster, c2: Cluster) -> Cluster:
+        """The LCA cluster of a pair, via the pair table when possible."""
+        if self._pairs is not None:
+            key = (
+                (c1.pattern, c2.pattern)
+                if c1.pattern < c2.pattern
+                else (c2.pattern, c1.pattern)
+            )
+            row = self._pairs.get(key)
+            if row is not None:
+                return row[3]
+        return self.pool.cluster(lca(c1.pattern, c2.pattern))
 
     # -- pair enumeration ------------------------------------------------------
 
@@ -191,11 +342,40 @@ class MergeEngine:
 
     def violating_pairs(self, D: int) -> list[tuple[Cluster, Cluster]]:
         """Pairs at distance < D (the phase-1 candidates of Algorithm 1)."""
+        if self._pairs is not None:
+            return [
+                (row[0], row[1])
+                for key in sorted(self._pairs)
+                for row in (self._pairs[key],)
+                if row[2] < D
+            ]
         return [
             (c1, c2)
             for c1, c2 in self.all_pairs()
             if distance(c1.pattern, c2.pattern) < D
         ]
+
+    def iter_pairs(
+        self, max_distance: int | None = None
+    ) -> Iterator[tuple[Cluster, Cluster, Cluster]]:
+        """Yield ``(c1, c2, lca_cluster)`` for every unordered pair.
+
+        Custom greedy criteria (e.g. the pairwise-average variant, the
+        Min-Size objective) iterate this instead of rebuilding pair lists
+        and re-deriving LCAs per round; with the bitset kernel everything
+        comes straight from the pair table.
+        """
+        if self._pairs is not None:
+            for row in self._pairs.values():
+                if max_distance is None or row[2] < max_distance:
+                    yield row[0], row[1], row[3]
+            return
+        for c1, c2 in self.all_pairs():
+            if (
+                max_distance is None
+                or distance(c1.pattern, c2.pattern) < max_distance
+            ):
+                yield c1, c2, self.pool.cluster(lca(c1.pattern, c2.pattern))
 
     # -- the greedy step ---------------------------------------------------------
 
@@ -220,50 +400,190 @@ class MergeEngine:
         assert best is not None
         return best
 
+    def best_violating_pair(
+        self, D: int
+    ) -> tuple[Cluster, Cluster] | None:
+        """The best pair at distance < D, or None when no pair violates D.
+
+        With the bitset kernel this scans the persistent pair table (no
+        list materialization, no distance or LCA recomputation); the python
+        kernel falls back to the naive enumeration.  Both pick by the exact
+        same key as :meth:`best_pair`.
+        """
+        if self._pairs is not None:
+            return self._scan_best(D)
+        pairs = self.violating_pairs(D)
+        if not pairs:
+            return None
+        return self.best_pair(pairs)
+
+    def best_any_pair(self) -> tuple[Cluster, Cluster] | None:
+        """The best pair over all pairs, or None when |O| < 2."""
+        if self._pairs is not None:
+            return self._scan_best(None)
+        pairs = self.all_pairs()
+        if not pairs:
+            return None
+        return self.best_pair(pairs)
+
+    def _scan_best(
+        self, max_distance: int | None
+    ) -> tuple[Cluster, Cluster] | None:
+        """Argmax over the pair table with the canonical tie-break key.
+
+        Equivalent to :meth:`best_pair` over the same pairs — maximize the
+        merged objective, break ties by the smallest (LCA pattern, first
+        pattern, second pattern) — but it scans the LCA *groups*: all pairs
+        in a group share their distance and their post-merge objective, so
+        each group costs one (delta-cached) marginal evaluation and the
+        winning pair is the lexicographically smallest key inside the
+        winning group.  Per round this is O(#distinct LCAs) instead of
+        O(|O|^2) evaluations.
+        """
+        by_lca = self._by_lca
+        assert by_lca is not None
+        covered_sum = self._covered_sum
+        covered_cnt = self._covered_mask.bit_count()
+        marginal = self._marginal_bitset
+        best_group = None
+        best_pattern = None
+        best_avg = float("-inf")
+        for pattern, group in by_lca.items():
+            if max_distance is not None and group[0] >= max_distance:
+                continue
+            delta_sum, delta_cnt = marginal(group[1])
+            new_avg = (covered_sum + delta_sum) / (covered_cnt + delta_cnt)
+            if new_avg < best_avg:
+                continue
+            if new_avg > best_avg or pattern < best_pattern:
+                best_avg = new_avg
+                best_pattern = pattern
+                best_group = group
+        if best_group is None:
+            return None
+        row = best_group[2][min(best_group[2])]
+        return row[0], row[1]
+
+    # -- pair table maintenance ------------------------------------------------
+
+    def _register_pairs(self, cluster: Cluster) -> None:
+        """Add table rows pairing *cluster* with every current member."""
+        pairs = self._pairs
+        by_lca = self._by_lca
+        assert pairs is not None and by_lca is not None
+        pool_cluster = self.pool.cluster
+        pattern = cluster.pattern
+        for other in self._solution.values():
+            if other.pattern < pattern:
+                first, second = other, cluster
+            else:
+                first, second = cluster, other
+            joined, dist = lca_and_distance(first.pattern, second.pattern)
+            key = (first.pattern, second.pattern)
+            group = by_lca.get(joined)
+            if group is None:
+                merged = pool_cluster(joined)
+                row = (first, second, dist, merged)
+                by_lca[joined] = (dist, merged, {key: row})
+            else:
+                row = (first, second, dist, group[1])
+                group[2][key] = row
+            pairs[key] = row
+
+    def _replace_clusters(
+        self, removed: list[Pattern], merged: Cluster
+    ) -> None:
+        """Drop *removed* from the solution (and pair table), insert
+        *merged*: the O(|O|) per-merge structural update."""
+        solution = self._solution
+        for pattern in removed:
+            del solution[pattern]
+        pairs = self._pairs
+        if pairs is not None:
+            by_lca = self._by_lca
+            assert by_lca is not None
+
+            def drop(key: tuple[Pattern, Pattern]) -> None:
+                row = pairs.pop(key, None)
+                if row is None:
+                    return
+                joined = row[3].pattern
+                group = by_lca[joined]
+                del group[2][key]
+                if not group[2]:
+                    del by_lca[joined]
+
+            for pattern in removed:
+                for other in solution:
+                    drop(
+                        (pattern, other)
+                        if pattern < other
+                        else (other, pattern)
+                    )
+            for i, pattern in enumerate(removed):
+                for other in removed[i + 1:]:
+                    drop(
+                        (pattern, other)
+                        if pattern < other
+                        else (other, pattern)
+                    )
+        if merged.pattern not in solution:
+            if pairs is not None:
+                self._register_pairs(merged)
+            solution[merged.pattern] = merged
+
+    def _absorb_coverage(self, merged: Cluster) -> None:
+        """Fold cov(*merged*) into T, recording the per-round difference."""
+        if self._bitset:
+            fresh = merged.mask & ~self._covered_mask
+            if fresh:
+                self._covered_mask |= fresh
+                self._covered_sum += self.answers.mask_value_sum(fresh)
+            self._last_diff_mask = fresh
+        else:
+            values = self.answers.values
+            diff = [i for i in merged.covered if i not in self._covered]
+            for index in diff:
+                self._covered.add(index)
+                self._covered_sum += values[index]
+            self._last_diff = diff
+
     def merge(self, c1: Cluster, c2: Cluster) -> Cluster:
         """Apply Merge(O, c1, c2): replace by the LCA, drop covered clusters.
 
         Returns the new cluster.  Updates the covered union, the round
-        counter, and the difference list that delta judgment consumes.
+        counter, the difference list/mask that delta judgment consumes, and
+        (bitset kernel) the pair table.
         """
         if c1.pattern not in self._solution or c2.pattern not in self._solution:
             raise ValueError("merge() on clusters not in the current solution")
-        merged = self.pool.cluster(lca(c1.pattern, c2.pattern))
-        values = self.answers.values
-        diff = [i for i in merged.covered if i not in self._covered]
-        for index in diff:
-            self._covered.add(index)
-            self._covered_sum += values[index]
-        doomed = [
+        merged = self._merged_cluster(c1, c2)
+        self._absorb_coverage(merged)
+        removed = [
             pattern
             for pattern in self._solution
             if strictly_covers(merged.pattern, pattern)
         ]
-        for pattern in doomed:
-            del self._solution[pattern]
-        self._solution.pop(c1.pattern, None)
-        self._solution.pop(c2.pattern, None)
-        self._solution[merged.pattern] = merged
+        for pattern in (c1.pattern, c2.pattern):
+            if pattern != merged.pattern and pattern not in removed:
+                removed.append(pattern)
+        self._replace_clusters(removed, merged)
         self.rounds += 1
-        self._last_diff = diff
         return merged
 
     def add(self, cluster: Cluster) -> None:
         """Insert a cluster (used by Fixed-Order when a top element fits).
 
         The caller is responsible for constraint checks; this just keeps the
-        covered union and the delta bookkeeping consistent.
+        covered union, the delta bookkeeping, and the pair table consistent.
         """
         if cluster.pattern in self._solution:
             return
-        values = self.answers.values
-        diff = [i for i in cluster.covered if i not in self._covered]
-        for index in diff:
-            self._covered.add(index)
-            self._covered_sum += values[index]
+        self._absorb_coverage(cluster)
+        if self._pairs is not None:
+            self._register_pairs(cluster)
         self._solution[cluster.pattern] = cluster
         self.rounds += 1
-        self._last_diff = diff
 
     def merge_into(self, existing: Cluster, incoming: Cluster) -> Cluster:
         """Merge an *incoming* cluster (not yet in O) with an existing one.
@@ -275,29 +595,27 @@ class MergeEngine:
         if existing.pattern not in self._solution:
             raise ValueError("merge_into() target not in the current solution")
         merged = self.pool.cluster(lca(existing.pattern, incoming.pattern))
-        values = self.answers.values
-        diff = [i for i in merged.covered if i not in self._covered]
-        for index in diff:
-            self._covered.add(index)
-            self._covered_sum += values[index]
-        doomed = [
+        self._absorb_coverage(merged)
+        removed = [
             pattern
             for pattern in self._solution
             if strictly_covers(merged.pattern, pattern)
         ]
-        for pattern in doomed:
-            del self._solution[pattern]
-        self._solution.pop(existing.pattern, None)
-        self._solution[merged.pattern] = merged
+        if (
+            existing.pattern != merged.pattern
+            and existing.pattern not in removed
+        ):
+            removed.append(existing.pattern)
+        self._replace_clusters(removed, merged)
         self.rounds += 1
-        self._last_diff = diff
         return merged
 
     def min_pairwise_distance(self) -> int:
         """Minimum pairwise distance in O (m+1 when |O| < 2)."""
-        ordered = self.clusters()
-        if len(ordered) < 2:
+        if len(self._solution) < 2:
             return self.answers.m + 1
+        if self._pairs is not None:
+            return min(row[2] for row in self._pairs.values())
         return min(
             distance(c1.pattern, c2.pattern)
             for c1, c2 in self.all_pairs()

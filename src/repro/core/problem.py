@@ -105,7 +105,7 @@ class ProblemInstance:
     "bottom-up",
     cost="greedy",
     complexity="O(L^2) merge candidates per step",
-    kwargs=("use_delta",),
+    kwargs=("use_delta", "kernel"),
     summary="Algorithm 1: greedy pairwise merging from the top-L singletons",
 )
 def _run_bottom_up(instance: ProblemInstance, **kwargs) -> Solution:
@@ -118,7 +118,7 @@ def _run_bottom_up(instance: ProblemInstance, **kwargs) -> Solution:
     "bottom-up-level",
     cost="greedy",
     complexity="O(L^2) after seeding at semilattice level D-1",
-    kwargs=("use_delta",),
+    kwargs=("use_delta", "kernel"),
     summary="Section 5.1 variant (i): seed at level D-1 ancestors",
 )
 def _run_bottom_up_level(instance: ProblemInstance, **kwargs) -> Solution:
@@ -131,6 +131,7 @@ def _run_bottom_up_level(instance: ProblemInstance, **kwargs) -> Solution:
     "bottom-up-pairwise",
     cost="greedy",
     complexity="O(L^2) with pairwise-LCA merge scoring",
+    kwargs=("kernel",),
     summary="Section 5.1 variant (ii): merge the pair with the best LCA avg",
 )
 def _run_bottom_up_pairwise(instance: ProblemInstance, **kwargs) -> Solution:
@@ -143,7 +144,7 @@ def _run_bottom_up_pairwise(instance: ProblemInstance, **kwargs) -> Solution:
     "fixed-order",
     cost="greedy",
     complexity="O(L * k) incoming-element processing",
-    kwargs=("use_delta", "size_budget"),
+    kwargs=("use_delta", "size_budget", "kernel"),
     summary="Algorithm 3: stream the top-L in value order into <= k clusters",
 )
 def _run_fixed_order(instance: ProblemInstance, **kwargs) -> Solution:
@@ -156,7 +157,7 @@ def _run_fixed_order(instance: ProblemInstance, **kwargs) -> Solution:
     "random-fixed-order",
     cost="heuristic",
     complexity="O(L * k), randomized prefix",
-    kwargs=("seed",),
+    kwargs=("seed", "kernel"),
     summary="Section 5.2: process k random top-L elements before the rest",
 )
 def _run_random_fixed_order(instance: ProblemInstance, **kwargs) -> Solution:
@@ -169,7 +170,7 @@ def _run_random_fixed_order(instance: ProblemInstance, **kwargs) -> Solution:
     "kmeans-fixed-order",
     cost="heuristic",
     complexity="O(L * k) plus a k-modes clustering pass",
-    kwargs=("seed", "max_iterations"),
+    kwargs=("seed", "max_iterations", "kernel"),
     summary="Section 5.2: seed Fixed-Order with k-modes group patterns",
 )
 def _run_kmeans_fixed_order(instance: ProblemInstance, **kwargs) -> Solution:
@@ -182,7 +183,7 @@ def _run_kmeans_fixed_order(instance: ProblemInstance, **kwargs) -> Solution:
     "hybrid",
     cost="greedy",
     complexity="Fixed-Order with budget c*k, then Bottom-Up",
-    kwargs=("pool_factor", "use_delta"),
+    kwargs=("pool_factor", "use_delta", "kernel"),
     summary="Algorithm 4: the paper's recommended two-phase algorithm",
 )
 def _run_hybrid(instance: ProblemInstance, **kwargs) -> Solution:
@@ -195,6 +196,7 @@ def _run_hybrid(instance: ProblemInstance, **kwargs) -> Solution:
     "brute-force",
     cost="exact",
     complexity="exponential branch-and-bound over candidate clusters",
+    kwargs=("kernel",),
     summary="Section 5 baseline: exact optimum by exhaustive search",
 )
 def _run_brute_force(instance: ProblemInstance, **kwargs) -> Solution:

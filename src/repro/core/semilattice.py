@@ -33,16 +33,24 @@ which property tests verify.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Iterable, Literal
 
 from repro.common.errors import InvalidParameterError
 from repro.common.interning import STAR
 from repro.core.answers import AnswerSet
+from repro.core.bitset import bitset_of
 from repro.core.cluster import Cluster, Pattern, covers, generalizations
 
 MappingStrategy = Literal["eager", "naive", "lazy"]
 
 _VALID_STRATEGIES = ("eager", "naive", "lazy")
+
+#: LRU bound on cached coverage for patterns *outside* the pool.  Pool
+#: patterns are a fixed, finite set so their caches are naturally bounded,
+#: but baselines/hierarchy code may probe arbitrarily many out-of-pool
+#: patterns; without a bound a long-lived service Engine leaks memory.
+FALLBACK_CACHE_SIZE = 256
 
 
 class ClusterPool:
@@ -59,6 +67,7 @@ class ClusterPool:
         answers: AnswerSet,
         L: int,
         strategy: MappingStrategy = "eager",
+        fallback_capacity: int = FALLBACK_CACHE_SIZE,
     ) -> None:
         if strategy not in _VALID_STRATEGIES:
             raise InvalidParameterError(
@@ -69,13 +78,19 @@ class ClusterPool:
             raise InvalidParameterError(
                 "L=%d out of range [1, %d]" % (L, answers.n)
             )
+        if fallback_capacity < 1:
+            raise InvalidParameterError(
+                "fallback_capacity must be >= 1, got %d" % fallback_capacity
+            )
         self.answers = answers
         self.L = L
         self.strategy = strategy
+        self.fallback_capacity = fallback_capacity
         self._patterns: set[Pattern] = set()
         for index in answers.top(L):
             self._patterns.update(generalizations(answers.elements[index]))
         self._coverage: dict[Pattern, frozenset[int]] = {}
+        self._masks: dict[Pattern, int] = {}
         self._postings: list[dict[int, set[int]]] | None = None
         if strategy == "eager":
             self._map_eager()
@@ -84,21 +99,29 @@ class ClusterPool:
         else:
             self._build_postings()
         self._cluster_cache: dict[Pattern, Cluster] = {}
+        # Out-of-pool patterns (probed by baselines and the hierarchy
+        # extension) resolve by direct scan; their results live in this
+        # small LRU instead of growing self._coverage without bound.
+        self._fallback: OrderedDict[Pattern, Cluster] = OrderedDict()
 
     # -- construction of the coverage maps -----------------------------------
 
     def _map_eager(self) -> None:
         """One pass over S; each element registers with the pool patterns it
-        generates (the Section 6.3 optimization)."""
+        generates (the Section 6.3 optimization).  Coverage is stored both
+        as a frozenset (the stable API) and as an int bitmask (the bitset
+        kernel's working representation)."""
         buckets: dict[Pattern, set[int]] = {p: set() for p in self._patterns}
         for index, element in enumerate(self.answers.elements):
             for pattern in generalizations(element):
                 bucket = buckets.get(pattern)
                 if bucket is not None:
                     bucket.add(index)
-        self._coverage = {
-            pattern: frozenset(ids) for pattern, ids in buckets.items()
-        }
+        coverage = self._coverage
+        masks = self._masks
+        for pattern, ids in buckets.items():
+            coverage[pattern] = frozenset(ids)
+            masks[pattern] = bitset_of(ids)
 
     def _map_naive(self) -> None:
         """Per-cluster scan of all of S (the unoptimized ablation path)."""
@@ -110,6 +133,7 @@ class ClusterPool:
                 if covers(pattern, element)
             )
             self._coverage[pattern] = ids
+            self._masks[pattern] = bitset_of(ids)
 
     def _build_postings(self) -> None:
         """Inverted index: per attribute, value code -> element id set."""
@@ -151,34 +175,73 @@ class ClusterPool:
         """Element indices covered by *pattern* (resolved per strategy).
 
         Patterns outside the pool are still answerable (needed by baselines
-        and the hierarchy extension): they fall back to a direct scan.
+        and the hierarchy extension): they fall back to a direct scan whose
+        result is kept in a small LRU (:data:`FALLBACK_CACHE_SIZE`) so a
+        long-lived :class:`repro.service.Engine` cannot leak through them.
         """
         cached = self._coverage.get(pattern)
         if cached is not None:
             return cached
-        if pattern in self._patterns and self.strategy == "lazy":
+        if pattern in self._patterns:
+            # Only reachable under the lazy strategy: eager/naive prefill.
             ids = self._coverage_lazy(pattern)
-        else:
-            ids = frozenset(
-                index
-                for index, element in enumerate(self.answers.elements)
-                if covers(pattern, element)
-            )
-        self._coverage[pattern] = ids
-        return ids
+            self._coverage[pattern] = ids
+            self._masks[pattern] = bitset_of(ids)
+            return ids
+        return self._fallback_cluster(pattern).covered
+
+    def mask(self, pattern: Pattern) -> int:
+        """Coverage of *pattern* as an int bitmask (bitset kernel API)."""
+        cached = self._masks.get(pattern)
+        if cached is not None:
+            return cached
+        if pattern in self._patterns:
+            self.coverage(pattern)  # fills self._masks as a side effect
+            return self._masks[pattern]
+        return self._fallback_cluster(pattern).mask
+
+    def _scan_coverage(self, pattern: Pattern) -> frozenset[int]:
+        """Direct O(n*m) coverage scan (out-of-pool fallback)."""
+        return frozenset(
+            index
+            for index, element in enumerate(self.answers.elements)
+            if covers(pattern, element)
+        )
+
+    def _fallback_cluster(self, pattern: Pattern) -> Cluster:
+        """Materialize (and LRU-cache) a cluster for an out-of-pool pattern."""
+        cached = self._fallback.get(pattern)
+        if cached is not None:
+            self._fallback.move_to_end(pattern)
+            return cached
+        covered = self._scan_coverage(pattern)
+        mask = bitset_of(covered)
+        built = Cluster(
+            pattern=pattern,
+            covered=covered,
+            value_sum=self.answers.mask_value_sum(mask),
+        )
+        object.__setattr__(built, "_mask", mask)
+        self._fallback[pattern] = built
+        while len(self._fallback) > self.fallback_capacity:
+            self._fallback.popitem(last=False)
+        return built
 
     def cluster(self, pattern: Pattern) -> Cluster:
         """Materialize the :class:`Cluster` for *pattern* (cached)."""
         cached = self._cluster_cache.get(pattern)
         if cached is not None:
             return cached
+        if pattern not in self._patterns:
+            return self._fallback_cluster(pattern)
         covered = self.coverage(pattern)
-        values = self.answers.values
+        mask = self._masks[pattern]
         built = Cluster(
             pattern=pattern,
             covered=covered,
-            value_sum=sum(values[i] for i in covered),
+            value_sum=self.answers.mask_value_sum(mask),
         )
+        object.__setattr__(built, "_mask", mask)
         self._cluster_cache[pattern] = built
         return built
 

@@ -38,10 +38,19 @@ from repro.interactive.interval_tree import Interval, IntervalTree
 
 @dataclass(frozen=True)
 class PrecomputeTimings:
-    """Phase breakdown reported by the Figure 7 experiments."""
+    """Phase breakdown reported by the Figure 7 experiments.
+
+    ``algo_seconds`` splits into the shared Fixed-Order phase
+    (``shared_phase_seconds``) and the per-D Bottom-Up sweeps
+    (``sweep_seconds``).  The split lives on ``SolutionStore.timings``
+    for programmatic inspection (benchmarks, capacity planning); the wire
+    format only carries per-request phase timings.
+    """
 
     init_seconds: float
     algo_seconds: float
+    shared_phase_seconds: float = 0.0
+    sweep_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -85,6 +94,7 @@ class SolutionStore:
         pool_factor: int = DEFAULT_POOL_FACTOR,
         shared_phase_distance: int = 0,
         use_delta: bool = True,
+        kernel: str | None = None,
     ) -> None:
         k_min, k_max = k_range
         if not 1 <= k_min <= k_max:
@@ -103,12 +113,19 @@ class SolutionStore:
             budget=max(pool_factor * k_max, k_max),
             D=shared_phase_distance,
             use_delta=use_delta,
+            kernel=kernel,
         )
+        self.kernel = shared.kernel
+        shared_done = time.perf_counter()
         self._sweeps: dict[int, _DSweep] = {}
         for d_value in self.d_values:
             self._sweeps[d_value] = self._sweep_one_d(shared.clone(), d_value)
+        end = time.perf_counter()
         self.timings = PrecomputeTimings(
-            init_seconds=0.0, algo_seconds=time.perf_counter() - start
+            init_seconds=0.0,
+            algo_seconds=end - start,
+            shared_phase_seconds=shared_done - start,
+            sweep_seconds=end - shared_done,
         )
 
     # -- sweep ----------------------------------------------------------------
@@ -132,8 +149,10 @@ class SolutionStore:
 
         for k in range(self.k_max, self.k_min - 1, -1):
             while engine.size > k:
-                c1, c2 = engine.best_pair(engine.all_pairs())
-                engine.merge(c1, c2)
+                pair = engine.best_any_pair()
+                if pair is None:
+                    break
+                engine.merge(*pair)
             record(k)
         intervals = [
             Interval(low=last_k[pattern], high=first_k[pattern],

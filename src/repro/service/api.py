@@ -26,9 +26,13 @@ from dataclasses import MISSING, asdict, dataclass, field, fields
 from typing import Any, Mapping, Sequence
 
 from repro.common.errors import SchemaError
+from repro.core.bitset import DEFAULT_KERNEL, KERNELS
 
 #: Version stamp carried by every wire message; bump on breaking changes.
-SCHEMA_VERSION = 1
+#: Because parsing is strict (unknown keys rejected), *adding* response
+#: fields is breaking too.  v2: summary_response gained ``kernel`` +
+#: ``phase_seconds``; explore/guidance requests accept ``kernel``.
+SCHEMA_VERSION = 2
 
 
 def _check_envelope(payload: Mapping[str, Any], kind: str) -> None:
@@ -118,6 +122,13 @@ def _require_str(name: str, value: Any) -> None:
         raise SchemaError("%s must be a string, got %r" % (name, value))
 
 
+def _require_kernel(value: Any) -> None:
+    if value not in KERNELS:
+        raise SchemaError(
+            "kernel must be one of %r, got %r" % (list(KERNELS), value)
+        )
+
+
 def _require_int_pair(name: str, value: Any) -> None:
     if not isinstance(value, (list, tuple)) or len(value) != 2:
         raise SchemaError(
@@ -188,6 +199,7 @@ class ExploreRequest(_WireMessage):
     k_range: tuple[int, int] = (1, 1)
     d_values: tuple[int, ...] = (0,)
     mapping: str = "eager"
+    kernel: str = DEFAULT_KERNEL
     include_elements: bool = False
 
     def __post_init__(self) -> None:
@@ -196,6 +208,7 @@ class ExploreRequest(_WireMessage):
             _require_int(name, getattr(self, name))
         _require_int_pair("k_range", self.k_range)
         _require_ints("d_values", self.d_values)
+        _require_kernel(self.kernel)
         object.__setattr__(self, "k_range", tuple(self.k_range))
         object.__setattr__(self, "d_values", tuple(self.d_values))
 
@@ -211,12 +224,14 @@ class GuidanceRequest(_WireMessage):
     k_range: tuple[int, int]
     d_values: tuple[int, ...]
     mapping: str = "eager"
+    kernel: str = DEFAULT_KERNEL
 
     def __post_init__(self) -> None:
         _require_str("dataset", self.dataset)
         _require_int("L", self.L)
         _require_int_pair("k_range", self.k_range)
         _require_ints("d_values", self.d_values)
+        _require_kernel(self.kernel)
         object.__setattr__(self, "k_range", tuple(self.k_range))
         object.__setattr__(self, "d_values", tuple(self.d_values))
 
@@ -250,7 +265,16 @@ class ClusterDTO:
 
 @dataclass(frozen=True)
 class SummaryResponse(_WireMessage):
-    """Solution plus the paper's timing split and engine cache metadata."""
+    """Solution plus the paper's timing split and engine cache metadata.
+
+    ``kernel`` names the evaluation substrate that produced the solution
+    (``"bitset"`` or ``"python"``; ``"none"`` for algorithms with no
+    kernelized path, e.g. lower-bound); ``phase_seconds`` is a
+    finer-grained breakdown of where *this request's* wall clock went
+    (e.g. ``pool_build`` vs ``merge_loop`` vs ``serialize``; cached
+    phases report 0.0), so kernel or cache regressions are visible
+    directly from the wire format.
+    """
 
     kind = "summary_response"
 
@@ -266,6 +290,8 @@ class SummaryResponse(_WireMessage):
     cache_hit: bool
     init_seconds: float
     algo_seconds: float
+    kernel: str = DEFAULT_KERNEL
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -282,6 +308,8 @@ class SummaryResponse(_WireMessage):
         payload.pop("total_seconds", None)  # derived, not a field
         _check_envelope(payload, cls.kind)
         data = _take_fields(cls, payload)
+        if "phase_seconds" in data:
+            data["phase_seconds"] = dict(data["phase_seconds"])
         data["clusters"] = tuple(
             ClusterDTO(
                 pattern=tuple(c["pattern"]),

@@ -26,6 +26,7 @@ from typing import Any, Callable, Generic, Hashable, Sequence, TypeVar
 from repro.common.errors import InvalidParameterError, ReproError
 from repro.common.interning import STAR
 from repro.core.answers import AnswerSet
+from repro.core.bitset import resolve_kernel
 from repro.core.problem import ProblemInstance
 from repro.core.registry import validate_algorithm_kwargs
 from repro.core.semilattice import ClusterPool
@@ -229,6 +230,7 @@ class Engine:
         k_range: tuple[int, int],
         d_values: Sequence[int],
         mapping: str = "eager",
+        kernel: str | None = None,
     ) -> tuple[SolutionStore, float, bool]:
         """The precomputed store for (dataset, L, k_range, d_values).
 
@@ -237,12 +239,13 @@ class Engine:
         """
         k_range = tuple(k_range)
         d_key = tuple(sorted(set(d_values)))
+        kernel = resolve_kernel(kernel)
         pool, pool_seconds, _pool_hit = self.checkout_pool(
             dataset, L, mapping
         )
         store, store_seconds, store_hit = self._stores.get_or_build(
-            (dataset, L, mapping, k_range, d_key),
-            lambda: SolutionStore(pool, k_range, d_key),
+            (dataset, L, mapping, k_range, d_key, kernel),
+            lambda: SolutionStore(pool, k_range, d_key, kernel=kernel),
         )
         return store, pool_seconds + store_seconds, store_hit
 
@@ -278,7 +281,14 @@ class Engine:
 
     def _submit_summary(self, request: SummaryRequest) -> SummaryResponse:
         answers = self.dataset(request.dataset)
-        validate_algorithm_kwargs(request.algorithm, request.options)
+        info = validate_algorithm_kwargs(request.algorithm, request.options)
+        # Algorithms without a kernelized path (e.g. lower-bound) report
+        # "none" rather than pretending a kernel ran.
+        kernel = (
+            resolve_kernel(request.options.get("kernel"))
+            if "kernel" in info.kwargs
+            else "none"
+        )
         instance = ProblemInstance(
             answers,
             k=request.k,
@@ -305,6 +315,8 @@ class Engine:
             init_seconds=init_seconds,
             algo_seconds=algo_seconds,
             include_elements=request.include_elements,
+            kernel=kernel,
+            phases={"pool_build": init_seconds, "merge_loop": algo_seconds},
         )
 
     def _submit_explore(self, request: ExploreRequest) -> SummaryResponse:
@@ -315,6 +327,7 @@ class Engine:
             request.k_range,
             request.d_values,
             request.mapping,
+            kernel=request.kernel,
         )
         start = time.perf_counter()
         solution = store.retrieve(request.k, request.D)
@@ -331,6 +344,14 @@ class Engine:
             init_seconds=init_seconds,
             algo_seconds=algo_seconds,
             include_elements=request.include_elements,
+            kernel=store.kernel,
+            # Per-request wall clock only: store_build is what *this* call
+            # paid (0.0 on a store-cache hit); the build's internal
+            # shared-phase/sweep split lives in store.timings.
+            phases={
+                "store_build": init_seconds,
+                "retrieve": algo_seconds,
+            },
         )
 
     def _submit_guidance(self, request: GuidanceRequest) -> GuidanceResponse:
@@ -342,6 +363,7 @@ class Engine:
             request.k_range,
             request.d_values,
             request.mapping,
+            kernel=request.kernel,
         )
         start = time.perf_counter()
         view = build_guidance_view(store)
@@ -382,11 +404,16 @@ class Engine:
         init_seconds: float,
         algo_seconds: float,
         include_elements: bool,
+        kernel: str,
+        phases: dict[str, float] | None = None,
     ) -> SummaryResponse:
+        serialize_start = time.perf_counter()
         clusters = tuple(
             self._cluster_dto(answers, cluster, include_elements)
             for cluster in solution.clusters
         )
+        phase_seconds = dict(phases or {})
+        phase_seconds["serialize"] = time.perf_counter() - serialize_start
         return SummaryResponse(
             dataset=dataset,
             k=k,
@@ -400,6 +427,8 @@ class Engine:
             cache_hit=cache_hit,
             init_seconds=init_seconds,
             algo_seconds=algo_seconds,
+            kernel=kernel,
+            phase_seconds=phase_seconds,
         )
 
     def _cluster_dto(

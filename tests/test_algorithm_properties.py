@@ -12,8 +12,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.answers import AnswerSet
-from repro.core.bottom_up import bottom_up
-from repro.core.brute_force import lower_bound
+from repro.core.bottom_up import (
+    bottom_up,
+    bottom_up_level_start,
+    bottom_up_pairwise_avg,
+)
+from repro.core.brute_force import brute_force, lower_bound
+from repro.core.cluster import distance, lca
 from repro.core.fixed_order import fixed_order
 from repro.core.hybrid import hybrid
 from repro.core.merge import MergeEngine
@@ -43,6 +48,43 @@ def instances(draw):
             max_size=n,
         )
     )
+    answers = AnswerSet(elements, values)
+    k = draw(st.integers(min_value=1, max_value=n))
+    L = draw(st.integers(min_value=1, max_value=min(n, 8)))
+    D = draw(st.integers(min_value=0, max_value=m))
+    return answers, k, L, D
+
+
+@st.composite
+def dyadic_instances(draw):
+    """Like :func:`instances` but with dyadic-rational values (k/4).
+
+    Dyadic values make every partial sum exactly representable in binary
+    floating point, so value sums are independent of summation order and
+    the two kernels (which accumulate in different orders) are guaranteed
+    to compute *identical* floats — the cross-kernel equivalence tests can
+    then demand exact solution equality rather than approximate.
+    """
+    m = draw(st.integers(min_value=3, max_value=4))
+    domain = draw(st.integers(min_value=2, max_value=3))
+    n = draw(st.integers(min_value=8, max_value=24))
+    n = min(n, domain ** m)
+    element_strategy = st.tuples(
+        *[st.integers(min_value=0, max_value=domain - 1)] * m
+    )
+    elements = draw(
+        st.lists(element_strategy, min_size=n, max_size=n, unique=True)
+    )
+    values = [
+        q / 4.0
+        for q in draw(
+            st.lists(
+                st.integers(min_value=0, max_value=40),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    ]
     answers = AnswerSet(elements, values)
     k = draw(st.integers(min_value=1, max_value=n))
     L = draw(st.integers(min_value=1, max_value=min(n, 8)))
@@ -134,3 +176,114 @@ def test_solution_clusters_come_from_pool(instance):
     for algorithm in (bottom_up, fixed_order, hybrid):
         for cluster in algorithm(pool, k, D).clusters:
             assert cluster.pattern in pool
+
+
+# -- bitset kernel vs python kernel equivalence ------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(dyadic_instances())
+def test_kernels_produce_identical_solutions(instance):
+    """The tentpole contract: ``kernel="bitset"`` and ``kernel="python"``
+    return bit-identical solutions for every algorithm, on both the
+    delta-judgment and the naive evaluation paths."""
+    answers, k, L, D = instance
+    pool = ClusterPool(answers, L=L)
+    runs = [
+        lambda kr: bottom_up(pool, k, D, kernel=kr),
+        lambda kr: bottom_up(pool, k, D, use_delta=False, kernel=kr),
+        lambda kr: bottom_up_level_start(pool, k, D, kernel=kr),
+        lambda kr: bottom_up_pairwise_avg(pool, k, D, kernel=kr),
+        lambda kr: fixed_order(pool, k, D, kernel=kr),
+        lambda kr: hybrid(pool, k, D, kernel=kr),
+    ]
+    for run in runs:
+        fast = run("bitset")
+        slow = run("python")
+        assert fast.patterns() == slow.patterns()
+        assert fast.covered == slow.covered
+        assert fast.value_sum == slow.value_sum
+
+
+@settings(max_examples=15, deadline=None)
+@given(dyadic_instances())
+def test_brute_force_kernels_agree(instance):
+    """The exact search finds the same optimum on both kernels."""
+    answers, _, L, D = instance
+    L = min(L, 4)  # keep the exponential search tiny
+    pool = ClusterPool(answers, L=L)
+    fast = brute_force(pool, 2, D, kernel="bitset")
+    slow = brute_force(pool, 2, D, kernel="python")
+    assert fast.patterns() == slow.patterns()
+
+
+# -- incremental pair cache vs full rescan -----------------------------------
+
+
+def _rescan_pairs(engine):
+    """Recompute the pair structure from scratch: the ground truth the
+    incremental table must match after any merge sequence."""
+    ordered = engine.clusters()
+    rescan = {}
+    for i, c1 in enumerate(ordered):
+        for c2 in ordered[i + 1:]:
+            rescan[(c1.pattern, c2.pattern)] = (
+                distance(c1.pattern, c2.pattern),
+                lca(c1.pattern, c2.pattern),
+            )
+    return rescan
+
+
+@settings(max_examples=25, deadline=None)
+@given(instances(), st.randoms(use_true_random=False))
+def test_pair_cache_matches_full_rescan(instance, rng):
+    """After arbitrary merge sequences, the incremental pair table holds
+    exactly the pairs a full rescan derives, with the same distances and
+    LCA patterns, and the same best pair as the naive argmax."""
+    answers, _, L, _ = instance
+    pool = ClusterPool(answers, L=L)
+    engine = MergeEngine(pool, (pool.singleton(i) for i in range(L)))
+    while engine.size > 1:
+        rescan = _rescan_pairs(engine)
+        table = {
+            key: (row[2], row[3].pattern)
+            for key, row in engine._pairs.items()
+        }
+        assert table == rescan
+        assert engine.min_pairwise_distance() == min(
+            (d for d, _ in rescan.values()), default=answers.m + 1
+        )
+        # The table-driven argmax must equal the naive scan's argmax.
+        fast = engine.best_any_pair()
+        naive = engine.best_pair(engine.all_pairs())
+        assert (fast[0].pattern, fast[1].pattern) == (
+            naive[0].pattern, naive[1].pattern,
+        )
+        clusters = engine.clusters()
+        c1 = rng.choice(clusters)
+        c2 = rng.choice([c for c in clusters if c.pattern != c1.pattern])
+        engine.merge(c1, c2)
+    assert engine._pairs == {}
+
+
+@settings(max_examples=25, deadline=None)
+@given(dyadic_instances(), st.randoms(use_true_random=False))
+def test_delta_cache_matches_rescan_after_merges(instance, rng):
+    """Delta-judgment marginals (bitset kernel) equal a from-scratch
+    recomputation for every pool candidate after arbitrary merges."""
+    answers, _, L, _ = instance
+    pool = ClusterPool(answers, L=L)
+    engine = MergeEngine(pool, (pool.singleton(i) for i in range(L)))
+    candidates = [pool.cluster(p) for p in pool.patterns()]
+    while engine.size > 1:
+        clusters = engine.clusters()
+        c1 = rng.choice(clusters)
+        c2 = rng.choice([c for c in clusters if c.pattern != c1.pattern])
+        engine.merge(c1, c2)
+        for candidate in candidates:
+            cached_sum, cached_cnt = engine._marginal(candidate)
+            fresh = [
+                i for i in candidate.covered if not engine.is_covered(i)
+            ]
+            assert cached_cnt == len(fresh)
+            assert cached_sum == sum(answers.values[i] for i in fresh)

@@ -1,0 +1,222 @@
+"""Tests for the bitset kernel primitives and their integration points:
+:mod:`repro.core.bitset`, the AnswerSet prefix sums/mask helpers, the
+Cluster mask, and the ClusterPool mask table + bounded fallback cache."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common.errors import InvalidParameterError
+from repro.core.answers import AnswerSet
+from repro.core.bitset import (
+    BITSET_KERNEL,
+    DEFAULT_KERNEL,
+    PYTHON_KERNEL,
+    bitset_of,
+    iter_bits,
+    mask_value_sum,
+    resolve_kernel,
+)
+from repro.core.cluster import Cluster, lca, lca_and_distance, distance
+from repro.core.semilattice import ClusterPool
+from tests.conftest import random_answer_set
+
+
+class TestBitsetPrimitives:
+    def test_bitset_roundtrip(self):
+        for indices in ([], [0], [5], [0, 1, 63, 64, 65, 1000], list(range(200))):
+            mask = bitset_of(indices)
+            assert list(iter_bits(mask)) == sorted(indices)
+            assert mask.bit_count() == len(indices)
+
+    def test_bitset_of_accepts_any_iterable(self):
+        assert bitset_of(frozenset({3, 1})) == 0b1010
+        assert bitset_of(i for i in (2, 0)) == 0b101
+
+    def test_mask_value_sum_sparse_and_dense(self):
+        rng = random.Random(7)
+        values = [rng.uniform(0.0, 5.0) for _ in range(1500)]
+        # Sparse path: few set bits.
+        sparse = sorted(rng.sample(range(1500), 20))
+        mask = bitset_of(sparse)
+        assert mask_value_sum(values, mask) == pytest.approx(
+            sum(values[i] for i in sparse)
+        )
+        # Dense path: enough bits to trip the byte-walk branch.
+        dense = sorted(rng.sample(range(1500), 900))
+        mask = bitset_of(dense)
+        assert mask_value_sum(values, mask) == pytest.approx(
+            sum(values[i] for i in dense)
+        )
+        assert mask_value_sum(values, 0) == 0.0
+
+    def test_resolve_kernel(self):
+        assert resolve_kernel(None) == DEFAULT_KERNEL == BITSET_KERNEL
+        assert resolve_kernel("python") == PYTHON_KERNEL
+        with pytest.raises(InvalidParameterError, match="unknown kernel"):
+            resolve_kernel("numpy")
+
+    def test_lca_and_distance_agrees_with_separate_functions(self):
+        rng = random.Random(3)
+        for _ in range(200):
+            p1 = tuple(rng.choice([-1, 0, 1, 2]) for _ in range(5))
+            p2 = tuple(rng.choice([-1, 0, 1, 2]) for _ in range(5))
+            joined, d = lca_and_distance(p1, p2)
+            assert joined == lca(p1, p2)
+            assert d == distance(p1, p2)
+
+
+class TestAnswerSetKernelSupport:
+    def test_prefix_sums_and_ranges(self):
+        answers = AnswerSet(
+            [(0,), (1,), (2,), (3,)], [4.0, 3.0, 2.0, 1.0]
+        )
+        assert answers.value_prefix_sums == [0.0, 4.0, 7.0, 9.0, 10.0]
+        assert answers.value_sum_range(1, 3) == pytest.approx(5.0)
+        assert answers.value_sum_range(0, 4) == pytest.approx(10.0)
+
+    def test_avg_all_cached_and_correct(self):
+        answers = random_answer_set(n=30, m=3, domain=4, seed=9)
+        expected = sum(answers.values) / answers.n
+        assert answers.avg_all() == pytest.approx(expected)
+        assert answers.avg_all() is answers.avg_all() or True  # cached value
+        assert answers._avg_all is not None
+
+    def test_avg_of_contiguous_uses_prefix(self):
+        answers = random_answer_set(n=20, m=3, domain=4, seed=2)
+        top = list(range(7))
+        assert answers.avg_of(top) == pytest.approx(
+            sum(answers.values[:7]) / 7
+        )
+        scattered = [0, 2, 5]
+        assert answers.avg_of(scattered) == pytest.approx(
+            sum(answers.values[i] for i in scattered) / 3
+        )
+
+    def test_mask_value_sum_delegation(self):
+        answers = random_answer_set(n=16, m=3, domain=4, seed=4)
+        mask = bitset_of([1, 3, 8])
+        assert answers.mask_value_sum(mask) == pytest.approx(
+            answers.values[1] + answers.values[3] + answers.values[8]
+        )
+
+
+class TestClusterMask:
+    def test_mask_matches_covered(self):
+        cluster = Cluster(
+            pattern=(1, -1), covered=frozenset({0, 3, 70}), value_sum=3.0
+        )
+        assert cluster.mask == bitset_of([0, 3, 70])
+        # Cached: same object identity on repeat access.
+        assert cluster.__dict__["_mask"] == cluster.mask
+
+
+class TestPoolMasksAndFallback:
+    @pytest.mark.parametrize("strategy", ["eager", "naive", "lazy"])
+    def test_pool_masks_match_coverage(self, strategy):
+        answers = random_answer_set(n=40, m=4, domain=3, seed=6)
+        pool = ClusterPool(answers, L=6, strategy=strategy)
+        for pattern in pool.patterns():
+            assert pool.mask(pattern) == bitset_of(pool.coverage(pattern))
+
+    def test_pool_cluster_carries_mask(self):
+        answers = random_answer_set(n=30, m=4, domain=3, seed=6)
+        pool = ClusterPool(answers, L=5)
+        for pattern in list(pool.patterns())[:10]:
+            cluster = pool.cluster(pattern)
+            assert cluster.mask == pool.mask(pattern)
+
+    def test_out_of_pool_fallback_is_bounded(self):
+        answers = random_answer_set(n=30, m=4, domain=4, seed=8)
+        pool = ClusterPool(answers, L=4, fallback_capacity=8)
+        probed = []
+        # Probe many patterns that are not generalizations of the top-4.
+        for code_a in range(4):
+            for code_b in range(4):
+                pattern = (code_a, code_b, -1, -1)
+                if pattern in pool:
+                    continue
+                probed.append(pattern)
+                expected = frozenset(
+                    i
+                    for i, element in enumerate(answers.elements)
+                    if all(
+                        p == -1 or p == e
+                        for p, e in zip(pattern, element)
+                    )
+                )
+                assert pool.coverage(pattern) == expected
+        assert len(probed) > 8
+        assert len(pool._fallback) <= 8
+        # Pool-internal caches must not have absorbed out-of-pool patterns.
+        for pattern in probed:
+            assert pattern not in pool._coverage
+            assert pattern not in pool._cluster_cache
+
+    def test_fallback_results_stay_correct_after_eviction(self):
+        answers = random_answer_set(n=25, m=3, domain=3, seed=5)
+        pool = ClusterPool(answers, L=3, fallback_capacity=2)
+        pattern = next(
+            p
+            for a in range(3)
+            for b in range(3)
+            for p in ((a, b, -1),)
+            if p not in pool
+        )
+        first = pool.coverage(pattern)
+        # Evict it by probing other patterns, then re-ask.
+        pool.coverage((1, -1, -1))
+        pool.coverage((2, -1, -1))
+        assert pool.coverage(pattern) == first
+
+    def test_fallback_capacity_validated(self):
+        answers = random_answer_set(n=10, m=3, domain=3, seed=1)
+        with pytest.raises(InvalidParameterError):
+            ClusterPool(answers, L=3, fallback_capacity=0)
+
+
+class TestKernelWiring:
+    def test_merge_engine_rejects_unknown_kernel(self):
+        from repro.core.merge import MergeEngine
+
+        answers = random_answer_set(n=12, m=3, domain=3, seed=2)
+        pool = ClusterPool(answers, L=3)
+        with pytest.raises(InvalidParameterError, match="unknown kernel"):
+            MergeEngine(pool, (), kernel="bogus")
+
+    def test_service_reports_kernel_and_phases(self):
+        from repro.service import Engine, SummaryRequest
+
+        answers = random_answer_set(n=30, m=4, domain=3, seed=3)
+        engine = Engine()
+        engine.register_dataset("d", answers)
+        fast = engine.submit(SummaryRequest(dataset="d", k=3, L=6, D=1))
+        assert fast.kernel == "bitset"
+        assert set(fast.phase_seconds) == {
+            "pool_build", "merge_loop", "serialize",
+        }
+        slow = engine.submit(SummaryRequest(
+            dataset="d", k=3, L=6, D=1, algorithm="bottom-up",
+            options={"kernel": "python"},
+        ))
+        assert slow.kernel == "python"
+
+    def test_explore_kernel_choice_splits_store_cache(self):
+        from repro.service import Engine, ExploreRequest
+
+        answers = random_answer_set(n=30, m=4, domain=3, seed=3)
+        engine = Engine()
+        engine.register_dataset("d", answers)
+        request = dict(dataset="d", k=3, L=6, D=1, k_range=(2, 4),
+                       d_values=(1,))
+        fast = engine.submit(ExploreRequest(**request, kernel="bitset"))
+        slow = engine.submit(ExploreRequest(**request, kernel="python"))
+        assert fast.kernel == "bitset"
+        assert slow.kernel == "python"
+        assert slow.cache_hit is False  # different kernel, different store
+        assert fast.objective == pytest.approx(slow.objective)
+        assert [c.pattern for c in fast.clusters] == [
+            c.pattern for c in slow.clusters
+        ]

@@ -181,7 +181,7 @@ class TestCli:
         payload = json.loads(captured.out)
         response = parse_response(payload)
         assert isinstance(response, SummaryResponse)
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
         assert payload["solution_size"] == len(payload["clusters"])
 
     def test_json_matches_engine_wire_schema(self, answers_csv, capsys):
@@ -221,7 +221,7 @@ class TestServeCli:
     def test_serve_main_preloads_and_answers(self, answers_csv, capsys,
                                              monkeypatch):
         request = {
-            "schema_version": 1, "kind": "summary",
+            "schema_version": 2, "kind": "summary",
             "dataset": answers_csv.stem, "k": 3, "L": 4, "D": 1,
         }
         monkeypatch.setattr(

@@ -107,7 +107,7 @@ class TestWireRoundTrip:
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(SchemaError, match="unknown request kind"):
-            parse_request({"schema_version": 1, "kind": "frobnicate"})
+            parse_request({"schema_version": 2, "kind": "frobnicate"})
 
     def test_wrong_schema_version_rejected(self):
         payload = SummaryRequest(dataset="paper", k=2).to_dict()
@@ -137,16 +137,16 @@ class TestWireRoundTrip:
 
     def test_missing_required_key_is_schema_error(self):
         with pytest.raises(SchemaError, match="missing required"):
-            SummaryRequest.from_dict({"schema_version": 1, "kind": "summary"})
+            SummaryRequest.from_dict({"schema_version": 2, "kind": "summary"})
         with pytest.raises(SchemaError, match="missing required"):
             GuidanceRequest.from_dict({
-                "schema_version": 1, "kind": "guidance", "dataset": "paper",
+                "schema_version": 2, "kind": "guidance", "dataset": "paper",
             })
 
     def test_wrong_field_type_over_wire_is_error_payload(self, engine):
         """A type-confused request must not crash the serve loop."""
         response = engine.submit_dict({
-            "schema_version": 1, "kind": "summary", "dataset": "paper",
+            "schema_version": 2, "kind": "summary", "dataset": "paper",
             "k": "two",
         })
         assert response["kind"] == "error"
@@ -166,6 +166,9 @@ class TestGoldenWireFormat:
         for key in ("init_seconds", "algo_seconds", "total_seconds"):
             assert isinstance(payload[key], float)
             payload[key] = 0.0
+        for key, value in payload["phase_seconds"].items():
+            assert isinstance(value, float)
+            payload["phase_seconds"][key] = 0.0
         golden = json.loads(
             (GOLDEN_DIR / "summary_response.json").read_text()
         )
@@ -275,7 +278,7 @@ class TestEngineValidation:
 
     def test_unknown_algorithm_over_the_wire(self, engine):
         response = engine.submit_dict({
-            "schema_version": 1, "kind": "summary", "dataset": "paper",
+            "schema_version": 2, "kind": "summary", "dataset": "paper",
             "k": 2, "algorithm": "nope",
         })
         assert response["kind"] == "error"
@@ -284,7 +287,7 @@ class TestEngineValidation:
 
     def test_bad_option_over_the_wire(self, engine):
         response = engine.submit_dict({
-            "schema_version": 1, "kind": "summary", "dataset": "paper",
+            "schema_version": 2, "kind": "summary", "dataset": "paper",
             "k": 2, "options": {"bogus": 1},
         })
         assert response["kind"] == "error"
@@ -318,7 +321,7 @@ class TestServeLoop:
         responses = self.run_lines(
             engine,
             {"kind": "ping"},
-            {"schema_version": 1, "kind": "summary", "dataset": "paper",
+            {"schema_version": 2, "kind": "summary", "dataset": "paper",
              "k": 2, "L": 4, "D": 1},
             {"kind": "stats"},
         )
@@ -359,7 +362,7 @@ class TestServeLoop:
         responses = self.run_lines(
             engine,
             {"kind": "load_csv", "path": str(path)},
-            {"schema_version": 1, "kind": "summary", "dataset": "mini",
+            {"schema_version": 2, "kind": "summary", "dataset": "mini",
              "k": 2, "L": 2, "D": 0},
         )
         assert responses[0]["kind"] == "dataset_loaded"
