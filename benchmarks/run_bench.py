@@ -37,6 +37,7 @@ from repro.core.bottom_up import bottom_up  # noqa: E402
 from repro.core.brute_force import brute_force  # noqa: E402
 from repro.core.fixed_order import fixed_order  # noqa: E402
 from repro.core.hybrid import hybrid  # noqa: E402
+from repro.core.merge import MergeEngine  # noqa: E402
 from repro.core.semilattice import ClusterPool  # noqa: E402
 from repro.datasets.loader import (  # noqa: E402
     movielens_answer_set,
@@ -46,6 +47,18 @@ from repro.service import Engine, ExploreRequest, SummaryRequest  # noqa: E402
 
 #: Minimum acceptable bitset-over-python speedup on the kernel workload.
 KERNEL_SPEEDUP_FLOOR = 5.0
+
+#: Floors for the rounds-vs-groups workload (enforced in full mode at
+#: L >= 100, where the lazy heap argmax must beat the exhaustive scan).
+#: The marginal-evaluation ratio is deterministic (identical trajectories
+#: every run), so its floor is the primary contract.  Wall-clock carries
+#: machine noise and the per-L effect at L=100/200 is only a few percent,
+#: so each L gets a parity-within-noise floor while the *peak* speedup
+#: across the L sweep (1.8x at L=400 on the committed run) must clear a
+#: real margin.
+HEAP_EVAL_RATIO_FLOOR = 2.5
+HEAP_ARGMAX_SPEEDUP_FLOOR = 0.95
+HEAP_ARGMAX_PEAK_FLOOR = 1.25
 
 
 def best_of(fn, repeats: int = 3) -> tuple[object, float]:
@@ -120,12 +133,16 @@ def bench_fig8b_delta(smoke: bool) -> dict:
     k, D = 10, 2
     answers = synthetic_answer_set(n, m=6, domain_size=8, seed=1)
     pool = ClusterPool(answers, L=L)
+    # Pin argmax="scan" so this ablation isolates delta judgment: the lazy
+    # heap (the rounds_vs_groups workload's axis) would otherwise mask the
+    # cost of naive re-evaluation by evaluating only the frontier.
     with_delta, fast = best_of(
-        lambda: bottom_up(pool, k, D, use_delta=True),
+        lambda: bottom_up(pool, k, D, use_delta=True, argmax="scan"),
         repeats=1 if smoke else 3,
     )
     without_delta, slow = best_of(
-        lambda: bottom_up(pool, k, D, use_delta=False), repeats=1
+        lambda: bottom_up(pool, k, D, use_delta=False, argmax="scan"),
+        repeats=1,
     )
     assert with_delta.patterns() == without_delta.patterns()
     return {
@@ -245,8 +262,136 @@ def bench_service_cache(smoke: bool) -> dict:
     }
 
 
+def _drive_merge_loop(pool, k: int, D: int, argmax: str):
+    """Run Bottom-Up's two phases, timing only the per-round argmax.
+
+    The merge itself (pair-table maintenance) is identical in both argmax
+    modes, so isolating ``best_violating_pair``/``best_any_pair`` measures
+    exactly the structure this workload compares: exhaustive LCA-group
+    scan vs lazy upper-bound heap.
+    """
+    engine = MergeEngine(
+        pool,
+        (pool.singleton(i) for i in pool.answers.top(pool.L)),
+        argmax=argmax,
+    )
+    argmax_seconds = 0.0
+    start = time.perf_counter()
+    while True:
+        tick = time.perf_counter()
+        pair = engine.best_violating_pair(D)
+        argmax_seconds += time.perf_counter() - tick
+        if pair is None:
+            break
+        engine.merge(*pair)
+    while engine.size > k:
+        tick = time.perf_counter()
+        pair = engine.best_any_pair()
+        argmax_seconds += time.perf_counter() - tick
+        if pair is None:
+            break
+        engine.merge(*pair)
+    total_seconds = time.perf_counter() - start
+    return engine.snapshot(), argmax_seconds, total_seconds
+
+
+def bench_rounds_vs_groups(smoke: bool) -> dict:
+    """Rounds-vs-groups workload: heap vs scan argmax as L grows.
+
+    Larger L means more clusters in play and more LCA groups per greedy
+    round; the scan evaluates every group every round while the lazy heap
+    evaluates only the near-optimal frontier.  Pools run in ``mask_only``
+    mode (the low-memory init path this PR adds).  Both modes must return
+    bit-identical solutions; in full mode, at L >= 100 the heap must
+    evaluate at most 1/:data:`HEAP_EVAL_RATIO_FLOOR` of the scan's
+    marginals and must not be slower on argmax wall clock
+    (:data:`HEAP_ARGMAX_SPEEDUP_FLOOR`).
+    """
+    n = 2000 if smoke else 10240
+    l_values = (30, 60) if smoke else (100, 200, 400)
+    k, D = 20, 2
+    answers = synthetic_answer_set(n, m=6, domain_size=10, seed=1)
+    entries = []
+    speedups = {}
+    for L in l_values:
+        pool = ClusterPool(answers, L=L, mask_only=True)
+        results = {}
+        for mode in ("heap", "scan"):
+            best_argmax = float("inf")
+            best_total = float("inf")
+            solution = None
+            for _ in range(1 if smoke else 5):
+                solution, argmax_seconds, total_seconds = _drive_merge_loop(
+                    pool, k, D, mode
+                )
+                best_argmax = min(best_argmax, argmax_seconds)
+                best_total = min(best_total, total_seconds)
+            results[mode] = (solution, best_argmax, best_total)
+        heap_solution, heap_argmax, heap_total = results["heap"]
+        scan_solution, scan_argmax, scan_total = results["scan"]
+        assert heap_solution.patterns() == scan_solution.patterns(), (
+            "heap/scan argmax diverged at L=%d" % L
+        )
+        heap_evals = heap_solution.stats["argmax_evals"]
+        scan_evals = scan_solution.stats["argmax_evals"]
+        rounds = scan_solution.stats["argmax_rounds"]
+        groups_per_round = scan_solution.stats["argmax_groups"] / max(
+            rounds, 1.0
+        )
+        argmax_speedup = scan_argmax / max(heap_argmax, 1e-9)
+        eval_ratio = scan_evals / max(heap_evals, 1.0)
+        speedups[L] = (argmax_speedup, eval_ratio)
+        for mode, argmax_seconds, total_seconds, evals in (
+            ("heap", heap_argmax, heap_total, heap_evals),
+            ("scan", scan_argmax, scan_total, scan_evals),
+        ):
+            entries.append({
+                "label": "L=%d-%s" % (L, mode),
+                "kernel": "bitset",
+                "seconds": argmax_seconds,
+                "total_seconds": total_seconds,
+                "evals": evals,
+                "groups_per_round": groups_per_round,
+            })
+        if not smoke and L >= 100:
+            if eval_ratio < HEAP_EVAL_RATIO_FLOOR:
+                raise SystemExit(
+                    "heap argmax eval-reduction regression at L=%d: "
+                    "%.2fx < %.1fx floor" % (L, eval_ratio,
+                                             HEAP_EVAL_RATIO_FLOOR)
+                )
+            if argmax_speedup < HEAP_ARGMAX_SPEEDUP_FLOOR:
+                raise SystemExit(
+                    "heap argmax wall-clock regression at L=%d: %.2fx < "
+                    "%.2fx floor (heap %.4fs, scan %.4fs)"
+                    % (L, argmax_speedup, HEAP_ARGMAX_SPEEDUP_FLOOR,
+                       heap_argmax, scan_argmax)
+                )
+    if not smoke:
+        peak = max(
+            speedup for L, (speedup, _) in speedups.items() if L >= 100
+        )
+        if peak < HEAP_ARGMAX_PEAK_FLOOR:
+            raise SystemExit(
+                "heap argmax peak-speedup regression: %.2fx < %.2fx floor "
+                "across L >= 100" % (peak, HEAP_ARGMAX_PEAK_FLOOR)
+            )
+    return {
+        "name": "rounds_vs_groups",
+        "params": {"n": n, "m": 6, "L_values": list(l_values), "k": k,
+                   "D": D, "mask_only": True},
+        "entries": entries,
+        "argmax_speedups": {
+            str(L): {"argmax": spd, "eval_ratio": ratio}
+            for L, (spd, ratio) in speedups.items()
+        },
+        "speedup": max(spd for spd, _ in speedups.values()),
+    }
+
+
 WORKLOADS = {
     "fig5_bruteforce": bench_fig5_bruteforce,
+    "rounds_vs_groups": bench_rounds_vs_groups,
     "fig8a_init": bench_fig8a_init,
     "fig8b_delta": bench_fig8b_delta,
     "fig8_kernel_core": bench_kernel_core,

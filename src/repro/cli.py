@@ -30,6 +30,7 @@ from pathlib import Path
 from repro.common.errors import ReproError
 from repro.core.answers import AnswerSet
 from repro.core.bitset import DEFAULT_KERNEL, KERNELS
+from repro.core.merge import ARGMAX_MODES, AUTO_ARGMAX
 from repro.core.registry import algorithm_names, get_algorithm
 from repro.query.csv_io import answer_set_from_relation, read_csv
 from repro.query.sql import execute_sql
@@ -80,6 +81,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel", default=DEFAULT_KERNEL, choices=list(KERNELS),
         help="evaluation kernel: 'bitset' (optimized, default) or "
         "'python' (pure-Python ablation baseline)",
+    )
+    parser.add_argument(
+        "--argmax", default=AUTO_ARGMAX, choices=list(ARGMAX_MODES),
+        help="greedy merge argmax: 'auto' (default; lazy upper-bound heap "
+        "whenever sound), 'heap', or 'scan' (exhaustive LCA-group scan, "
+        "the ablation baseline)",
+    )
+    parser.add_argument(
+        "--mask-only", action="store_true",
+        help="build cluster pools in the low-memory mask-only mode "
+        "(bitmask coverage only, no frozensets; identical summaries)",
     )
     parser.add_argument("--expand", action="store_true",
                         help="also print the covered elements (layer 2)")
@@ -153,16 +165,25 @@ def main(argv: list[str] | None = None) -> int:
         print("error: %s" % error, file=sys.stderr)
         return EXIT_PARAM_ERROR
     try:
-        engine = Engine()
+        engine = Engine(mask_only=args.mask_only)
         engine.register_dataset(dataset, answers)
         L = min(args.L, answers.n)
+        supported = get_algorithm(args.algorithm).kwargs
         options = {}
-        if "kernel" in get_algorithm(args.algorithm).kwargs:
+        if "kernel" in supported:
             options["kernel"] = args.kernel
         elif args.kernel != DEFAULT_KERNEL:
             print(
                 "warning: --kernel %s ignored; algorithm %r has no "
                 "kernelized path" % (args.kernel, args.algorithm),
+                file=sys.stderr,
+            )
+        if "argmax" in supported:
+            options["argmax"] = args.argmax
+        elif args.argmax != AUTO_ARGMAX:
+            print(
+                "warning: --argmax %s ignored; algorithm %r has no "
+                "group-argmax path" % (args.argmax, args.algorithm),
                 file=sys.stderr,
             )
         request = SummaryRequest(
@@ -222,6 +243,10 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="CSV files to preload as datasets (named by file stem; last "
         "column is the value)",
     )
+    parser.add_argument(
+        "--mask-only", action="store_true",
+        help="build cluster pools in the low-memory mask-only mode",
+    )
     return parser
 
 
@@ -229,7 +254,7 @@ def serve_main(argv: list[str] | None = None) -> int:
     from repro.service.serve import serve
 
     args = build_serve_parser().parse_args(argv)
-    engine = Engine()
+    engine = Engine(mask_only=args.mask_only)
     try:
         for csv_path in args.csv:
             dataset, answers = _answers_from_csv(csv_path, None, None)

@@ -71,6 +71,7 @@ class AnswerSet:
         self.codec = codec
         self._prefix_sums: list[float] | None = None
         self._avg_all: float | None = None
+        self._min_value: float | None = None
 
     # -- basic accessors ---------------------------------------------------
 
@@ -87,6 +88,21 @@ class AnswerSet:
     def value_of(self, index: int) -> float:
         """Value of the element at rank *index* (0-based)."""
         return self.values[index]
+
+    @property
+    def min_value(self) -> float:
+        """The smallest element value (= ``values[-1]``; rank order).
+
+        Cached; the merge engine consults it to decide whether the lazy
+        upper-bound heap argmax is sound — marginal value sums are only
+        monotone non-increasing under merges when no value is negative
+        (see :mod:`repro.core.merge`).
+        """
+        if self._min_value is None:
+            # Elements are sorted by descending value, so the minimum is
+            # the last entry; keep the explicit attribute for clarity.
+            self._min_value = self.values[-1]
+        return self._min_value
 
     def top(self, L: int) -> list[int]:
         """Indices of the top-L elements (0..L-1 after the sort)."""

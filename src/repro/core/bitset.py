@@ -25,6 +25,21 @@ logic and produce identical solutions whenever value sums are exact
 (property tests enforce this on dyadic-rational values); on arbitrary
 floats the kernels sum in different orders, so exact ties may break
 differently at the last ulp.
+
+The three primitives in one glance::
+
+    >>> from repro.core.bitset import bitset_of, iter_bits, mask_value_sum
+    >>> mask = bitset_of([0, 2, 5])
+    >>> bin(mask)
+    '0b100101'
+    >>> list(iter_bits(mask))
+    [0, 2, 5]
+    >>> mask_value_sum([1.0, 9.0, 2.0, 9.0, 9.0, 3.0], mask)
+    6.0
+
+``mask_value_sum`` always adds in ascending index order, which is what
+makes subset sums float-monotone — the property the merge engine's lazy
+heap argmax leans on for its upper bounds (:mod:`repro.core.merge`).
 """
 
 from __future__ import annotations

@@ -21,7 +21,10 @@ solution average.
 
 All entry points accept ``kernel`` (``"bitset"``, the default, or
 ``"python"``) selecting the evaluation substrate of
-:class:`~repro.core.merge.MergeEngine`; both produce identical solutions.
+:class:`~repro.core.merge.MergeEngine`, and ``argmax`` (``"auto"``,
+``"heap"``, ``"scan"``) selecting the per-round greedy argmax — the lazy
+upper-bound heap or the exhaustive LCA-group scan.  All combinations
+produce identical solutions (property-tested).
 """
 
 from __future__ import annotations
@@ -30,7 +33,7 @@ from repro.common.errors import InvalidParameterError
 from repro.core.cluster import Cluster, ancestors_at_level
 from repro.core.merge import MergeEngine
 from repro.core.semilattice import ClusterPool
-from repro.core.solution import Solution
+from repro.core.solution import Solution, floor_at_root
 
 
 def _validate(pool: ClusterPool, k: int, D: int) -> None:
@@ -48,6 +51,7 @@ def bottom_up(
     D: int,
     use_delta: bool = True,
     kernel: str | None = None,
+    argmax: str | None = None,
 ) -> Solution:
     """Run Algorithm 1 on the pool's (S, L) with parameters (k, D).
 
@@ -60,10 +64,11 @@ def bottom_up(
         (pool.singleton(i) for i in pool.answers.top(pool.L)),
         use_delta=use_delta,
         kernel=kernel,
+        argmax=argmax,
     )
     run_distance_phase(engine, D)
     run_size_phase(engine, k)
-    return engine.snapshot()
+    return floor_at_root(engine.snapshot(), pool)
 
 
 def run_distance_phase(engine: MergeEngine, D: int) -> None:
@@ -90,6 +95,7 @@ def bottom_up_level_start(
     D: int,
     use_delta: bool = True,
     kernel: str | None = None,
+    argmax: str | None = None,
 ) -> Solution:
     """Variant (i) of Section 5.1: seed at semilattice level D-1.
 
@@ -115,14 +121,15 @@ def bottom_up_level_start(
         best = min(candidates, key=lambda c: (-c.avg, c.pattern))
         seeds[best.pattern] = best
     engine = MergeEngine(
-        pool, seeds.values(), use_delta=use_delta, kernel=kernel
+        pool, seeds.values(), use_delta=use_delta, kernel=kernel,
+        argmax=argmax,
     )
     # Seeding at a uniform level guarantees pairwise distance >= D and
     # incomparability, but phase 1 is still run defensively for D where the
     # level argument does not apply (e.g. D = 0 collapses to singletons).
     run_distance_phase(engine, D)
     run_size_phase(engine, k)
-    return engine.snapshot()
+    return floor_at_root(engine.snapshot(), pool)
 
 
 def bottom_up_pairwise_avg(
@@ -163,4 +170,4 @@ def bottom_up_pairwise_avg(
         if pair is None:
             break
         engine.merge(*pair)
-    return engine.snapshot()
+    return floor_at_root(engine.snapshot(), pool)

@@ -24,7 +24,7 @@ from repro.common.errors import InvalidParameterError
 from repro.core.cluster import Cluster, Pattern, distance, lca_many
 from repro.core.merge import MergeEngine
 from repro.core.semilattice import ClusterPool
-from repro.core.solution import Solution
+from repro.core.solution import Solution, floor_at_root
 
 
 def _validate(pool: ClusterPool, k: int, D: int) -> None:
@@ -85,6 +85,7 @@ def fixed_order(
     use_delta: bool = True,
     size_budget: int | None = None,
     kernel: str | None = None,
+    argmax: str | None = None,
 ) -> Solution:
     """Run Algorithm 3 on the pool's (S, L) with parameters (k, D).
 
@@ -95,10 +96,12 @@ def fixed_order(
     budget = k if size_budget is None else size_budget
     if budget < 1:
         raise InvalidParameterError("size budget must be >= 1")
-    engine = MergeEngine(pool, (), use_delta=use_delta, kernel=kernel)
+    engine = MergeEngine(
+        pool, (), use_delta=use_delta, kernel=kernel, argmax=argmax
+    )
     for index in pool.answers.top(pool.L):
         _process_incoming(engine, pool.singleton(index), budget, D)
-    return engine.snapshot()
+    return floor_at_root(engine.snapshot(), pool)
 
 
 def fixed_order_engine(
@@ -107,11 +110,19 @@ def fixed_order_engine(
     D: int,
     use_delta: bool = True,
     kernel: str | None = None,
+    argmax: str | None = None,
 ) -> MergeEngine:
     """Like :func:`fixed_order` but return the live engine (Hybrid and the
-    precomputation pipeline continue merging from this state)."""
+    precomputation pipeline continue merging from this state).
+
+    ``argmax`` matters here even though Fixed-Order itself never runs the
+    group argmax: the returned engine's Bottom-Up continuation (Hybrid
+    phase 2, the precompute sweeps) inherits it.
+    """
     _validate(pool, max(budget, 1), D)
-    engine = MergeEngine(pool, (), use_delta=use_delta, kernel=kernel)
+    engine = MergeEngine(
+        pool, (), use_delta=use_delta, kernel=kernel, argmax=argmax
+    )
     for index in pool.answers.top(pool.L):
         _process_incoming(engine, pool.singleton(index), budget, D)
     return engine
@@ -135,7 +146,7 @@ def random_fixed_order(
         _process_incoming(engine, pool.singleton(index), k, D)
     for index in top:
         _process_incoming(engine, pool.singleton(index), k, D)
-    return engine.snapshot()
+    return floor_at_root(engine.snapshot(), pool)
 
 
 def minimal_covering_pattern(elements: Sequence[Pattern]) -> Pattern:
@@ -173,4 +184,4 @@ def kmeans_fixed_order(
         _process_incoming(engine, pool.cluster(pattern), k, D)
     for index in top:
         _process_incoming(engine, pool.singleton(index), k, D)
-    return engine.snapshot()
+    return floor_at_root(engine.snapshot(), pool)

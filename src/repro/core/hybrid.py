@@ -16,7 +16,7 @@ from repro.core.bottom_up import run_distance_phase, run_size_phase
 from repro.core.fixed_order import fixed_order_engine
 from repro.core.merge import MergeEngine
 from repro.core.semilattice import ClusterPool
-from repro.core.solution import Solution
+from repro.core.solution import Solution, floor_at_root
 
 #: Default candidate-pool multiplier c (Section 5.3 requires c > 1).
 DEFAULT_POOL_FACTOR = 2
@@ -29,14 +29,16 @@ def hybrid(
     pool_factor: int = DEFAULT_POOL_FACTOR,
     use_delta: bool = True,
     kernel: str | None = None,
+    argmax: str | None = None,
 ) -> Solution:
     """Run Hybrid for (k, D) on the pool's (S, L)."""
     engine = hybrid_first_phase(
-        pool, k, D, pool_factor, use_delta=use_delta, kernel=kernel
+        pool, k, D, pool_factor, use_delta=use_delta, kernel=kernel,
+        argmax=argmax,
     )
     run_distance_phase(engine, D)
     run_size_phase(engine, k)
-    return engine.snapshot()
+    return floor_at_root(engine.snapshot(), pool)
 
 
 def hybrid_first_phase(
@@ -46,6 +48,7 @@ def hybrid_first_phase(
     pool_factor: int = DEFAULT_POOL_FACTOR,
     use_delta: bool = True,
     kernel: str | None = None,
+    argmax: str | None = None,
 ) -> MergeEngine:
     """The Fixed-Order phase with budget ``c * k``; returns the live engine.
 
@@ -59,5 +62,5 @@ def hybrid_first_phase(
         )
     budget = max(pool_factor * k, k)
     return fixed_order_engine(
-        pool, budget, D, use_delta=use_delta, kernel=kernel
+        pool, budget, D, use_delta=use_delta, kernel=kernel, argmax=argmax
     )

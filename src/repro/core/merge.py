@@ -29,15 +29,62 @@ Evaluation is the hot path, and two layers of optimization live here:
   accumulate sums in different orders, so a mathematically exact tie can,
   in principle, break differently at the last ulp.
 
+* **The lazy upper-bound heap argmax** (``argmax="heap"``, the default on
+  the bitset kernel whenever no element value is negative): instead of
+  scanning every LCA group per round, the engine keeps one max-heap of
+  groups per distance filter, keyed by a *stale* upper bound on each
+  group's post-merge objective.  The **LCA-group invariant** makes groups
+  the right argmax unit: all pairs whose LCA is the same pattern share
+  one distance (``distance(p1, p2) == level(lca(p1, p2))`` — the LCA
+  stars exactly the disagreeing positions) and one post-merge objective,
+  so one marginal evaluation prices every pair in the group.  The heap
+  adds laziness on top.  Because the covered union T only grows, two
+  stale per-group quantities stay valid bounds across rounds *when all
+  values are non-negative*: the marginal value sum only shrinks, and
+  ``covered_count + marginal_count`` only grows — so ``(covered_sum +
+  stale_sum) / max(covered_count, stale_mass)`` always dominates the
+  group's current objective.  The argmax pops groups in bound order,
+  re-evaluates exactly (stale-bound pop-and-refresh), and stops as soon
+  as the best exact value seen beats the drift-corrected bound at the
+  top of the heap; every group that could still win or tie has, at that
+  point, been evaluated with the same floats and the same tie-break key
+  as the full scan, which is why heap and scan are bit-identical
+  (property-tested).  Steady-state rounds therefore evaluate only the
+  near-optimal frontier plus newly created groups — sublinear in the
+  number of LCA groups — instead of all of them.  ``argmax="scan"``
+  keeps the exhaustive group scan as the ablation baseline, and remains
+  the only mode of the python kernel (which has no pair table).  With
+  negative values the monotonicity argument fails, so ``argmax="auto"``
+  silently falls back to the scan and an explicit ``argmax="heap"`` is
+  rejected.
+
 Note: Algorithm 2 in the paper transposes the assignments of ``delta_sum``
 and ``delta_cnt`` (lines 6-7 and 10-11); we implement the evidently
 intended semantics (sum of values vs. element count).
+
+Usage::
+
+    >>> from repro.core.answers import AnswerSet
+    >>> from repro.core.semilattice import ClusterPool
+    >>> from repro.core.merge import MergeEngine
+    >>> answers = AnswerSet.from_rows(
+    ...     [("a", "x"), ("a", "y"), ("b", "x")], [4.0, 3.0, 1.0])
+    >>> pool = ClusterPool(answers, L=2)
+    >>> engine = MergeEngine(pool, (pool.singleton(i) for i in range(2)))
+    >>> engine.argmax                  # non-negative values -> lazy heap
+    'heap'
+    >>> pair = engine.best_any_pair()  # the greedy argmax over LCA groups
+    >>> merged = engine.merge(*pair)
+    >>> engine.snapshot().avg          # (4 + 3) / 2 after merging to (a, *)
+    3.5
 """
 
 from __future__ import annotations
 
+from heapq import heapify, heappop, heappush
 from typing import Iterable, Iterator, Sequence
 
+from repro.common.errors import InvalidParameterError
 from repro.core.answers import AnswerSet
 from repro.core.bitset import (
     BITSET_KERNEL,
@@ -54,6 +101,109 @@ from repro.core.cluster import (
 )
 from repro.core.semilattice import ClusterPool
 from repro.core.solution import Solution
+
+#: The lazy upper-bound heap argmax (bitset kernel, non-negative values).
+HEAP_ARGMAX = "heap"
+#: The exhaustive per-round LCA-group scan (ablation baseline).
+SCAN_ARGMAX = "scan"
+#: Pick per instance: heap when sound (bitset kernel, min value >= 0).
+AUTO_ARGMAX = "auto"
+#: Every argmax mode the engine accepts.
+ARGMAX_MODES = (AUTO_ARGMAX, HEAP_ARGMAX, SCAN_ARGMAX)
+
+
+def resolve_argmax(argmax: str | None, kernel: str, answers: AnswerSet) -> str:
+    """Resolve an argmax request to the concrete mode an engine will run.
+
+    ``None``/``"auto"`` chooses :data:`HEAP_ARGMAX` exactly when it is
+    sound and implemented — the bitset kernel (the heap lives on the pair
+    table) with no negative element value (marginal sums must be monotone
+    non-increasing for stale bounds to stay upper bounds) — and
+    :data:`SCAN_ARGMAX` otherwise.  An explicit ``"heap"`` that cannot be
+    honored is an :class:`~repro.common.errors.InvalidParameterError`
+    rather than a silent fallback: the caller asked for a specific
+    complexity class, and quietly scanning would invalidate benchmarks.
+    """
+    if argmax is None:
+        argmax = AUTO_ARGMAX
+    if argmax not in ARGMAX_MODES:
+        raise InvalidParameterError(
+            "unknown argmax %r; expected one of %r" % (argmax, ARGMAX_MODES)
+        )
+    heap_ok = kernel == BITSET_KERNEL and answers.min_value >= 0.0
+    if argmax == AUTO_ARGMAX:
+        return HEAP_ARGMAX if heap_ok else SCAN_ARGMAX
+    if argmax == HEAP_ARGMAX and not heap_ok:
+        if kernel != BITSET_KERNEL:
+            raise InvalidParameterError(
+                "argmax='heap' requires kernel='bitset' (the heap indexes "
+                "the pair table); got kernel=%r" % kernel
+            )
+        raise InvalidParameterError(
+            "argmax='heap' requires non-negative element values (stale "
+            "marginal sums are only upper bounds when marginals shrink "
+            "monotonically); min value is %r" % answers.min_value
+        )
+    return argmax
+
+
+#: Multiplicative slack applied to the heap's drift-corrected stop bound.
+#: The bound chain (stale priority + drift) is a *real-arithmetic* upper
+#: bound assembled from several independently rounded float operations, so
+#: — unlike the per-group refined bound, whose operations are all monotone
+#: — it could in principle round one ulp below a group's exactly-computed
+#: objective.  Inflating it by ~1e-12 (four orders of magnitude above the
+#: accumulated rounding error of the handful of ops involved) restores a
+#: guaranteed-dominant stop bound at a negligible cost in pruning power.
+_DRIFT_SLACK = 1.0 + 1e-12
+
+#: Reprioritize a lazy heap when its covered-sum drift term exceeds this
+#: fraction of the current solution average.  Drift only loosens the stop
+#: bound (correctness is unaffected); reprioritizing costs three float ops
+#: per group and resets drift to zero, so this trades amortized
+#: reprioritization passes against extra frontier pops.  Tuned on the
+#: rounds-vs-groups benchmark (``benchmarks/run_bench.py``).
+_REBUILD_DRIFT_FRACTION = 0.005
+
+
+class _ArgmaxHeap:
+    """One lazy max-heap of LCA groups for one distance filter.
+
+    ``entries`` is a heapified list of ``(-priority, lca_pattern)``;
+    ``meta`` maps each live candidate pattern to ``(priority,
+    stale_marginal_sum, stale_mass)``, where the newest heap entry for a
+    pattern is the one whose priority matches ``meta`` (older duplicates
+    are discarded lazily on pop).
+
+    The three stale ingredients bound a group's current post-merge
+    objective ``(S + delta_sum) / (C + delta_cnt)`` from above, given only
+    the current covered sum S and count C:
+
+    * ``stale_marginal_sum`` dominates the current ``delta_sum`` — with
+      non-negative values, marginal sums only shrink as T grows;
+    * ``stale_mass`` (= C + delta_cnt as of the same stamp) floors the
+      current denominator: every element that leaves a group's marginal
+      enters T, so ``C + delta_cnt`` never drops below
+      ``max(C_now, stale_mass)``;
+    * ``priority`` is the refined bound ``(S_push + stale_sum) /
+      max(C_push, stale_mass)`` frozen at push time — the group's exact
+      objective when freshly evaluated.  It stops dominating as S grows,
+      which is exactly what the caller's drift term ``(S_now - s_floor) /
+      C_now`` repairs: ``priority + drift`` dominates every live entry's
+      current refined bound because ``s_floor`` never exceeds any entry's
+      push-time S.
+
+    ``s_floor`` is reset by (re)builds; the engine rebuilds the heap when
+    the drift term grows past a small fraction of the current average, so
+    the stop bound stays within a hair of the true maximum.
+    """
+
+    __slots__ = ("entries", "meta", "s_floor")
+
+    def __init__(self, s_floor: float) -> None:
+        self.entries: list[tuple[float, Pattern]] = []
+        self.meta: dict[Pattern, tuple[float, float, int]] = {}
+        self.s_floor = s_floor
 
 
 class _DeltaState:
@@ -100,12 +250,26 @@ class MergeEngine:
         clusters: Iterable[Cluster],
         use_delta: bool = True,
         kernel: str | None = None,
+        argmax: str | None = None,
     ) -> None:
         self.pool = pool
         self.answers: AnswerSet = pool.answers
         self.use_delta = use_delta
         self.kernel = resolve_kernel(kernel)
         self._bitset = self.kernel == BITSET_KERNEL
+        self.argmax = resolve_argmax(argmax, self.kernel, self.answers)
+        self._heap_argmax = self.argmax == HEAP_ARGMAX
+        #: One lazy heap per distance filter (None = unfiltered phase 2).
+        self._heaps: dict[int | None, _ArgmaxHeap] = {}
+        #: Greedy-argmax counters: rounds served, groups a scan would have
+        #: evaluated, marginals actually evaluated.  Snapshot() attaches a
+        #: copy so services can surface the pruning ratio.
+        self.stats: dict[str, float] = {
+            "argmax_rounds": 0.0,
+            "argmax_groups": 0.0,
+            "argmax_evals": 0.0,
+            "argmax_skips": 0.0,
+        }
         self._solution: dict[Pattern, Cluster] = {}
         self.rounds: int = 0
         self._delta_cache: dict[Pattern, _DeltaState] = {}
@@ -116,7 +280,6 @@ class MergeEngine:
             self._covered: set[int] | None = None
             self._covered_mask = 0
             self._last_diff: list[int] = []
-            self._last_diff_mask = 0
             for cluster in clusters:
                 if cluster.pattern in self._solution:
                     continue
@@ -126,13 +289,25 @@ class MergeEngine:
                 if fresh:
                     self._covered_mask |= fresh
                     self._covered_sum += self.answers.mask_value_sum(fresh)
+            # Covered-union history: _cover_log[r] is the covered mask
+            # after round r.  Delta refreshes AND a candidate against the
+            # coverage growth window since their stamp, so a state stale
+            # by *any* number of rounds refreshes in one mask operation —
+            # the property the lazy heap argmax depends on (its frontier
+            # groups sleep for many rounds between evaluations).  Keyed by
+            # round (not a list) so snapshots older than every live delta
+            # state can be pruned; without pruning a long run would retain
+            # O(rounds * n/8) bytes of history.
+            self._cover_log: dict[int, int] = {0: self._covered_mask}
+            self._diff_since_cache: dict[int, int] = {}
         else:
             self._pairs = None
             self._by_lca = None
             self._covered = set()
             self._covered_mask = 0
             self._last_diff = []
-            self._last_diff_mask = 0
+            self._cover_log = {}
+            self._diff_since_cache = {}
             values = self.answers.values
             for cluster in clusters:
                 if cluster.pattern in self._solution:
@@ -181,6 +356,8 @@ class MergeEngine:
         is the fork.  The delta cache is not carried over (its states are
         mutated in place and must not be shared); it rebuilds lazily.  The
         pair table *is* carried over (rows are immutable), copied shallowly.
+        The argmax heaps are likewise not shared (their bound dicts are
+        mutated in place); each clone rebuilds them on first argmax.
         """
         twin = MergeEngine.__new__(MergeEngine)
         twin.pool = self.pool
@@ -188,13 +365,18 @@ class MergeEngine:
         twin.use_delta = self.use_delta
         twin.kernel = self.kernel
         twin._bitset = self._bitset
+        twin.argmax = self.argmax
+        twin._heap_argmax = self._heap_argmax
+        twin._heaps = {}
+        twin.stats = dict(self.stats)
         twin._solution = dict(self._solution)
         twin._covered = set(self._covered) if self._covered is not None else None
         twin._covered_sum = self._covered_sum
         twin._covered_mask = self._covered_mask
         twin.rounds = self.rounds
         twin._last_diff = list(self._last_diff)
-        twin._last_diff_mask = self._last_diff_mask
+        twin._cover_log = dict(self._cover_log)
+        twin._diff_since_cache = {}
         twin._delta_cache = {}
         twin._pairs = dict(self._pairs) if self._pairs is not None else None
         twin._by_lca = (
@@ -219,12 +401,24 @@ class MergeEngine:
         return self._covered_sum / count
 
     def snapshot(self) -> Solution:
-        """Freeze the current state into a :class:`Solution`."""
+        """Freeze the current state into a :class:`Solution`.
+
+        The solution carries a copy of the engine's argmax counters (plus
+        an ``argmax_heap`` 0/1 flag) so callers up the stack — e.g.
+        :class:`repro.service.Engine`, which folds them into
+        ``SummaryResponse.phase_seconds`` — can report how much work the
+        lazy heap saved without holding on to the engine.
+        """
         ordered = sorted(
             self._solution.values(), key=lambda c: (-c.avg, c.pattern)
         )
+        stats = dict(self.stats)
+        stats["argmax_heap"] = 1.0 if self._heap_argmax else 0.0
         return Solution(
-            tuple(ordered), self.covered_indices(), self._covered_sum
+            tuple(ordered),
+            self.covered_indices(),
+            self._covered_sum,
+            stats=stats,
         )
 
     # -- candidate evaluation --------------------------------------------------
@@ -268,9 +462,18 @@ class MergeEngine:
         )
         return delta_sum, delta_cnt
 
+    def _diff_since(self, stamp: int) -> int:
+        """Mask of elements covered after round *stamp* (cached per round)."""
+        diff = self._diff_since_cache.get(stamp)
+        if diff is None:
+            diff = self._covered_mask & ~self._cover_log[stamp]
+            self._diff_since_cache[stamp] = diff
+        return diff
+
     def _marginal_bitset(self, candidate: Cluster) -> tuple[float, int]:
         """Bitset-kernel marginal: one AND-NOT plus popcount, value sums
-        over set bits only; delta refreshes touch just the last diff mask."""
+        over set bits only; delta refreshes AND the candidate against the
+        coverage growth window since the cached stamp, whatever its age."""
         answers = self.answers
         if not self.use_delta:
             diff = candidate.mask & ~self._covered_mask
@@ -280,13 +483,12 @@ class MergeEngine:
         if state is not None:
             if state.stamp == rounds:
                 return state.delta_sum, state.delta_cnt
-            if state.stamp == rounds - 1:
-                newly = self._last_diff_mask & candidate.mask
-                if newly:
-                    state.delta_sum -= answers.mask_value_sum(newly)
-                    state.delta_cnt -= newly.bit_count()
-                state.stamp = rounds
-                return state.delta_sum, state.delta_cnt
+            newly = self._diff_since(state.stamp) & candidate.mask
+            if newly:
+                state.delta_sum -= answers.mask_value_sum(newly)
+                state.delta_cnt -= newly.bit_count()
+            state.stamp = rounds
+            return state.delta_sum, state.delta_cnt
         diff = candidate.mask & ~self._covered_mask
         delta_cnt = diff.bit_count()
         # Sum over whichever of cov(c) \ T and cov(c) & T has fewer bits;
@@ -405,13 +607,15 @@ class MergeEngine:
     ) -> tuple[Cluster, Cluster] | None:
         """The best pair at distance < D, or None when no pair violates D.
 
-        With the bitset kernel this scans the persistent pair table (no
-        list materialization, no distance or LCA recomputation); the python
-        kernel falls back to the naive enumeration.  Both pick by the exact
-        same key as :meth:`best_pair`.
+        With the bitset kernel this works off the persistent pair table (no
+        list materialization, no distance or LCA recomputation) — a lazy
+        heap pop-and-refresh under ``argmax="heap"``, a full group scan
+        under ``argmax="scan"``; the python kernel falls back to the naive
+        enumeration.  All paths pick by the exact same key as
+        :meth:`best_pair`.
         """
         if self._pairs is not None:
-            return self._scan_best(D)
+            return self._best_group(D)
         pairs = self.violating_pairs(D)
         if not pairs:
             return None
@@ -420,11 +624,20 @@ class MergeEngine:
     def best_any_pair(self) -> tuple[Cluster, Cluster] | None:
         """The best pair over all pairs, or None when |O| < 2."""
         if self._pairs is not None:
-            return self._scan_best(None)
+            return self._best_group(None)
         pairs = self.all_pairs()
         if not pairs:
             return None
         return self.best_pair(pairs)
+
+    def _best_group(
+        self, max_distance: int | None
+    ) -> tuple[Cluster, Cluster] | None:
+        """Dispatch the per-round LCA-group argmax to heap or scan."""
+        self.stats["argmax_rounds"] += 1.0
+        if self._heap_argmax:
+            return self._heap_best(max_distance)
+        return self._scan_best(max_distance)
 
     def _scan_best(
         self, max_distance: int | None
@@ -448,10 +661,12 @@ class MergeEngine:
         best_group = None
         best_pattern = None
         best_avg = float("-inf")
+        evals = 0
         for pattern, group in by_lca.items():
             if max_distance is not None and group[0] >= max_distance:
                 continue
             delta_sum, delta_cnt = marginal(group[1])
+            evals += 1
             new_avg = (covered_sum + delta_sum) / (covered_cnt + delta_cnt)
             if new_avg < best_avg:
                 continue
@@ -459,6 +674,202 @@ class MergeEngine:
                 best_avg = new_avg
                 best_pattern = pattern
                 best_group = group
+        self.stats["argmax_groups"] += evals
+        self.stats["argmax_evals"] += evals
+        if best_group is None:
+            return None
+        row = best_group[2][min(best_group[2])]
+        return row[0], row[1]
+
+    def _build_heap(self, max_distance: int | None) -> _ArgmaxHeap:
+        """(Re)seed the lazy heap for one distance filter with exact bounds.
+
+        Costs one full group evaluation (the same work as a single scan
+        round); every later round then only refreshes the groups whose
+        bounds still compete.  The evaluations land in the delta cache, so
+        the first :meth:`_heap_best` against the fresh heap re-reads them
+        for free.  Also serves as the periodic rebuild that resets
+        ``s_floor`` once covered-sum drift has loosened the stop bound.
+        """
+        by_lca = self._by_lca
+        assert by_lca is not None
+        covered_sum = self._covered_sum
+        covered_cnt = self._covered_mask.bit_count()
+        heap = _ArgmaxHeap(covered_sum)
+        marginal = self._marginal_bitset
+        meta = heap.meta
+        entries = heap.entries
+        for pattern, group in by_lca.items():
+            if max_distance is not None and group[0] >= max_distance:
+                continue
+            delta_sum, delta_cnt = marginal(group[1])
+            priority = (covered_sum + delta_sum) / (covered_cnt + delta_cnt)
+            meta[pattern] = (priority, delta_sum, covered_cnt + delta_cnt)
+            entries.append((-priority, pattern))
+        heapify(entries)
+        self.stats["argmax_evals"] += len(meta)
+        self._heaps[max_distance] = heap
+        return heap
+
+    def _reprioritize_heap(self, heap: _ArgmaxHeap) -> None:
+        """Reset drift by recomputing every priority from its stale bounds.
+
+        No marginal is evaluated: each group's stored ``(stale_sum,
+        stale_mass)`` is re-expressed as a refined bound under the
+        *current* covered sum and count (three float ops per group), the
+        entry list is rebuilt, and ``s_floor`` snaps to the present — so
+        the stop bound is tight again at a fraction of the cost of a full
+        evaluation pass.
+        """
+        covered_sum = self._covered_sum
+        covered_cnt = self._covered_mask.bit_count()
+        meta = heap.meta
+        entries = []
+        for pattern, info in meta.items():
+            stale_sum = info[1]
+            stale_mass = info[2]
+            denominator = (
+                stale_mass if stale_mass > covered_cnt else covered_cnt
+            )
+            priority = (
+                (covered_sum + stale_sum) / denominator
+                if denominator
+                else float("inf")
+            )
+            meta[pattern] = (priority, stale_sum, stale_mass)
+            entries.append((-priority, pattern))
+        heapify(entries)
+        heap.entries = entries
+        heap.s_floor = covered_sum
+
+    def _heap_best(
+        self, max_distance: int | None
+    ) -> tuple[Cluster, Cluster] | None:
+        """Lazy-heap argmax: pop stale bounds, refresh, stop when beaten.
+
+        Exact and bit-identical to :meth:`_scan_best`: a popped group is
+        re-evaluated with the very same cached-marginal floats and compared
+        with the very same ``(avg, LCA pattern)`` key, and a group is only
+        skipped or the loop only stopped when an *upper bound* on its
+        objective is strictly below the best exact value seen.  Two bounds
+        cooperate (see :class:`_ArgmaxHeap` for the ingredients):
+
+        * the per-group **refined bound** ``(S + stale_sum) /
+          max(C, stale_mass)`` decides evaluation *skips*.  Its float
+          value provably dominates the group's exactly-computed float
+          objective — numerators are ascending-order sums of non-negative
+          values over supersets, denominator floors are exact ints, and
+          IEEE addition/division are monotone — so a skip can never
+          swallow a win or a tie, not even at the last ulp.  A skipped
+          entry is re-pushed *re-prioritized* at its freshly computed
+          bound, so as the solution average falls, once-competitive
+          groups sink to their true level instead of being popped again
+          every round.
+        * the heap-top **stop bound** ``priority + drift`` (drift =
+          ``(S - s_floor) / C``, slackened by :data:`_DRIFT_SLACK`)
+          decides when to stop popping altogether: it dominates every
+          remaining entry's refined bound, so once it falls below the
+          best exact value nothing beneath the top can win or tie.  The
+          engine rebuilds the heap (resetting ``s_floor``) whenever drift
+          exceeds a small fraction of the current average, keeping the
+          stop bound tight at an amortized cost of one scan per rebuild.
+
+        Together these make steady-state rounds touch only the
+        near-optimal frontier plus newly created groups — sublinear in
+        the number of LCA groups — where the scan touches all of them.
+        """
+        by_lca = self._by_lca
+        assert by_lca is not None
+        covered_sum = self._covered_sum
+        covered_cnt = self._covered_mask.bit_count()
+        if len(self._heaps) > 1 or (
+            self._heaps and max_distance not in self._heaps
+        ):
+            # Retire heaps for other distance filters: the greedy phases
+            # query one filter at a time (distance phase, then size
+            # phase), and a retired heap would otherwise keep absorbing
+            # pushes from _register_pairs for the engine's remaining
+            # lifetime.  A retired filter queried again simply rebuilds.
+            for key in [k for k in self._heaps if k != max_distance]:
+                del self._heaps[key]
+        heap = self._heaps.get(max_distance)
+        drift = 0.0
+        fresh_build = False
+        if heap is None:
+            heap = self._build_heap(max_distance)
+            fresh_build = True
+        elif covered_cnt:
+            drift = (covered_sum - heap.s_floor) / covered_cnt
+            # Reprioritizing costs three float ops per group and resets
+            # drift to zero; do it as soon as drift would start popping
+            # more than the true near-optimal frontier.
+            if drift > _REBUILD_DRIFT_FRACTION * (covered_sum / covered_cnt):
+                self._reprioritize_heap(heap)
+                drift = 0.0
+        entries = heap.entries
+        meta = heap.meta
+        marginal = self._marginal_bitset
+        best_group = None
+        best_pattern = None
+        best_avg = float("-inf")
+        evals = 0
+        skips = 0
+        touched: set[Pattern] = set()
+        repush: list[tuple[float, Pattern]] = []
+        while entries:
+            neg_priority, pattern = entries[0]
+            group = by_lca.get(pattern)
+            info = meta.get(pattern)
+            if group is None or info is None or info[0] != -neg_priority:
+                heappop(entries)  # dissolved group or superseded entry
+                continue
+            if pattern in touched:
+                heappop(entries)  # same-priority duplicate, handled above
+                continue
+            if best_group is not None:
+                if (-neg_priority + drift) * _DRIFT_SLACK < best_avg:
+                    break  # stop bound: nothing below can win or tie
+                stale_sum = info[1]
+                stale_mass = info[2]
+                denominator = (
+                    stale_mass if stale_mass > covered_cnt else covered_cnt
+                )
+                refined = (covered_sum + stale_sum) / denominator
+                if refined < best_avg:
+                    # Refined skip: provably cannot win or tie; sink the
+                    # entry to its current bound and move on unevaluated.
+                    heappop(entries)
+                    skips += 1
+                    touched.add(pattern)
+                    meta[pattern] = (refined, stale_sum, stale_mass)
+                    repush.append((-refined, pattern))
+                    continue
+            heappop(entries)
+            delta_sum, delta_cnt = marginal(group[1])
+            if not fresh_build:
+                # On a build round every state was just stamped by
+                # _build_heap (already counted there); these reads are
+                # delta-cache hits, not additional evaluations.
+                evals += 1
+            touched.add(pattern)
+            new_avg = (covered_sum + delta_sum) / (covered_cnt + delta_cnt)
+            meta[pattern] = (new_avg, delta_sum, covered_cnt + delta_cnt)
+            repush.append((-new_avg, pattern))
+            if new_avg < best_avg:
+                continue
+            if new_avg > best_avg or pattern < best_pattern:
+                best_avg = new_avg
+                best_pattern = pattern
+                best_group = group
+        if len(repush) > max(64, len(entries) // 4):
+            entries.extend(repush)
+            heapify(entries)
+        else:
+            for entry in repush:
+                heappush(entries, entry)
+        self.stats["argmax_groups"] += len(meta)
+        self.stats["argmax_evals"] += evals
+        self.stats["argmax_skips"] += skips
         if best_group is None:
             return None
         row = best_group[2][min(best_group[2])]
@@ -473,6 +884,9 @@ class MergeEngine:
         assert pairs is not None and by_lca is not None
         pool_cluster = self.pool.cluster
         pattern = cluster.pattern
+        heaps = self._heaps
+        covered_cnt = self._covered_mask.bit_count() if heaps else 0
+        covered_sum = self._covered_sum
         for other in self._solution.values():
             if other.pattern < pattern:
                 first, second = other, cluster
@@ -485,6 +899,23 @@ class MergeEngine:
                 merged = pool_cluster(joined)
                 row = (first, second, dist, merged)
                 by_lca[joined] = (dist, merged, {key: row})
+                # A brand-new group enters every live heap whose filter it
+                # matches, bounded by the LCA's *total* value sum — with
+                # non-negative values (the heap's precondition) that
+                # dominates any marginal sum, so laziness stays sound
+                # without evaluating the newcomer here.  (During __init__
+                # no heap exists yet; builds snapshot the full table.)
+                for filter_distance, heap in heaps.items():
+                    if filter_distance is None or dist < filter_distance:
+                        priority = (
+                            (covered_sum + merged.value_sum) / covered_cnt
+                            if covered_cnt
+                            else float("inf")
+                        )
+                        heap.meta[joined] = (
+                            priority, merged.value_sum, 0,
+                        )
+                        heappush(heap.entries, (-priority, joined))
             else:
                 row = (first, second, dist, group[1])
                 group[2][key] = row
@@ -512,6 +943,11 @@ class MergeEngine:
                 del group[2][key]
                 if not group[2]:
                     del by_lca[joined]
+                    # Dissolved groups leave the heaps lazily: clearing the
+                    # bound invalidates their entries, which are discarded
+                    # on pop.
+                    for heap in self._heaps.values():
+                        heap.meta.pop(joined, None)
 
             for pattern in removed:
                 for other in solution:
@@ -532,6 +968,34 @@ class MergeEngine:
                 self._register_pairs(merged)
             solution[merged.pattern] = merged
 
+    def _advance_round(self) -> None:
+        """Bump the round counter and record the covered-union snapshot.
+
+        Every 64 rounds, delta states that slept for more than a full
+        window are evicted (their next touch is an ordinary full
+        recompute, exactly as if never cached) and the history is pruned
+        below the oldest surviving stamp — so both the log and the worst
+        case delta cache staleness stay bounded at ~two windows instead
+        of growing with the engine's lifetime.
+        """
+        self.rounds += 1
+        if self._bitset:
+            self._cover_log[self.rounds] = self._covered_mask
+            self._diff_since_cache.clear()
+            if self.rounds % 64 == 0 and len(self._cover_log) > 64:
+                cache = self._delta_cache
+                horizon = self.rounds - 64
+                for pattern in [
+                    p for p, state in cache.items() if state.stamp < horizon
+                ]:
+                    del cache[pattern]
+                floor = min(
+                    (state.stamp for state in cache.values()),
+                    default=self.rounds,
+                )
+                for stamp in [r for r in self._cover_log if r < floor]:
+                    del self._cover_log[stamp]
+
     def _absorb_coverage(self, merged: Cluster) -> None:
         """Fold cov(*merged*) into T, recording the per-round difference."""
         if self._bitset:
@@ -539,7 +1003,6 @@ class MergeEngine:
             if fresh:
                 self._covered_mask |= fresh
                 self._covered_sum += self.answers.mask_value_sum(fresh)
-            self._last_diff_mask = fresh
         else:
             values = self.answers.values
             diff = [i for i in merged.covered if i not in self._covered]
@@ -568,7 +1031,7 @@ class MergeEngine:
             if pattern != merged.pattern and pattern not in removed:
                 removed.append(pattern)
         self._replace_clusters(removed, merged)
-        self.rounds += 1
+        self._advance_round()
         return merged
 
     def add(self, cluster: Cluster) -> None:
@@ -583,7 +1046,7 @@ class MergeEngine:
         if self._pairs is not None:
             self._register_pairs(cluster)
         self._solution[cluster.pattern] = cluster
-        self.rounds += 1
+        self._advance_round()
 
     def merge_into(self, existing: Cluster, incoming: Cluster) -> Cluster:
         """Merge an *incoming* cluster (not yet in O) with an existing one.
@@ -607,7 +1070,7 @@ class MergeEngine:
         ):
             removed.append(existing.pattern)
         self._replace_clusters(removed, merged)
-        self.rounds += 1
+        self._advance_round()
         return merged
 
     def min_pairwise_distance(self) -> int:

@@ -61,6 +61,7 @@ class ProblemInstance:
     L: int | None = None
     D: int = 0
     mapping: MappingStrategy = "eager"
+    mask_only: bool = False
     _pool: ClusterPool | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -91,7 +92,10 @@ class ProblemInstance:
         """The cluster pool for (S, L), built on first access."""
         if self._pool is None or self._pool.L != self.L:
             self._pool = ClusterPool(
-                self.answers, self.L, strategy=self.mapping
+                self.answers,
+                self.L,
+                strategy=self.mapping,
+                mask_only=self.mask_only,
             )
         return self._pool
 
@@ -105,7 +109,7 @@ class ProblemInstance:
     "bottom-up",
     cost="greedy",
     complexity="O(L^2) merge candidates per step",
-    kwargs=("use_delta", "kernel"),
+    kwargs=("use_delta", "kernel", "argmax"),
     summary="Algorithm 1: greedy pairwise merging from the top-L singletons",
 )
 def _run_bottom_up(instance: ProblemInstance, **kwargs) -> Solution:
@@ -118,7 +122,7 @@ def _run_bottom_up(instance: ProblemInstance, **kwargs) -> Solution:
     "bottom-up-level",
     cost="greedy",
     complexity="O(L^2) after seeding at semilattice level D-1",
-    kwargs=("use_delta", "kernel"),
+    kwargs=("use_delta", "kernel", "argmax"),
     summary="Section 5.1 variant (i): seed at level D-1 ancestors",
 )
 def _run_bottom_up_level(instance: ProblemInstance, **kwargs) -> Solution:
@@ -144,6 +148,9 @@ def _run_bottom_up_pairwise(instance: ProblemInstance, **kwargs) -> Solution:
     "fixed-order",
     cost="greedy",
     complexity="O(L * k) incoming-element processing",
+    # No "argmax": plain Fixed-Order never runs the group argmax (only
+    # its engine continuations — hybrid, precompute — do); advertising it
+    # would let ablation runs believe they compared two modes.
     kwargs=("use_delta", "size_budget", "kernel"),
     summary="Algorithm 3: stream the top-L in value order into <= k clusters",
 )
@@ -183,7 +190,7 @@ def _run_kmeans_fixed_order(instance: ProblemInstance, **kwargs) -> Solution:
     "hybrid",
     cost="greedy",
     complexity="Fixed-Order with budget c*k, then Bottom-Up",
-    kwargs=("pool_factor", "use_delta", "kernel"),
+    kwargs=("pool_factor", "use_delta", "kernel", "argmax"),
     summary="Algorithm 4: the paper's recommended two-phase algorithm",
 )
 def _run_hybrid(instance: ProblemInstance, **kwargs) -> Solution:
@@ -251,9 +258,12 @@ def summarize(
     1
     """
     warnings.warn(
-        "repro.summarize() is deprecated; submit a SummaryRequest to a "
-        "repro.service.Engine (or use ExplorationSession) so pool "
-        "initialization is cached and shared",
+        "repro.summarize(answers, ...) is deprecated; replace it with\n"
+        "    engine = repro.Engine(); engine.register_dataset('ds', answers)\n"
+        "    engine.submit(repro.SummaryRequest(dataset='ds', k=..., L=..., "
+        "D=...))\n"
+        "so pool initialization is cached and shared across requests; see "
+        "docs/ARCHITECTURE.md#service-layer and docs/WIRE_PROTOCOL.md",
         DeprecationWarning,
         stacklevel=2,
     )

@@ -169,8 +169,12 @@ class AlgorithmsView(Mapping):
         import warnings
 
         warnings.warn(
-            "repro.core.problem.ALGORITHMS is deprecated; use "
-            "repro.core.registry (algorithm_names, get_algorithm) instead",
+            "repro.core.problem.ALGORITHMS is deprecated; replace "
+            "ALGORITHMS[name](instance, ...) with "
+            "repro.core.registry.get_algorithm(name).runner(instance, ...) "
+            "(list names via algorithm_names(), register new ones with "
+            "@register_algorithm); see docs/ARCHITECTURE.md"
+            "#algorithm-registry",
             DeprecationWarning,
             stacklevel=3,
         )

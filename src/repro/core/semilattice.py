@@ -29,6 +29,16 @@ from this (Figure 8a).
 
 All three produce identical :class:`~repro.core.cluster.Cluster` objects,
 which property tests verify.
+
+Independently of the strategy, ``mask_only=True`` switches the pool to its
+low-memory mode: per-pattern coverage is stored *only* as int bitmasks
+(the bitset kernel's working representation) and the per-pattern
+``frozenset`` index sets are never materialized at initialization —
+roughly halving init memory at large L, since most pool patterns are never
+touched again after mapping.  The ``coverage()``/``cluster()`` API is
+unchanged: frozensets are derived from the masks on demand (and cached on
+the materialized :class:`~repro.core.cluster.Cluster`), so both kernels
+and all callers see identical results in either mode (property-tested).
 """
 
 from __future__ import annotations
@@ -39,7 +49,7 @@ from typing import Iterable, Literal
 from repro.common.errors import InvalidParameterError
 from repro.common.interning import STAR
 from repro.core.answers import AnswerSet
-from repro.core.bitset import bitset_of
+from repro.core.bitset import bitset_of, iter_bits
 from repro.core.cluster import Cluster, Pattern, covers, generalizations
 
 MappingStrategy = Literal["eager", "naive", "lazy"]
@@ -68,6 +78,7 @@ class ClusterPool:
         L: int,
         strategy: MappingStrategy = "eager",
         fallback_capacity: int = FALLBACK_CACHE_SIZE,
+        mask_only: bool = False,
     ) -> None:
         if strategy not in _VALID_STRATEGIES:
             raise InvalidParameterError(
@@ -86,6 +97,7 @@ class ClusterPool:
         self.L = L
         self.strategy = strategy
         self.fallback_capacity = fallback_capacity
+        self.mask_only = bool(mask_only)
         self._patterns: set[Pattern] = set()
         for index in answers.top(L):
             self._patterns.update(generalizations(answers.elements[index]))
@@ -108,9 +120,10 @@ class ClusterPool:
 
     def _map_eager(self) -> None:
         """One pass over S; each element registers with the pool patterns it
-        generates (the Section 6.3 optimization).  Coverage is stored both
-        as a frozenset (the stable API) and as an int bitmask (the bitset
-        kernel's working representation)."""
+        generates (the Section 6.3 optimization).  Coverage is stored as an
+        int bitmask (the bitset kernel's working representation) and — in
+        the default mode — also as a frozenset (the stable API);
+        ``mask_only`` pools skip the frozensets entirely."""
         buckets: dict[Pattern, set[int]] = {p: set() for p in self._patterns}
         for index, element in enumerate(self.answers.elements):
             for pattern in generalizations(element):
@@ -119,21 +132,24 @@ class ClusterPool:
                     bucket.add(index)
         coverage = self._coverage
         masks = self._masks
+        mask_only = self.mask_only
         for pattern, ids in buckets.items():
-            coverage[pattern] = frozenset(ids)
             masks[pattern] = bitset_of(ids)
+            if not mask_only:
+                coverage[pattern] = frozenset(ids)
 
     def _map_naive(self) -> None:
         """Per-cluster scan of all of S (the unoptimized ablation path)."""
         elements = self.answers.elements
         for pattern in self._patterns:
-            ids = frozenset(
+            ids = [
                 index
                 for index, element in enumerate(elements)
                 if covers(pattern, element)
-            )
-            self._coverage[pattern] = ids
+            ]
             self._masks[pattern] = bitset_of(ids)
+            if not self.mask_only:
+                self._coverage[pattern] = frozenset(ids)
 
     def _build_postings(self) -> None:
         """Inverted index: per attribute, value code -> element id set."""
@@ -182,13 +198,22 @@ class ClusterPool:
         cached = self._coverage.get(pattern)
         if cached is not None:
             return cached
-        if pattern in self._patterns:
+        if pattern not in self._patterns:
+            return self._fallback_cluster(pattern).covered
+        mask = self._masks.get(pattern)
+        if mask is None:
             # Only reachable under the lazy strategy: eager/naive prefill.
-            ids = self._coverage_lazy(pattern)
-            self._coverage[pattern] = ids
+            ids = frozenset(self._coverage_lazy(pattern))
             self._masks[pattern] = bitset_of(ids)
+            if not self.mask_only:
+                self._coverage[pattern] = ids
             return ids
-        return self._fallback_cluster(pattern).covered
+        # Mask-only pools derive the frozenset view on demand; callers
+        # that need it repeatedly hold on to the materialized Cluster.
+        ids = frozenset(iter_bits(mask))
+        if not self.mask_only:
+            self._coverage[pattern] = ids
+        return ids
 
     def mask(self, pattern: Pattern) -> int:
         """Coverage of *pattern* as an int bitmask (bitset kernel API)."""
@@ -254,8 +279,9 @@ class ClusterPool:
         return self.cluster(tuple([STAR] * self.answers.m))
 
     def __repr__(self) -> str:
-        return "ClusterPool(L=%d, strategy=%s, patterns=%d)" % (
+        return "ClusterPool(L=%d, strategy=%s, patterns=%d%s)" % (
             self.L,
             self.strategy,
             len(self._patterns),
+            ", mask_only" if self.mask_only else "",
         )

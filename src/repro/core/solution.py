@@ -10,8 +10,8 @@ overlapping clusters gain nothing by double-covering high values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
 
 from repro.core.answers import AnswerSet
 from repro.core.cluster import Cluster, distance, strictly_covers
@@ -25,11 +25,20 @@ class Solution:
     throughout the paper's figures); ``covered`` is the union of the
     clusters' covered element indices; ``value_sum`` is the sum of values of
     ``covered`` so that ``avg`` — the Max-Avg objective — is O(1).
+
+    ``stats`` optionally carries run counters from the producing
+    :class:`~repro.core.merge.MergeEngine` (e.g. how many LCA groups the
+    greedy argmax evaluated vs. how many a full scan would have); it is
+    excluded from equality so solutions from different argmax modes still
+    compare equal when their clusters agree.
     """
 
     clusters: tuple[Cluster, ...]
     covered: frozenset[int]
     value_sum: float
+    stats: Mapping[str, float] | None = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def size(self) -> int:
@@ -76,6 +85,28 @@ class Solution:
             rendered = ", ".join(str(v) for v in decoded)
             lines.append("(%s)  avg=%.4f  size=%d" % (rendered, cluster.avg, cluster.size))
         return "\n".join(lines)
+
+
+def floor_at_root(solution: Solution, pool) -> Solution:
+    """Never return a summary worse than the trivial all-star solution.
+
+    The root cluster (all ``*``) is feasible for every (k >= 1, L, D) —
+    one cluster, full coverage, no pairs — and its average value
+    lower-bounds every objective.  A greedy run that is *forced* into
+    merges (small k, large D) can end on a non-root cluster whose
+    average is below that floor; this guard swaps in the root solution
+    in that case, preserving the run's ``stats``.  Hypothesis found the
+    original violation: with k=1 the last merge can land on a pattern
+    covering a low-valued slice instead of generalizing all the way up.
+    """
+    root = pool.root()
+    if not root.covered or not solution.covered:
+        return solution
+    if solution.avg >= root.avg:
+        return solution
+    return Solution(
+        (root,), root.covered, root.value_sum, stats=solution.stats
+    )
 
 
 def redundant_elements(solution: Solution, answers: AnswerSet, L: int) -> set[int]:

@@ -32,7 +32,7 @@ from repro.core.hybrid import DEFAULT_POOL_FACTOR
 from repro.core.fixed_order import fixed_order_engine
 from repro.core.merge import MergeEngine
 from repro.core.semilattice import ClusterPool
-from repro.core.solution import Solution
+from repro.core.solution import Solution, floor_at_root
 from repro.interactive.interval_tree import Interval, IntervalTree
 
 
@@ -95,6 +95,7 @@ class SolutionStore:
         shared_phase_distance: int = 0,
         use_delta: bool = True,
         kernel: str | None = None,
+        argmax: str | None = None,
     ) -> None:
         k_min, k_max = k_range
         if not 1 <= k_min <= k_max:
@@ -114,8 +115,10 @@ class SolutionStore:
             D=shared_phase_distance,
             use_delta=use_delta,
             kernel=kernel,
+            argmax=argmax,
         )
         self.kernel = shared.kernel
+        self.argmax = shared.argmax
         shared_done = time.perf_counter()
         self._sweeps: dict[int, _DSweep] = {}
         for d_value in self.d_values:
@@ -181,7 +184,14 @@ class SolutionStore:
             ) from None
 
     def retrieve(self, k: int, D: int) -> Solution:
-        """The precomputed solution for (k, D): a stabbing query + assembly."""
+        """The precomputed solution for (k, D): a stabbing query + assembly.
+
+        Floored at the root solution, like the direct algorithm entry
+        points: the sweep records raw greedy states, and a forced merge
+        trajectory can momentarily sit below the trivial all-star
+        average — serving that from the cache would contradict a direct
+        ``SummaryRequest`` over the same instance.
+        """
         if not self.k_min <= k <= self.k_max:
             raise InvalidParameterError(
                 "k=%d outside precomputed range [%d, %d]"
@@ -189,15 +199,29 @@ class SolutionStore:
             )
         patterns = self._sweep(D).tree.stab_payloads(k)
         clusters = [self.pool.cluster(p) for p in patterns]
-        return Solution.from_clusters(clusters, self.pool.answers)
+        return floor_at_root(
+            Solution.from_clusters(clusters, self.pool.answers), self.pool
+        )
 
     def objective(self, k: int, D: int) -> float:
-        """avg(O) of the precomputed solution for (k, D) — O(1) lookup."""
-        return self._sweep(D).avg_by_k[k]
+        """avg(O) of the precomputed solution for (k, D) — O(1) lookup.
+
+        Root-floored, consistent with :meth:`retrieve`.
+        """
+        recorded = self._sweep(D).avg_by_k[k]
+        root_avg = self.pool.root().avg
+        return recorded if recorded >= root_avg else root_avg
 
     def solution_size(self, k: int, D: int) -> int:
-        """|O| of the precomputed solution for (k, D)."""
-        return self._sweep(D).size_by_k[k]
+        """|O| of the precomputed solution for (k, D).
+
+        Reports 1 (the root cluster) when the recorded state is below
+        the root floor, consistent with :meth:`retrieve`.
+        """
+        sweep = self._sweep(D)
+        if sweep.avg_by_k[k] < self.pool.root().avg:
+            return 1
+        return sweep.size_by_k[k]
 
     def cluster_lifetime(self, pattern: Pattern, D: int) -> tuple[int, int] | None:
         """The contiguous [k_low, k_high] interval where *pattern* is in the

@@ -17,6 +17,11 @@ Every response reports ``cache_hit`` (did the engine reuse an initialized
 pool/store?) plus the ``init_seconds``/``algo_seconds`` phase split the
 paper's figures use, so clients can reproduce Figure 7-style accounting
 without instrumenting the engine.
+
+The full field-by-field specification, the strictness/versioning policy
+(why *adding* fields is breaking but adding keys inside the open
+``phase_seconds``/``options`` maps is not), and JSON-lines serve-loop
+examples live in ``docs/WIRE_PROTOCOL.md``.
 """
 
 from __future__ import annotations
@@ -269,11 +274,15 @@ class SummaryResponse(_WireMessage):
 
     ``kernel`` names the evaluation substrate that produced the solution
     (``"bitset"`` or ``"python"``; ``"none"`` for algorithms with no
-    kernelized path, e.g. lower-bound); ``phase_seconds`` is a
-    finer-grained breakdown of where *this request's* wall clock went
-    (e.g. ``pool_build`` vs ``merge_loop`` vs ``serialize``; cached
-    phases report 0.0), so kernel or cache regressions are visible
-    directly from the wire format.
+    kernelized path, e.g. lower-bound); ``phase_seconds`` is an *open*
+    float map: a finer-grained breakdown of where *this request's* wall
+    clock went (e.g. ``pool_build`` vs ``merge_loop`` vs ``serialize``;
+    cached phases report 0.0) plus the merge engine's ``argmax_*``
+    counters (counts, not seconds: rounds, candidate groups, marginal
+    evaluations, refined-bound skips, and the heap-mode 0/1 flag) — so
+    kernel, cache, or argmax regressions are all visible directly from
+    the wire format.  Adding keys here is explicitly non-breaking; see
+    ``docs/WIRE_PROTOCOL.md``.
     """
 
     kind = "summary_response"

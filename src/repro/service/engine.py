@@ -9,10 +9,34 @@ under a name once and then submit wire-format requests; concurrent
 sessions over the same dataset share pools and stores instead of each
 rebuilding them.
 
-Both caches are LRU-bounded (pools and stores over large L are big) and
-guarded by a lock, with per-key build locks so two threads asking for the
-same cold pool build it once while builds for *different* keys proceed in
-parallel.
+Cache keys pin down everything that changes the cached object's content:
+
+* pools are keyed by ``(dataset, L, mapping, mask_only)`` — the answer
+  set, the top-L slice the pool generalizes, the coverage-mapping
+  strategy, and whether frozenset coverage is materialized;
+* stores are keyed by ``(dataset, L, mapping, mask_only, k_range,
+  d_values, kernel, argmax)`` — everything the pool key pins plus the
+  precompute sweep's parameter grid and the merge-engine substrate the
+  sweep ran on.
+
+Two requests that agree on a key therefore share one build; anything that
+could change the bytes of the result is part of the key.  Both caches are
+LRU-bounded (pools and stores over large L are big) and guarded by a
+lock, with per-key build locks so two threads asking for the same cold
+pool build it once while builds for *different* keys proceed in parallel.
+
+Usage::
+
+    >>> from repro.core.answers import AnswerSet
+    >>> from repro.service import Engine, SummaryRequest
+    >>> answers = AnswerSet.from_rows(
+    ...     [("a", "x"), ("a", "y"), ("b", "x")], [4.0, 3.0, 1.0])
+    >>> engine = Engine(mask_only=True)
+    >>> engine.register_dataset("toy", answers)
+    >>> cold = engine.submit(SummaryRequest(dataset="toy", k=1, L=2, D=0))
+    >>> warm = engine.submit(SummaryRequest(dataset="toy", k=1, L=2, D=0))
+    >>> (cold.cache_hit, warm.cache_hit, warm.objective)
+    (False, True, 3.5)
 """
 
 from __future__ import annotations
@@ -169,13 +193,25 @@ class Engine:
     ----------
     max_pools:
         LRU bound on cached :class:`ClusterPool`s, keyed by
-        ``(dataset, L, mapping)``.
+        ``(dataset, L, mapping, mask_only)``.
     max_stores:
         LRU bound on cached :class:`SolutionStore`s, keyed by
-        ``(dataset, L, mapping, k_range, d_values)``.
+        ``(dataset, L, mapping, mask_only, k_range, d_values, kernel,
+        argmax)``.
+    mask_only:
+        Build every pool in the low-memory mask-only mode (see
+        :class:`~repro.core.semilattice.ClusterPool`); summaries are
+        identical either way, so this is a deployment knob, not a wire
+        parameter.
     """
 
-    def __init__(self, max_pools: int = 64, max_stores: int = 16) -> None:
+    def __init__(
+        self,
+        max_pools: int = 64,
+        max_stores: int = 16,
+        mask_only: bool = False,
+    ) -> None:
+        self.mask_only = bool(mask_only)
         self._datasets: dict[str, AnswerSet] = {}
         self._datasets_lock = threading.Lock()
         self._pools: _LRUCache[ClusterPool] = _LRUCache(max_pools)
@@ -214,13 +250,24 @@ class Engine:
     # -- cached initialization ------------------------------------------------
 
     def checkout_pool(
-        self, dataset: str, L: int, mapping: str = "eager"
+        self,
+        dataset: str,
+        L: int,
+        mapping: str = "eager",
+        mask_only: bool | None = None,
     ) -> tuple[ClusterPool, float, bool]:
-        """The cluster pool for (dataset, L) — ``(pool, init_seconds, hit)``."""
+        """The cluster pool for (dataset, L) — ``(pool, init_seconds, hit)``.
+
+        *mask_only* defaults to the engine-wide setting; passing an
+        explicit value checks out (and caches) a pool in that mode.
+        """
         answers = self.dataset(dataset)
+        masked = self.mask_only if mask_only is None else bool(mask_only)
         return self._pools.get_or_build(
-            (dataset, L, mapping),
-            lambda: ClusterPool(answers, L, strategy=mapping),
+            (dataset, L, mapping, masked),
+            lambda: ClusterPool(
+                answers, L, strategy=mapping, mask_only=masked
+            ),
         )
 
     def checkout_store(
@@ -231,21 +278,30 @@ class Engine:
         d_values: Sequence[int],
         mapping: str = "eager",
         kernel: str | None = None,
+        argmax: str | None = None,
     ) -> tuple[SolutionStore, float, bool]:
         """The precomputed store for (dataset, L, k_range, d_values).
 
         ``init_seconds`` covers whatever this call actually built: pool
         construction (if cold) plus the precomputation sweep (if cold).
+        ``argmax`` selects the sweep's greedy argmax (``None`` = auto:
+        the lazy heap whenever sound); it is part of the cache key so
+        ablation runs never alias production stores.
         """
         k_range = tuple(k_range)
         d_key = tuple(sorted(set(d_values)))
         kernel = resolve_kernel(kernel)
+        argmax_key = "auto" if argmax is None else argmax
+        masked = self.mask_only
         pool, pool_seconds, _pool_hit = self.checkout_pool(
             dataset, L, mapping
         )
         store, store_seconds, store_hit = self._stores.get_or_build(
-            (dataset, L, mapping, k_range, d_key, kernel),
-            lambda: SolutionStore(pool, k_range, d_key, kernel=kernel),
+            (dataset, L, mapping, masked, k_range, d_key, kernel,
+             argmax_key),
+            lambda: SolutionStore(
+                pool, k_range, d_key, kernel=kernel, argmax=argmax
+            ),
         )
         return store, pool_seconds + store_seconds, store_hit
 
@@ -295,6 +351,7 @@ class Engine:
             L=request.L,
             D=request.D,
             mapping=request.mapping,
+            mask_only=self.mask_only,
         )
         pool, init_seconds, cache_hit = self.checkout_pool(
             request.dataset, instance.L, request.mapping
@@ -303,6 +360,15 @@ class Engine:
         start = time.perf_counter()
         solution = instance.solve(request.algorithm, **request.options)
         algo_seconds = time.perf_counter() - start
+        phases = {"pool_build": init_seconds, "merge_loop": algo_seconds}
+        # Fold the merge engine's argmax counters (heap-vs-scan pruning
+        # evidence) into the phase map: counts, not seconds, but the same
+        # open float dict — no schema change.
+        if solution.stats:
+            phases.update(
+                (name, float(value))
+                for name, value in solution.stats.items()
+            )
         return self._summary_response(
             request.dataset,
             answers,
@@ -316,7 +382,7 @@ class Engine:
             algo_seconds=algo_seconds,
             include_elements=request.include_elements,
             kernel=kernel,
-            phases={"pool_build": init_seconds, "merge_loop": algo_seconds},
+            phases=phases,
         )
 
     def _submit_explore(self, request: ExploreRequest) -> SummaryResponse:

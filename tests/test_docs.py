@@ -1,0 +1,128 @@
+"""The docs job: doctests in docs/, intra-repo links, README bench claims.
+
+Three contracts, all CI-enforced:
+
+1. every ``>>>`` example embedded in ``docs/*.md`` runs green under
+   ``doctest`` (the examples are the documentation's executable spec);
+2. every relative link in ``docs/*.md``, ``README.md``, and
+   ``ROADMAP.md`` points at a file that exists — broken intra-repo links
+   fail the build;
+3. the README's Performance section cites the committed
+   ``BENCH_core.json`` numbers verbatim, so prose and measurements
+   cannot drift apart silently.
+"""
+
+from __future__ import annotations
+
+import doctest
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS = sorted((REPO_ROOT / "docs").glob("*.md"))
+LINKED_FILES = DOCS + [REPO_ROOT / "README.md", REPO_ROOT / "ROADMAP.md"]
+
+#: Markdown inline links: [text](target), ignoring images and code spans.
+_LINK = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+
+
+@pytest.mark.parametrize("path", DOCS, ids=lambda p: p.name)
+def test_docs_doctests_pass(path):
+    results = doctest.testfile(
+        str(path), module_relative=False, verbose=False,
+        optionflags=doctest.NORMALIZE_WHITESPACE,
+    )
+    assert results.failed == 0, "%d doctest failures in %s" % (
+        results.failed, path.name
+    )
+    assert results.attempted > 0, (
+        "%s is expected to embed runnable examples" % path.name
+    )
+
+
+@pytest.mark.parametrize("path", LINKED_FILES, ids=lambda p: p.name)
+def test_intra_repo_links_resolve(path):
+    text = path.read_text()
+    broken = []
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, "broken intra-repo link(s) in %s: %s" % (
+        path.name, broken
+    )
+
+
+def _bench_document() -> dict:
+    return json.loads((REPO_ROOT / "BENCH_core.json").read_text())
+
+
+def test_bench_core_is_a_full_run():
+    document = _bench_document()
+    assert document["smoke"] is False, (
+        "BENCH_core.json must be regenerated with a full (non --smoke) run"
+    )
+    names = {workload["name"] for workload in document["workloads"]}
+    assert "rounds_vs_groups" in names
+    assert "fig8_kernel_core" in names
+
+
+def test_readme_cites_bench_numbers_verbatim():
+    """The README Performance table quotes BENCH_core.json, not folklore."""
+    readme = (REPO_ROOT / "README.md").read_text()
+    document = _bench_document()
+    workloads = {w["name"]: w for w in document["workloads"]}
+
+    kernel = workloads["fig8_kernel_core"]
+    seconds = {
+        (e["label"], e["kernel"]): e["seconds"] for e in kernel["entries"]
+    }
+    cited = [
+        "%.3f s" % seconds[("bottom-up", "python")],
+        "%.3f s" % seconds[("bottom-up", "bitset")],
+        "%.1f×" % kernel["speedup"],
+        "%.1f×" % workloads["fig8a_init"]["speedup"],
+        "%.1f×" % workloads["fig8b_delta"]["speedup"],
+    ]
+    rounds = workloads["rounds_vs_groups"]
+    for L, stats in rounds["argmax_speedups"].items():
+        if int(L) >= 100:
+            cited.append("%.2f×" % stats["argmax"])
+            cited.append("%.1f×" % stats["eval_ratio"])
+    missing = [number for number in cited if number not in readme]
+    assert not missing, (
+        "README Performance section is out of date with BENCH_core.json; "
+        "missing: %s (regenerate with `PYTHONPATH=src python "
+        "benchmarks/run_bench.py` and update the table)" % missing
+    )
+
+
+def test_rounds_vs_groups_floors_hold_in_committed_results():
+    """The committed full run must itself satisfy the enforced floors."""
+    import sys
+
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    try:
+        from run_bench import (
+            HEAP_ARGMAX_PEAK_FLOOR,
+            HEAP_ARGMAX_SPEEDUP_FLOOR,
+            HEAP_EVAL_RATIO_FLOOR,
+        )
+    finally:
+        sys.path.pop(0)
+    rounds = next(
+        w for w in _bench_document()["workloads"]
+        if w["name"] == "rounds_vs_groups"
+    )
+    peak = 0.0
+    for L, stats in rounds["argmax_speedups"].items():
+        if int(L) >= 100:
+            assert stats["argmax"] >= HEAP_ARGMAX_SPEEDUP_FLOOR, L
+            assert stats["eval_ratio"] >= HEAP_EVAL_RATIO_FLOOR, L
+            peak = max(peak, stats["argmax"])
+    assert peak >= HEAP_ARGMAX_PEAK_FLOOR

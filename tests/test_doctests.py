@@ -7,12 +7,21 @@ import doctest
 import pytest
 
 import repro.common.timing
+import repro.core.bitset
+import repro.core.merge
 import repro.core.problem
+import repro.service.engine
 
 
 @pytest.mark.parametrize(
     "module",
-    [repro.core.problem, repro.common.timing],
+    [
+        repro.core.problem,
+        repro.common.timing,
+        repro.core.bitset,
+        repro.core.merge,
+        repro.service.engine,
+    ],
     ids=lambda m: m.__name__,
 )
 def test_module_doctests(module):

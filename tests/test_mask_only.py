@@ -1,0 +1,110 @@
+"""Property tests for mask-only cluster pools.
+
+``mask_only=True`` skips the per-pattern frozenset materialization in all
+three coverage-mapping strategies and answers the frozenset API from the
+bitmasks on demand.  These tests pin the contract: pools in either mode
+are observationally identical — same coverage, same masks, same clusters,
+same summaries under both kernels and both argmax modes.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.bottom_up import bottom_up
+from repro.core.hybrid import hybrid
+from repro.core.semilattice import ClusterPool
+from tests.conftest import random_answer_set
+from tests.test_algorithm_properties import dyadic_instances
+
+STRATEGIES = ("eager", "naive", "lazy")
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_pool_contents_identical(strategy):
+    answers = random_answer_set(n=80, m=4, domain=4, seed=11)
+    default = ClusterPool(answers, L=12, strategy=strategy)
+    masked = ClusterPool(answers, L=12, strategy=strategy, mask_only=True)
+    assert sorted(default.patterns()) == sorted(masked.patterns())
+    for pattern in default.patterns():
+        assert default.coverage(pattern) == masked.coverage(pattern)
+        assert default.mask(pattern) == masked.mask(pattern)
+        lhs, rhs = default.cluster(pattern), masked.cluster(pattern)
+        assert lhs.covered == rhs.covered
+        assert lhs.value_sum == rhs.value_sum
+        assert lhs.mask == rhs.mask
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_out_of_pool_fallback_identical(strategy):
+    answers = random_answer_set(n=40, m=3, domain=4, seed=5)
+    default = ClusterPool(answers, L=4, strategy=strategy)
+    masked = ClusterPool(answers, L=4, strategy=strategy, mask_only=True)
+    # A pattern outside the pool (constructed from a non-top element).
+    outside = answers.elements[-1]
+    if outside in default:
+        pytest.skip("random instance put every element in the pool")
+    assert default.coverage(outside) == masked.coverage(outside)
+    assert default.cluster(outside).covered == masked.cluster(outside).covered
+
+
+@settings(max_examples=25, deadline=None)
+@given(dyadic_instances())
+def test_mask_only_summaries_identical_across_strategies_and_kernels(instance):
+    """The acceptance property: mask-only and default pools produce
+    identical summaries for every mapping strategy and both kernels."""
+    answers, k, L, D = instance
+    for strategy in STRATEGIES:
+        default = ClusterPool(answers, L=L, strategy=strategy)
+        masked = ClusterPool(
+            answers, L=L, strategy=strategy, mask_only=True
+        )
+        for kernel in ("bitset", "python"):
+            lhs = bottom_up(default, k, D, kernel=kernel)
+            rhs = bottom_up(masked, k, D, kernel=kernel)
+            assert lhs.patterns() == rhs.patterns()
+            assert lhs.avg == rhs.avg
+        lhs = hybrid(default, k, D)
+        rhs = hybrid(masked, k, D)
+        assert lhs.patterns() == rhs.patterns()
+
+
+def test_mask_only_skips_frozenset_materialization():
+    answers = random_answer_set(n=80, m=4, domain=4, seed=11)
+    masked = ClusterPool(answers, L=12, mask_only=True)
+    default = ClusterPool(answers, L=12)
+    # The memory claim in observable terms: no per-pattern frozensets are
+    # held after init, while the mask table is fully populated.
+    assert len(masked._coverage) == 0
+    assert len(masked._masks) == len(masked)
+    assert len(default._coverage) == len(default)
+    assert masked.mask_only and not default.mask_only
+    assert "mask_only" in repr(masked)
+
+
+def test_engine_mask_only_responses_identical():
+    from repro.service import Engine, SummaryRequest
+
+    answers = random_answer_set(n=60, m=4, domain=4, seed=3)
+    request = SummaryRequest(dataset="d", k=4, L=10, D=1)
+    default, masked = Engine(), Engine(mask_only=True)
+    for engine in (default, masked):
+        engine.register_dataset("d", answers)
+    lhs = default.submit(request)
+    rhs = masked.submit(request)
+    assert lhs.objective == rhs.objective
+    assert [c.pattern for c in lhs.clusters] == [
+        c.pattern for c in rhs.clusters
+    ]
+
+
+def test_problem_instance_threads_mask_only():
+    from repro.core.problem import ProblemInstance
+
+    answers = random_answer_set(n=40, m=3, domain=4, seed=5)
+    instance = ProblemInstance(answers, k=3, L=6, D=1, mask_only=True)
+    assert instance.pool.mask_only
+    solution = instance.solve("bottom-up")
+    baseline = ProblemInstance(answers, k=3, L=6, D=1).solve("bottom-up")
+    assert solution.patterns() == baseline.patterns()

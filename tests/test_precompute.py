@@ -133,3 +133,26 @@ def test_precompute_quality_close_to_dedicated_hybrid():
             swept = store.retrieve(k, D)
             assert swept.avg >= 0.85 * dedicated.avg
             assert swept.avg >= floor - 1e-9
+
+
+def test_store_retrieval_is_floored_at_root():
+    """Explore must never serve a below-root solution that a direct
+    summary request (which floors at the root) would refuse to return."""
+    from repro.core.answers import AnswerSet
+    from repro.core.hybrid import hybrid
+
+    answers = AnswerSet.from_rows(
+        [("c", "a", "a"), ("a", "c", "b"), ("b", "c", "c"),
+         ("b", "a", "c"), ("b", "b", "c")],
+        [7.83, 7.01, 0.66, 8.29, 7.99],
+    )
+    pool = ClusterPool(answers, L=2)
+    store = SolutionStore(pool, k_range=(1, 3), d_values=(3,))
+    direct = hybrid(pool, k=1, D=3)
+    served = store.retrieve(1, 3)
+    root_avg = pool.root().avg
+    assert served.avg >= root_avg - 1e-12
+    assert store.objective(1, 3) >= root_avg - 1e-12
+    assert store.objective(1, 3) == served.avg
+    assert store.solution_size(1, 3) == served.size
+    assert served.avg == direct.avg
