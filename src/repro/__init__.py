@@ -32,6 +32,10 @@ Subpackages
 ``repro.service``
     Typed request/response wire format, the shared cached engine, and the
     JSON-lines serving loop behind ``repro-serve``.
+``repro.server``
+    The concurrent TCP serving tier: sharded worker pools, single-flight
+    coalescing of identical in-flight requests, bounded-queue admission
+    control, and latency/coalesce metrics (``repro-serve --tcp``).
 ``repro.interactive``
     Incremental precomputation, interval-tree solution store, parameter
     guidance view, exploration sessions (Section 6).

@@ -6,7 +6,8 @@ The paper ships a web GUI; the library's equivalent entry points are CLIs::
         --sql "SELECT a, b, avg(x) AS val FROM data GROUP BY a, b" \\
         -k 4 -L 8 -D 2 [--algorithm hybrid] [--expand] [--guidance] [--json]
 
-    repro-serve [preload.csv ...]    # JSON-lines requests on stdin
+    repro-serve [preload.csv ...]                 # JSON-lines on stdin
+    repro-serve --tcp 0.0.0.0:9037 [preload.csv]  # concurrent TCP server
 
 ``--sql`` runs the restricted aggregate template against the loaded CSV
 (the FROM name must match the file stem or --name); without it, the CSV is
@@ -15,7 +16,10 @@ attribute, the last column is the value.
 
 Both commands sit on :mod:`repro.service`: ``--json`` emits the same
 schema-versioned wire format the engine speaks, and ``repro-serve`` is the
-:func:`repro.service.serve.serve` loop over stdin/stdout.
+:func:`repro.service.serve.serve` loop over stdin/stdout — or, with
+``--tcp HOST:PORT``, the concurrent :class:`repro.server.tcp.TCPServer`
+(sharded workers, single-flight coalescing, bounded queues) speaking the
+identical protocol to many clients at once.
 
 Exit codes: 0 success, 2 parameter/query errors, 3 I/O errors.
 """
@@ -232,10 +236,19 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def build_serve_parser() -> argparse.ArgumentParser:
+    from repro.server.scheduler import (
+        DEFAULT_QUEUE_DEPTH,
+        DEFAULT_SHARDS,
+        DEFAULT_WORKERS_PER_SHARD,
+    )
+    from repro.service.serve import DEFAULT_MAX_LINE_BYTES
+
     parser = argparse.ArgumentParser(
         prog="repro-serve",
         description="Serve summarization requests as JSON lines: one "
-        "request object per stdin line, one response per stdout line.",
+        "request object per line, one response per line — over "
+        "stdin/stdout by default, or over TCP to many concurrent clients "
+        "with --tcp HOST:PORT.",
     )
     parser.add_argument("--version", action="version", version=_version())
     parser.add_argument(
@@ -247,15 +260,61 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--mask-only", action="store_true",
         help="build cluster pools in the low-memory mask-only mode",
     )
+    parser.add_argument(
+        "--tcp", metavar="HOST:PORT",
+        help="serve the same JSON-lines protocol over TCP (port 0 binds an "
+        "ephemeral port, reported in the ready banner) instead of stdio",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=DEFAULT_SHARDS,
+        help="TCP mode: per-dataset worker shards (default %(default)s)",
+    )
+    parser.add_argument(
+        "--workers-per-shard", type=int, default=DEFAULT_WORKERS_PER_SHARD,
+        help="TCP mode: worker threads per shard (default %(default)s)",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=DEFAULT_QUEUE_DEPTH,
+        help="TCP mode: bounded per-shard queue; beyond it requests are "
+        "answered with error_type=Overloaded (default %(default)s)",
+    )
+    parser.add_argument(
+        "--max-line-bytes", type=int, default=DEFAULT_MAX_LINE_BYTES,
+        help="reject request lines longer than this with "
+        "error_type=LineTooLong (default %(default)s)",
+    )
+    parser.add_argument(
+        "--no-coalesce", action="store_true",
+        help="TCP mode: disable single-flight coalescing of identical "
+        "in-flight requests (baseline/debugging)",
+    )
     return parser
 
 
+def _parse_host_port(value: str) -> tuple[str, int]:
+    host, _, port_text = value.rpartition(":")
+    if not host or not port_text:
+        raise ReproError(
+            "--tcp expects HOST:PORT, got %r" % value
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ReproError(
+            "--tcp port must be an integer, got %r" % port_text
+        ) from None
+    return host, port
+
+
 def serve_main(argv: list[str] | None = None) -> int:
+    import asyncio
+
     from repro.service.serve import serve
 
     args = build_serve_parser().parse_args(argv)
     engine = Engine(mask_only=args.mask_only)
     try:
+        tcp = _parse_host_port(args.tcp) if args.tcp else None
         for csv_path in args.csv:
             dataset, answers = _answers_from_csv(csv_path, None, None)
             engine.register_dataset(dataset, answers)
@@ -265,13 +324,44 @@ def serve_main(argv: list[str] | None = None) -> int:
     except ReproError as error:
         print("error: %s" % error, file=sys.stderr)
         return EXIT_PARAM_ERROR
+    if tcp is not None:
+        from repro.server.tcp import TCPServer
+
+        host, port = tcp
+        server = TCPServer(
+            engine,
+            host,
+            port,
+            shards=args.shards,
+            workers_per_shard=args.workers_per_shard,
+            queue_depth=args.queue_depth,
+            max_line_bytes=args.max_line_bytes,
+            coalesce=not args.no_coalesce,
+        )
+
+        def _announce(running: TCPServer) -> None:
+            print(json.dumps(running.ready_banner(), sort_keys=True),
+                  flush=True)
+
+        try:
+            asyncio.run(server.run(ready=_announce))
+        except KeyboardInterrupt:
+            pass
+        except OSError as error:  # bind failure: port in use, privileged...
+            print("error: %s" % error, file=sys.stderr)
+            return EXIT_IO_ERROR
+        except (ReproError, ValueError) as error:  # bad knob values
+            print("error: %s" % error, file=sys.stderr)
+            return EXIT_PARAM_ERROR
+        return 0
     banner = {
         "schema_version": SCHEMA_VERSION,
         "kind": "ready",
         "datasets": engine.dataset_names(),
     }
     print(json.dumps(banner, sort_keys=True), flush=True)
-    serve(sys.stdin, sys.stdout, engine=engine)
+    serve(sys.stdin, sys.stdout, engine=engine,
+          max_line_bytes=args.max_line_bytes)
     return 0
 
 

@@ -30,3 +30,21 @@ class SchemaError(ReproError, ValueError):
 
 class QueryError(ReproError, ValueError):
     """A malformed query: SQL syntax errors or unsupported constructs."""
+
+
+class LineTooLong(SchemaError):
+    """A wire request line exceeded the configured ``max_line_bytes``.
+
+    Served back as ``kind="error", error_type="LineTooLong"`` — the serve
+    loop discards the oversized line instead of buffering it, so a hostile
+    client cannot grow server memory with a single unbounded line.
+    """
+
+
+class Overloaded(ReproError):
+    """A request was rejected by admission control (a shard queue is full).
+
+    Served back as ``kind="error", error_type="Overloaded"``.  This is the
+    server shedding load instead of queueing without bound; clients should
+    back off and retry.
+    """

@@ -1,0 +1,60 @@
+"""Minimal synchronous JSON-lines TCP client.
+
+The protocol needs nothing beyond a socket and ``json`` — this tiny
+client exists so tests, the load harness, and examples do not each
+reimplement line framing.  One ``request()`` is one round trip; the
+server answers in order, so pipelining via ``send`` + ``recv`` also
+works on a single connection.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+
+class LineClient:
+    """One TCP connection speaking newline-delimited JSON requests."""
+
+    def __init__(
+        self, host: str, port: int, timeout: float | None = 60.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def send(self, payload: dict[str, Any]) -> None:
+        self.send_raw(
+            json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+        )
+
+    def send_raw(self, data: bytes) -> None:
+        """Write raw bytes (tests use this for hostile framing)."""
+        self._file.write(data)
+        self._file.flush()
+
+    def recv(self) -> dict[str, Any] | None:
+        """Next response object, or None on clean EOF from the server."""
+        line = self._file.readline()
+        if not line:
+            return None
+        return json.loads(line)
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        self.send(payload)
+        response = self.recv()
+        if response is None:
+            raise ConnectionError("server closed the connection mid-request")
+        return response
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "LineClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,131 @@
+"""Server observability: counters and fixed-bucket latency histograms.
+
+The serving tier's health is summarized by a handful of numbers — queue
+depths, coalesce hit rate, per-kind latency quantiles — that ride in the
+``stats`` admin response (under the open ``"server"`` key) so any wire
+client can watch them without a separate metrics port.
+
+:class:`LatencyHistogram` uses fixed log-spaced buckets (0.5 ms … 30 s
+plus an unbounded terminal bucket), the standard server-metrics trade:
+O(1) memory per kind, quantiles read as the upper bound of the bucket
+where the cumulative count crosses the rank, exact max tracked
+separately.  All classes are thread-safe; observation is a counter bump
+under a lock.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any
+
+#: Upper bounds (seconds) of the latency buckets; the last bucket is
+#: unbounded and reports the exact observed max instead of a bound.
+BUCKET_BOUNDS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+#: Histogram keys are bounded to the known wire kinds plus ``"invalid"``
+#: (unparseable lines) and ``"other"`` (unknown kinds).  The kind string
+#: comes from the client, so keying histograms on it verbatim would let a
+#: hostile client grow server memory one invented kind at a time.
+TRACKED_KINDS = frozenset({
+    "summary", "explore", "guidance",
+    "ping", "load_csv", "datasets", "algorithms", "stats", "shutdown",
+    "invalid",
+})
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency distribution with count/mean/max/quantiles."""
+
+    __slots__ = ("_lock", "_counts", "_count", "_sum", "_max")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(BUCKET_BOUNDS) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        index = bisect.bisect_left(BUCKET_BOUNDS, seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += seconds
+            if seconds > self._max:
+                self._max = seconds
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the *q*-quantile observation.
+
+        0.0 when nothing was observed; the exact max for the unbounded
+        terminal bucket (so p99 of a one-sample histogram is that sample's
+        bucket bound, never infinity).
+        """
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            rank = q * self._count
+            cumulative = 0
+            for index, count in enumerate(self._counts):
+                cumulative += count
+                if cumulative >= rank:
+                    if index < len(BUCKET_BOUNDS):
+                        return BUCKET_BOUNDS[index]
+                    return self._max
+            return self._max
+
+    def summary(self) -> dict[str, float]:
+        with self._lock:
+            count = self._count
+            mean = self._sum / count if count else 0.0
+            maximum = self._max
+        return {
+            "count": count,
+            "mean_seconds": mean,
+            "max_seconds": maximum,
+            "p50_seconds": self.quantile(0.50),
+            "p95_seconds": self.quantile(0.95),
+            "p99_seconds": self.quantile(0.99),
+        }
+
+
+class ServerMetrics:
+    """Named counters plus one latency histogram per request kind."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._latency: dict[str, LatencyHistogram] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def observe(self, kind: str, seconds: float) -> None:
+        if kind not in TRACKED_KINDS:
+            kind = "other"
+        with self._lock:
+            histogram = self._latency.get(kind)
+            if histogram is None:
+                histogram = self._latency[kind] = LatencyHistogram()
+        histogram.observe(seconds)
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            counters = dict(self._counters)
+            latency = dict(self._latency)
+        return {
+            "counters": counters,
+            "latency": {
+                kind: histogram.summary()
+                for kind, histogram in sorted(latency.items())
+            },
+        }

@@ -1,0 +1,231 @@
+"""Sharded worker pools with bounded queues and admission control.
+
+One heavy ``summary`` must not starve every other dataset: requests are
+routed to a *shard* chosen by a stable hash of their ``dataset`` field,
+and each shard owns its own worker threads and its own bounded queue.
+A flood against one dataset fills one shard's queue (new arrivals get
+``kind="error", error_type="Overloaded"`` immediately — load shedding,
+not unbounded buffering) while the other shards keep serving.
+
+Single-flight coalescing sits *in front* of the queues: followers of an
+in-flight identical request share the leader's future without consuming
+a queue slot, so duplicate-heavy traffic costs one computation and one
+slot per distinct request (see :mod:`repro.server.singleflight`).
+
+Workers are threads because the kernels are CPU-bound pure Python — the
+GIL serializes compute, so throughput comes from coalescing and from
+never blocking the transport, while sharding buys isolation/fairness,
+not parallel CPU.  The executor is deliberately pluggable-shaped (one
+``submit -> Future`` seam) so a process pool can slot in later.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import zlib
+from concurrent.futures import Future
+from typing import Any, Callable
+
+from repro.common.errors import Overloaded
+from repro.service.api import ErrorResponse
+from repro.server.singleflight import SingleFlight, request_key
+
+_STOP = object()
+
+#: Defaults for the TCP server and CLI.
+DEFAULT_SHARDS = 4
+DEFAULT_WORKERS_PER_SHARD = 1
+DEFAULT_QUEUE_DEPTH = 64
+
+
+def _error_dict(error: Exception) -> dict[str, Any]:
+    return ErrorResponse(
+        error_type=type(error).__name__, message=str(error)
+    ).to_dict()
+
+
+class _Shard:
+    __slots__ = ("index", "queue", "threads", "served")
+
+    def __init__(self, index: int, depth: int) -> None:
+        self.index = index
+        self.queue: queue.Queue = queue.Queue(maxsize=depth)
+        self.threads: list[threading.Thread] = []
+        self.served = 0
+
+
+class ShardedScheduler:
+    """Route request payloads to per-dataset shard queues; return futures.
+
+    Parameters
+    ----------
+    submit:
+        The computation for one payload — normally
+        :meth:`repro.service.engine.Engine.submit_dict`.  It runs on a
+        shard worker thread; exceptions become ``kind="error"`` payloads.
+    shards / workers_per_shard / queue_depth:
+        Pool shape.  ``queue_depth`` bounds *waiting* requests per shard;
+        in-service requests hold no slot.
+    coalesce:
+        Disable to measure the no-single-flight baseline (every request,
+        duplicate or not, takes a queue slot and a computation).
+    """
+
+    def __init__(
+        self,
+        submit: Callable[[dict[str, Any]], dict[str, Any]],
+        *,
+        shards: int = DEFAULT_SHARDS,
+        workers_per_shard: int = DEFAULT_WORKERS_PER_SHARD,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        coalesce: bool = True,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1, got %d" % shards)
+        if workers_per_shard < 1:
+            raise ValueError(
+                "workers_per_shard must be >= 1, got %d" % workers_per_shard
+            )
+        if queue_depth < 1:
+            raise ValueError(
+                "queue_depth must be >= 1, got %d" % queue_depth
+            )
+        self._submit = submit
+        self.coalesce = bool(coalesce)
+        self.flight = SingleFlight()
+        self._shards = [_Shard(i, queue_depth) for i in range(shards)]
+        self._overloaded = 0
+        self._stats_lock = threading.Lock()
+        self._stopped = False
+        for shard in self._shards:
+            for worker in range(workers_per_shard):
+                thread = threading.Thread(
+                    target=self._worker,
+                    args=(shard,),
+                    name="repro-shard-%d-%d" % (shard.index, worker),
+                    daemon=True,
+                )
+                shard.threads.append(thread)
+                thread.start()
+
+    # -- routing -------------------------------------------------------------
+
+    def shard_index(self, payload: dict[str, Any]) -> int:
+        """Stable dataset->shard routing (crc32, not the salted ``hash``)."""
+        dataset = payload.get("dataset")
+        if not isinstance(dataset, str):
+            return 0
+        return zlib.crc32(dataset.encode("utf-8")) % len(self._shards)
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, payload: dict[str, Any]) -> Future:
+        """Enqueue one payload; always returns a future of a response dict.
+
+        Identical in-flight requests share one future (unless coalescing
+        is off); a full shard queue resolves the future immediately with
+        an ``Overloaded`` error payload.
+        """
+        if not self.coalesce:
+            future: Future = Future()
+            self._enqueue(None, payload, future)
+            return future
+        key = request_key(payload)
+        future, is_leader = self.flight.begin(key)
+        if is_leader:
+            self._enqueue(key, payload, future)
+        return future
+
+    def _enqueue(
+        self, key: str | None, payload: dict[str, Any], future: Future
+    ) -> None:
+        shard = self._shards[self.shard_index(payload)]
+        try:
+            shard.queue.put_nowait((key, payload, future))
+        except queue.Full:
+            with self._stats_lock:
+                self._overloaded += 1
+            self._resolve(key, future, _error_dict(Overloaded(
+                "shard %d queue full (depth %d); retry later"
+                % (shard.index, shard.queue.maxsize)
+            )))
+
+    def _resolve(
+        self, key: str | None, future: Future, response: dict[str, Any]
+    ) -> None:
+        if key is not None:
+            # Retires the key before resolving, so followers that joined
+            # while we computed get this response and later arrivals
+            # start a fresh flight.
+            self.flight.finish(key, future, response)
+        else:
+            future.set_result(response)
+
+    # -- workers -------------------------------------------------------------
+
+    def _worker(self, shard: _Shard) -> None:
+        while True:
+            item = shard.queue.get()
+            if item is _STOP:
+                return
+            key, payload, future = item
+            try:
+                response = self._submit(payload)
+            except Exception as error:  # submit_dict shouldn't raise; belt
+                response = _error_dict(error)  # and suspenders for workers
+            with self._stats_lock:
+                shard.served += 1
+            self._resolve(key, future, response)
+
+    # -- lifecycle / introspection -------------------------------------------
+
+    def stop(self, timeout: float | None = 10.0) -> None:
+        """Drain queued work, then stop every worker thread.
+
+        Honors *timeout* end to end: enqueuing the stop sentinels uses
+        non-blocking puts with a deadline (a wedged worker behind a full
+        queue must not hang shutdown forever — the workers are daemon
+        threads, so giving up on them cannot block process exit).
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for shard in self._shards:
+            for _ in shard.threads:
+                while True:
+                    try:
+                        shard.queue.put_nowait(_STOP)
+                        break
+                    except queue.Full:
+                        if (deadline is not None
+                                and time.monotonic() >= deadline):
+                            break
+                        time.sleep(0.005)
+        for shard in self._shards:
+            for thread in shard.threads:
+                remaining = (
+                    None if deadline is None
+                    else max(0.0, deadline - time.monotonic())
+                )
+                thread.join(remaining)
+
+    def queue_depths(self) -> list[int]:
+        return [shard.queue.qsize() for shard in self._shards]
+
+    def stats(self) -> dict[str, Any]:
+        with self._stats_lock:
+            overloaded = self._overloaded
+            served = [shard.served for shard in self._shards]
+        return {
+            "shards": len(self._shards),
+            "workers_per_shard": len(self._shards[0].threads),
+            "queue_depth": self._shards[0].queue.maxsize,
+            "queue_depths": self.queue_depths(),
+            "served_per_shard": served,
+            "overloaded": overloaded,
+            "coalesce_enabled": self.coalesce,
+            "singleflight": self.flight.stats(),
+        }

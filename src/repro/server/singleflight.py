@@ -1,0 +1,87 @@
+"""Single-flight coalescing: identical in-flight requests share one run.
+
+Interactive summarization traffic is duplicate-heavy — many analysts
+poking the same (dataset, k, L, D) corner at once — and the engine's
+caches only deduplicate the *initialization* (pools, stores), not the
+per-request algorithm run.  :class:`SingleFlight` closes that gap at the
+request level: the first arrival of a canonical key becomes the *leader*
+and actually computes; every identical request that arrives while the
+leader is in flight becomes a *follower* that waits on the leader's
+future and receives the same response object, fanned out on completion.
+
+The canonical key mirrors the engine's cache-key philosophy — anything
+that could change the response bytes is part of the identity:
+
+>>> request_key({"kind": "summary", "dataset": "d", "k": 2})
+'{"dataset":"d","k":2,"kind":"summary"}'
+>>> request_key({"k": 2, "dataset": "d", "kind": "summary"})
+'{"dataset":"d","k":2,"kind":"summary"}'
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import Future
+from typing import Any
+
+
+def request_key(payload: dict[str, Any]) -> str:
+    """Canonical identity of a request payload.
+
+    Whitespace-free JSON with sorted keys: two payloads that parse equal
+    get the same key regardless of key order or formatting on the wire.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    )
+
+
+class SingleFlight:
+    """Thread-safe map from in-flight keys to shared result futures.
+
+    Protocol: ``begin(key)`` returns ``(future, is_leader)``; exactly one
+    caller per key is the leader while the key is in flight.  The leader
+    computes and calls ``finish(key, future, result)``, which removes the
+    key *before* resolving the future — a request arriving after that
+    starts a fresh flight (responses are never served stale; only
+    genuinely concurrent duplicates coalesce).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: dict[str, Future] = {}
+        self.leaders = 0
+        self.coalesced = 0
+
+    def begin(self, key: str) -> tuple[Future, bool]:
+        with self._lock:
+            future = self._inflight.get(key)
+            if future is not None:
+                self.coalesced += 1
+                return future, False
+            future = Future()
+            self._inflight[key] = future
+            self.leaders += 1
+            return future, True
+
+    def finish(self, key: str, future: Future, result: Any) -> None:
+        """Resolve the leader's future and retire the key."""
+        with self._lock:
+            if self._inflight.get(key) is future:
+                del self._inflight[key]
+        future.set_result(result)
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            total = self.leaders + self.coalesced
+            return {
+                "leaders": self.leaders,
+                "coalesced": self.coalesced,
+                "in_flight": len(self._inflight),
+                "hit_rate": self.coalesced / total if total else 0.0,
+            }

@@ -15,8 +15,10 @@ that shape as a library subsystem:
     caches of cluster pools and precomputed solution stores, so concurrent
     sessions share initialization work.
 ``repro.service.serve``
-    A JSON-lines request/response loop over arbitrary text streams,
-    backing the ``repro-serve`` CLI mode.
+    The transport-agnostic :class:`Dispatcher` (admin kinds, bounds,
+    shutdown control flow) plus the JSON-lines loop over arbitrary text
+    streams backing the ``repro-serve`` CLI mode.  The concurrent TCP
+    transport lives one layer up, in :mod:`repro.server`.
 
 Quickstart::
 
@@ -44,12 +46,20 @@ from repro.service.api import (
     parse_response,
 )
 from repro.service.engine import CacheStats, Engine, EngineStats
-from repro.service.serve import serve
+from repro.service.serve import (
+    DEFAULT_MAX_LINE_BYTES,
+    DispatchOutcome,
+    Dispatcher,
+    serve,
+)
 
 __all__ = [
+    "DEFAULT_MAX_LINE_BYTES",
     "SCHEMA_VERSION",
     "CacheStats",
     "ClusterDTO",
+    "DispatchOutcome",
+    "Dispatcher",
     "Engine",
     "EngineStats",
     "ErrorResponse",

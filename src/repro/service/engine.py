@@ -74,13 +74,20 @@ T = TypeVar("T")
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss/eviction counters for one engine cache."""
+    """Hit/miss/eviction counters for one engine cache.
+
+    ``coalesced`` is the subset of ``hits`` that were served by *another
+    thread's concurrent build* of the same key (single-flight): the caller
+    saw the key cold, raced for the per-key build lock, and found the
+    finished entry instead of building a duplicate.
+    """
 
     hits: int
     misses: int
     evictions: int
     size: int
     capacity: int
+    coalesced: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -126,6 +133,7 @@ class _LRUCache(Generic[T]):
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.coalesced = 0
 
     def _lookup(self, key: Hashable) -> _Entry[T] | None:
         entry = self._entries.get(key)
@@ -148,7 +156,14 @@ class _LRUCache(Generic[T]):
                 with self._lock:
                     entry = self._lookup(key)
                     if entry is not None:
+                        # The first check (under the same lock entries are
+                        # inserted under) saw no entry, so anything here
+                        # now was built by a concurrent thread we raced —
+                        # a coalesced wait by construction, even if we
+                        # created the build lock ourselves and lost the
+                        # acquire race.
                         self.hits += 1
+                        self.coalesced += 1
                         return entry.value, 0.0, True
                 start = time.perf_counter()
                 value = build()
@@ -183,6 +198,7 @@ class _LRUCache(Generic[T]):
                 evictions=self.evictions,
                 size=len(self._entries),
                 capacity=self.capacity,
+                coalesced=self.coalesced,
             )
 
 

@@ -1,9 +1,12 @@
-"""JSON-lines request/response loop — the transport behind ``repro-serve``.
+"""Transport-agnostic JSON-lines dispatch — the core behind ``repro-serve``.
 
 One request object per input line, one response object per output line,
-in order.  Besides the three analytical kinds from :mod:`repro.service.api`
-the loop answers a few admin kinds so a client can drive a cold server end
-to end:
+in order.  :class:`Dispatcher` turns a raw line (``str`` or ``bytes``)
+into a response payload plus control flow, and is shared by both
+transports: the stdio loop (:func:`serve`) and the concurrent TCP server
+(:mod:`repro.server.tcp`).  Besides the three analytical kinds from
+:mod:`repro.service.api` it answers a few admin kinds so a client can
+drive a cold server end to end:
 
 ``{"kind": "ping"}``
     -> ``{"kind": "pong", ...}`` (liveness / version probe).
@@ -12,21 +15,45 @@ to end:
     register it as a dataset.
 ``{"kind": "datasets"}`` / ``{"kind": "algorithms"}`` / ``{"kind": "stats"}``
     Introspection: registered datasets, the algorithm registry with
-    metadata, engine cache counters.
+    metadata, engine cache counters (plus transport counters and — on the
+    TCP server — scheduler/latency metrics).
+``{"kind": "shutdown", "scope"?: "session" | "server"}``
+    Deterministic termination: the loop (or TCP connection) answers
+    ``shutdown_ack`` and ends the session; ``scope="server"`` also stops
+    the whole TCP server.
 
-Malformed lines never kill the loop; they produce ``kind="error"``
-responses so a misbehaving client sees its own mistakes inline.
+Hostile input never kills the loop: malformed JSON, lines longer than
+``max_line_bytes`` (``error_type="LineTooLong"``), and undecodable bytes
+all produce ``kind="error"`` responses so a misbehaving client sees its
+own mistakes inline.
 """
 
 from __future__ import annotations
 
 import json
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
 from typing import Any, Callable, IO
 
-from repro.common.errors import ReproError, SchemaError
+from repro.common.errors import LineTooLong, ReproError, SchemaError
 from repro.core.registry import algorithm_infos
 from repro.service.api import SCHEMA_VERSION, ErrorResponse
-from repro.service.engine import Engine
+from repro.service.engine import CacheStats, Engine
+
+#: Default bound on one request line.  Counted in bytes of UTF-8; a line
+#: beyond it is discarded (never buffered whole) and answered with
+#: ``error_type="LineTooLong"``.
+DEFAULT_MAX_LINE_BYTES = 1 << 20
+
+#: ``shutdown`` scopes: end just this session, or the whole server.
+SESSION_SCOPE = "session"
+SERVER_SCOPE = "server"
+
+#: Give up on a text stream after this many *consecutive* undecodable
+#: reads — a safety valve so a stream whose decoder cannot make progress
+#: does not spin the loop forever.
+_MAX_CONSECUTIVE_DECODE_ERRORS = 100
 
 
 def _error_payload(error: Exception) -> dict[str, Any]:
@@ -35,99 +62,249 @@ def _error_payload(error: Exception) -> dict[str, Any]:
     ).to_dict()
 
 
-def _handle_admin(engine: Engine, payload: dict[str, Any]) -> dict[str, Any] | None:
-    """Serve the admin kinds; None means "not an admin request"."""
-    kind = payload.get("kind")
-    if kind == "ping":
-        from repro import __version__
+def _cache_stats_dict(stats: CacheStats) -> dict[str, Any]:
+    return {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "coalesced": stats.coalesced,
+        "evictions": stats.evictions,
+        "size": stats.size,
+        "hit_rate": stats.hit_rate,
+    }
 
-        return {
-            "schema_version": SCHEMA_VERSION,
-            "kind": "pong",
-            "version": __version__,
-        }
-    if kind == "load_csv":
-        from repro.query.csv_io import answer_set_from_relation, read_csv
-        from repro.query.sql import execute_sql
 
-        path = payload.get("path")
-        if not isinstance(path, str):
-            raise SchemaError("load_csv needs a string 'path'")
-        name = payload.get("name")
-        relation = read_csv(path, name=name)
-        if payload.get("sql"):
-            answers = execute_sql(payload["sql"], relation).to_answer_set()
-        else:
-            answers = answer_set_from_relation(relation)
-        engine.register_dataset(
-            relation.name, answers, replace=bool(payload.get("replace"))
-        )
-        return {
-            "schema_version": SCHEMA_VERSION,
-            "kind": "dataset_loaded",
-            "dataset": relation.name,
-            "n": answers.n,
-            "m": answers.m,
-        }
-    if kind == "datasets":
-        return {
-            "schema_version": SCHEMA_VERSION,
-            "kind": "datasets",
-            "datasets": engine.dataset_names(),
-        }
-    if kind == "algorithms":
-        return {
-            "schema_version": SCHEMA_VERSION,
-            "kind": "algorithms",
-            "algorithms": [info.describe() for info in algorithm_infos()],
-        }
-    if kind == "stats":
-        stats = engine.stats()
-        return {
-            "schema_version": SCHEMA_VERSION,
-            "kind": "stats",
-            "requests": stats.requests,
-            "datasets": list(stats.datasets),
-            "pools": {
-                "hits": stats.pools.hits,
-                "misses": stats.pools.misses,
-                "evictions": stats.pools.evictions,
-                "size": stats.pools.size,
-                "hit_rate": stats.pools.hit_rate,
-            },
-            "stores": {
-                "hits": stats.stores.hits,
-                "misses": stats.stores.misses,
-                "evictions": stats.stores.evictions,
-                "size": stats.stores.size,
-                "hit_rate": stats.stores.hit_rate,
-            },
-        }
-    return None
+@dataclass
+class DispatchOutcome:
+    """What one dispatched line amounts to.
+
+    ``response`` is the payload to write back (``None`` for blank lines),
+    or a :class:`concurrent.futures.Future` resolving to it when the
+    dispatcher's ``submit`` hook defers computation (the TCP scheduler
+    path).  ``shutdown`` is ``None`` or the acknowledged scope; the
+    transport ends the session (and, for ``"server"``, the server) after
+    writing the response.  ``kind`` echoes the request kind when one could
+    be parsed (``"invalid"`` otherwise) — transports key latency metrics
+    on it.
+    """
+
+    response: Any = None
+    shutdown: str | None = None
+    kind: str | None = None
+
+
+class Dispatcher:
+    """Shared per-line request handling for every transport.
+
+    Parameters
+    ----------
+    engine:
+        The shared :class:`~repro.service.engine.Engine`.
+    max_line_bytes:
+        Reject (with ``LineTooLong``) any request line longer than this.
+    submit:
+        Hook for the analytical kinds (summary/explore/guidance).  Defaults
+        to ``engine.submit_dict`` (synchronous, in-order — the stdio loop);
+        the TCP server passes its sharded scheduler's ``submit``, which
+        returns a :class:`~concurrent.futures.Future` the transport awaits.
+        Admin kinds are always handled synchronously inside ``dispatch``
+        (the TCP server therefore runs the whole dispatch on an executor
+        thread — ``load_csv`` does real I/O and parsing).
+    extra_stats:
+        Optional callable merged into ``stats`` responses under the
+        ``"server"`` key (the TCP server's scheduler/latency metrics).
+
+    The dispatcher also counts the hostile-input rejections it served
+    (``oversized`` / ``undecodable`` / ``malformed``); they ride in every
+    ``stats`` response under ``"rejected"``.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        *,
+        max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+        submit: Callable[[dict[str, Any]], Any] | None = None,
+        extra_stats: Callable[[], dict[str, Any]] | None = None,
+    ) -> None:
+        if max_line_bytes < 2:
+            raise ValueError(
+                "max_line_bytes must be >= 2, got %d" % max_line_bytes
+            )
+        self.engine = engine
+        self.max_line_bytes = max_line_bytes
+        self._submit = submit if submit is not None else engine.submit_dict
+        self._extra_stats = extra_stats
+        self._counts_lock = threading.Lock()
+        self.oversized = 0
+        self.undecodable = 0
+        self.malformed = 0
+
+    # -- hostile-input responses (shared with the TCP framing layer) --------
+
+    def oversized_error(self) -> dict[str, Any]:
+        with self._counts_lock:
+            self.oversized += 1
+        return _error_payload(LineTooLong(
+            "request line exceeds max_line_bytes=%d; line discarded"
+            % self.max_line_bytes
+        ))
+
+    def undecodable_error(self) -> dict[str, Any]:
+        with self._counts_lock:
+            self.undecodable += 1
+        return _error_payload(SchemaError(
+            "request line is not valid UTF-8"
+        ))
+
+    def _malformed_error(self, error: Exception) -> dict[str, Any]:
+        with self._counts_lock:
+            self.malformed += 1
+        return _error_payload(error)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def dispatch_line(self, line: str | bytes) -> DispatchOutcome:
+        """Serve one raw line: decode, bound, parse, route."""
+        if isinstance(line, bytes):
+            if len(line.rstrip(b"\r\n")) > self.max_line_bytes:
+                return DispatchOutcome(self.oversized_error(), kind="invalid")
+            try:
+                line = line.decode("utf-8")
+            except UnicodeDecodeError:
+                return DispatchOutcome(
+                    self.undecodable_error(), kind="invalid"
+                )
+        stripped = line.strip()
+        if not stripped:
+            return DispatchOutcome()
+        if len(stripped.encode("utf-8")) > self.max_line_bytes:
+            return DispatchOutcome(self.oversized_error(), kind="invalid")
+        try:
+            payload = json.loads(stripped)
+        except json.JSONDecodeError as error:
+            return DispatchOutcome(
+                self._malformed_error(SchemaError(
+                    "invalid JSON: %s" % error
+                )),
+                kind="invalid",
+            )
+        if not isinstance(payload, dict):
+            return DispatchOutcome(
+                self._malformed_error(SchemaError(
+                    "each line must be a JSON object"
+                )),
+                kind="invalid",
+            )
+        return self.dispatch_payload(payload)
+
+    def dispatch_payload(self, payload: dict[str, Any]) -> DispatchOutcome:
+        """Serve one parsed request object (admin inline, analytics via
+        the ``submit`` hook)."""
+        kind = payload.get("kind")
+        kind_label = kind if isinstance(kind, str) else "invalid"
+        try:
+            admin = self._handle_admin(payload)
+        except ReproError as error:
+            return DispatchOutcome(_error_payload(error), kind=kind_label)
+        except OSError as error:
+            return DispatchOutcome(_error_payload(error), kind=kind_label)
+        if admin is not None:
+            response, scope = admin
+            return DispatchOutcome(response, shutdown=scope, kind=kind_label)
+        return DispatchOutcome(self._submit(payload), kind=kind_label)
+
+    # -- admin kinds ---------------------------------------------------------
+
+    def _handle_admin(
+        self, payload: dict[str, Any]
+    ) -> tuple[dict[str, Any], str | None] | None:
+        """Serve the admin kinds; None means "not an admin request"."""
+        kind = payload.get("kind")
+        if kind == "ping":
+            from repro import __version__
+
+            return {
+                "schema_version": SCHEMA_VERSION,
+                "kind": "pong",
+                "version": __version__,
+            }, None
+        if kind == "shutdown":
+            scope = payload.get("scope", SESSION_SCOPE)
+            if scope not in (SESSION_SCOPE, SERVER_SCOPE):
+                raise SchemaError(
+                    "shutdown scope must be %r or %r, got %r"
+                    % (SESSION_SCOPE, SERVER_SCOPE, scope)
+                )
+            return {
+                "schema_version": SCHEMA_VERSION,
+                "kind": "shutdown_ack",
+                "scope": scope,
+            }, scope
+        if kind == "load_csv":
+            from repro.query.csv_io import answer_set_from_relation, read_csv
+            from repro.query.sql import execute_sql
+
+            path = payload.get("path")
+            if not isinstance(path, str):
+                raise SchemaError("load_csv needs a string 'path'")
+            name = payload.get("name")
+            relation = read_csv(path, name=name)
+            if payload.get("sql"):
+                answers = execute_sql(payload["sql"], relation).to_answer_set()
+            else:
+                answers = answer_set_from_relation(relation)
+            self.engine.register_dataset(
+                relation.name, answers, replace=bool(payload.get("replace"))
+            )
+            return {
+                "schema_version": SCHEMA_VERSION,
+                "kind": "dataset_loaded",
+                "dataset": relation.name,
+                "n": answers.n,
+                "m": answers.m,
+            }, None
+        if kind == "datasets":
+            return {
+                "schema_version": SCHEMA_VERSION,
+                "kind": "datasets",
+                "datasets": self.engine.dataset_names(),
+            }, None
+        if kind == "algorithms":
+            return {
+                "schema_version": SCHEMA_VERSION,
+                "kind": "algorithms",
+                "algorithms": [info.describe() for info in algorithm_infos()],
+            }, None
+        if kind == "stats":
+            stats = self.engine.stats()
+            with self._counts_lock:
+                rejected = {
+                    "oversized": self.oversized,
+                    "undecodable": self.undecodable,
+                    "malformed": self.malformed,
+                }
+            response: dict[str, Any] = {
+                "schema_version": SCHEMA_VERSION,
+                "kind": "stats",
+                "requests": stats.requests,
+                "datasets": list(stats.datasets),
+                "pools": _cache_stats_dict(stats.pools),
+                "stores": _cache_stats_dict(stats.stores),
+                "rejected": rejected,
+            }
+            if self._extra_stats is not None:
+                response["server"] = self._extra_stats()
+            return response, None
+        return None
 
 
 def serve_line(engine: Engine, line: str) -> dict[str, Any] | None:
-    """Serve one JSON line; None for blank lines (skipped, no response)."""
-    line = line.strip()
-    if not line:
-        return None
-    try:
-        payload = json.loads(line)
-    except json.JSONDecodeError as error:
-        return _error_payload(SchemaError("invalid JSON: %s" % error))
-    if not isinstance(payload, dict):
-        return _error_payload(
-            SchemaError("each line must be a JSON object")
-        )
-    try:
-        admin = _handle_admin(engine, payload)
-    except ReproError as error:
-        return _error_payload(error)
-    except OSError as error:
-        return _error_payload(error)
-    if admin is not None:
-        return admin
-    return engine.submit_dict(payload)
+    """Serve one JSON line; None for blank lines (skipped, no response).
+
+    Compatibility wrapper over :class:`Dispatcher` for callers that do not
+    need shutdown control flow or transport counters.
+    """
+    return Dispatcher(engine).dispatch_line(line).response
 
 
 def serve(
@@ -135,17 +312,70 @@ def serve(
     output_stream: IO[str],
     engine: Engine | None = None,
     on_response: Callable[[dict[str, Any]], None] | None = None,
+    max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+    dispatcher: Dispatcher | None = None,
 ) -> int:
-    """Run the loop until EOF; returns the number of responses written."""
-    engine = engine if engine is not None else Engine()
+    """Run the loop until EOF or ``shutdown``; returns responses written.
+
+    EOF is a clean termination: the loop simply returns (a well-behaved
+    client closes its end when done).  A ``{"kind": "shutdown"}`` request
+    is the explicit equivalent — the loop answers ``shutdown_ack`` and
+    returns, so clients that cannot close the stream (or want a positive
+    acknowledgement) can still terminate the session deterministically.
+
+    Reads are bounded: lines are pulled in chunks of at most
+    ``max_line_bytes`` + 1 characters, so an oversized line is answered
+    with ``LineTooLong`` and *discarded as it streams* — never buffered
+    whole — matching the TCP transport's framing guarantee.
+    """
+    if dispatcher is None:
+        dispatcher = Dispatcher(
+            engine if engine is not None else Engine(),
+            max_line_bytes=max_line_bytes,
+        )
+    # Every character is at least one UTF-8 byte, so a full chunk of
+    # budget characters without a newline is already over the byte limit;
+    # dispatch_line re-checks exact bytes for shorter lines.
+    budget = dispatcher.max_line_bytes + 1
     written = 0
-    for line in input_stream:
-        response = serve_line(engine, line)
+    decode_failures = 0
+    discarding = False
+    while True:
+        try:
+            line = input_stream.readline(budget)
+        except UnicodeDecodeError:
+            decode_failures += 1
+            outcome = DispatchOutcome(
+                dispatcher.undecodable_error(), kind="invalid"
+            )
+            if decode_failures >= _MAX_CONSECUTIVE_DECODE_ERRORS:
+                outcome.shutdown = SESSION_SCOPE
+        else:
+            decode_failures = 0
+            if not line:
+                break  # clean EOF
+            if discarding:
+                # Tail chunks of a line already answered with LineTooLong.
+                if line.endswith("\n"):
+                    discarding = False
+                continue
+            if len(line) >= budget and not line.endswith("\n"):
+                discarding = True
+                outcome = DispatchOutcome(
+                    dispatcher.oversized_error(), kind="invalid"
+                )
+            else:
+                outcome = dispatcher.dispatch_line(line)
+        response = outcome.response
         if response is None:
             continue
+        if isinstance(response, Future):
+            response = response.result()
         output_stream.write(json.dumps(response, sort_keys=True) + "\n")
         output_stream.flush()
         if on_response is not None:
             on_response(response)
         written += 1
+        if outcome.shutdown is not None:
+            break
     return written

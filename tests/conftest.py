@@ -2,11 +2,40 @@
 
 from __future__ import annotations
 
+import json
 import random
 
 import pytest
 
 from repro.core.answers import AnswerSet
+
+#: Wall-clock-dependent response fields, zeroed before any byte
+#: comparison — the golden-file convention shared by the service tests,
+#: the server transport-parity tests, and benchmarks/bench_server_load.py.
+VOLATILE_RESPONSE_KEYS = ("init_seconds", "algo_seconds", "total_seconds")
+
+
+def zero_timings(response: dict) -> dict:
+    """A deep copy of a wire response with every volatile field zeroed
+    (including all values of the open ``phase_seconds`` map)."""
+    response = json.loads(json.dumps(response))
+    for key in VOLATILE_RESPONSE_KEYS:
+        if key in response:
+            response[key] = 0.0
+    for key in response.get("phase_seconds", {}):
+        response["phase_seconds"][key] = 0.0
+    return response
+
+
+def paper_like_answers() -> AnswerSet:
+    """The deterministic 8-row set behind tests/golden/summary_response.json."""
+    rows = [
+        ("1970s", "student"), ("1970s", "educator"), ("1980s", "student"),
+        ("1980s", "engineer"), ("1990s", "student"), ("1990s", "writer"),
+        ("1990s", "artist"), ("1980s", "artist"),
+    ]
+    values = [4.5, 4.2, 4.0, 3.9, 2.5, 2.2, 2.0, 3.0]
+    return AnswerSet.from_rows(rows, values, attributes=("era", "group"))
 
 
 def random_answer_set(

@@ -102,6 +102,47 @@ def test_readme_cites_bench_numbers_verbatim():
     )
 
 
+def test_bench_server_is_a_full_run_and_floors_hold():
+    """The committed BENCH_server.json must be a full run that satisfies
+    the load harness's own floors: >= 4x throughput over the
+    1-worker/no-coalescing baseline, coalescing demonstrably firing, and
+    byte-identical stdio/TCP responses for the golden wire requests."""
+    import sys
+
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    try:
+        from bench_server_load import THROUGHPUT_RATIO_FLOOR
+    finally:
+        sys.path.pop(0)
+    document = json.loads((REPO_ROOT / "BENCH_server.json").read_text())
+    assert document["smoke"] is False, (
+        "BENCH_server.json must be regenerated with a full (non --smoke) run"
+    )
+    assert document["throughput_ratio"] >= THROUGHPUT_RATIO_FLOOR
+    assert document["coalesce_hits"] > 0
+    assert document["coalesce_hit_rate"] > 0.0
+    assert document["transport_parity"]["identical"] is True
+    assert document["transport_parity"]["golden_file_matched"] is True
+    labels = [s["label"] for s in document["scenarios"]]
+    assert labels == ["baseline", "sharded+coalesce"]
+    assert document["trace"]["clients"] >= 16
+
+
+def test_readme_cites_server_bench_numbers_verbatim():
+    readme = (REPO_ROOT / "README.md").read_text()
+    document = json.loads((REPO_ROOT / "BENCH_server.json").read_text())
+    cited = [
+        "%.1f×" % document["throughput_ratio"],
+        "%.0f%%" % (document["coalesce_hit_rate"] * 100.0),
+    ]
+    missing = [number for number in cited if number not in readme]
+    assert not missing, (
+        "README server section is out of date with BENCH_server.json; "
+        "missing: %s (regenerate with `PYTHONPATH=src python "
+        "benchmarks/bench_server_load.py` and update the text)" % missing
+    )
+
+
 def test_rounds_vs_groups_floors_hold_in_committed_results():
     """The committed full run must itself satisfy the enforced floors."""
     import sys

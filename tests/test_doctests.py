@@ -10,6 +10,7 @@ import repro.common.timing
 import repro.core.bitset
 import repro.core.merge
 import repro.core.problem
+import repro.server.singleflight
 import repro.service.engine
 
 
@@ -20,6 +21,7 @@ import repro.service.engine
         repro.common.timing,
         repro.core.bitset,
         repro.core.merge,
+        repro.server.singleflight,
         repro.service.engine,
     ],
     ids=lambda m: m.__name__,

@@ -1,0 +1,210 @@
+"""Concurrent-engine stress tests: no duplicate builds, consistent counters.
+
+The serving tier runs many scheduler worker threads over one shared
+:class:`~repro.service.engine.Engine`; these tests pin down the engine's
+concurrency contract directly (no sockets): racing identical requests
+share exactly one pool/store build, cache counters stay consistent, and
+builds for *different* keys proceed in parallel (per-key build locks, not
+one global compute lock).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service import Engine, ExploreRequest, SummaryRequest
+from repro.service.engine import _LRUCache
+from tests.conftest import random_answer_set
+
+
+class _SharedKey:
+    """A cache key whose hash reports when a thread reaches the cache.
+
+    ``__hash__`` runs inside the cache's first locked lookup, so the event
+    firing proves the caller has *entered* ``get_or_build`` — the handle
+    the determinism tests need to sequence two threads without sleeps.
+    """
+
+    def __init__(self, entered: threading.Event) -> None:
+        self.entered = entered
+
+    def __hash__(self) -> int:
+        self.entered.set()
+        return 42
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _SharedKey)
+
+
+class TestLRUCacheCoalescing:
+    def test_waiter_on_inflight_build_counts_as_coalesced(self):
+        """Deterministic single-flight: T2 arrives while T1 builds, waits,
+        and is served T1's value — one miss, one coalesced hit."""
+        cache: _LRUCache[str] = _LRUCache(4)
+        release = threading.Event()
+        t1_building = threading.Event()
+        t2_entered = threading.Event()
+        results = {}
+
+        def leader():
+            def build():
+                t1_building.set()
+                assert release.wait(10)
+                return "built-once"
+
+            results["t1"] = cache.get_or_build(_SharedKey(t2_entered), build)
+
+        def follower():
+            results["t2"] = cache.get_or_build(
+                _SharedKey(t2_entered),
+                lambda: pytest.fail("follower must never build"),
+            )
+
+        t1 = threading.Thread(target=leader)
+        t1.start()
+        assert t1_building.wait(10)  # T1 holds the build lock, mid-build
+        t2_entered.clear()
+        t2 = threading.Thread(target=follower)
+        t2.start()
+        # T2 hashed the key => it is inside get_or_build; the entry cannot
+        # exist yet (T1 is still blocked), so T2 must take the wait path.
+        assert t2_entered.wait(10)
+        release.set()
+        t1.join(10)
+        t2.join(10)
+        value_1, seconds_1, hit_1 = results["t1"]
+        value_2, seconds_2, hit_2 = results["t2"]
+        assert (value_1, hit_1) == ("built-once", False)
+        assert (value_2, hit_2) == ("built-once", True)
+        assert seconds_2 == 0.0
+        stats = cache.stats()
+        assert stats.misses == 1
+        assert stats.hits == 1
+        assert stats.coalesced == 1
+
+    def test_different_keys_build_in_parallel(self):
+        """Per-key build locks: two cold keys must be buildable at the same
+        time (a global compute lock would deadlock this rendezvous)."""
+        cache: _LRUCache[str] = _LRUCache(4)
+        in_build = [threading.Event(), threading.Event()]
+        overlapped = []
+
+        def build(index: int) -> str:
+            in_build[index].set()
+            # Wait to observe the *other* build running concurrently.
+            overlapped.append(in_build[1 - index].wait(10))
+            return "value-%d" % index
+
+        threads = [
+            threading.Thread(
+                target=cache.get_or_build, args=("key-%d" % i,),
+                kwargs={"build": (lambda i=i: build(i))},
+            )
+            for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(15)
+        assert overlapped == [True, True]
+        stats = cache.stats()
+        assert stats.misses == 2
+        assert stats.coalesced == 0
+
+
+class TestEngineUnderRacingRequests:
+    def test_racing_identical_summaries_share_one_pool_build(self):
+        engine = Engine()
+        engine.register_dataset(
+            "race", random_answer_set(n=400, m=5, domain=5, seed=13)
+        )
+        request = SummaryRequest(dataset="race", k=4, L=40, D=1)
+        threads_n = 12
+        barrier = threading.Barrier(threads_n)
+        responses = []
+        lock = threading.Lock()
+
+        def worker():
+            barrier.wait(timeout=30)
+            response = engine.submit(request)
+            with lock:
+                responses.append(response)
+
+        threads = [threading.Thread(target=worker) for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        assert len(responses) == threads_n
+        stats = engine.stats()
+        # The hard contract: exactly one build, no duplicates, counters sum.
+        assert stats.pools.misses == 1
+        assert stats.pools.hits == threads_n - 1
+        assert stats.pools.coalesced <= stats.pools.hits
+        assert stats.requests == threads_n
+        # Every thread saw the same solution content.
+        assert len({r.objective for r in responses}) == 1
+        assert len({r.clusters for r in responses}) == 1
+
+    def test_racing_identical_explores_share_one_store_build(self):
+        engine = Engine()
+        engine.register_dataset(
+            "race", random_answer_set(n=200, m=4, domain=5, seed=29)
+        )
+        request = ExploreRequest(
+            dataset="race", k=4, L=25, D=1, k_range=(2, 6), d_values=(1, 2),
+        )
+        threads_n = 8
+        barrier = threading.Barrier(threads_n)
+        responses = []
+        lock = threading.Lock()
+
+        def worker():
+            barrier.wait(timeout=30)
+            response = engine.submit(request)
+            with lock:
+                responses.append(response)
+
+        threads = [threading.Thread(target=worker) for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        assert len(responses) == threads_n
+        stats = engine.stats()
+        assert stats.stores.misses == 1
+        assert stats.stores.hits == threads_n - 1
+        assert stats.pools.misses == 1
+        assert len({r.objective for r in responses}) == 1
+
+    def test_racing_distinct_keys_all_build_once(self):
+        engine = Engine()
+        engine.register_dataset(
+            "race", random_answer_set(n=300, m=5, domain=5, seed=7)
+        )
+        l_values = (10, 15, 20, 25)
+        barrier = threading.Barrier(len(l_values) * 2)
+        errors = []
+
+        def worker(L):
+            try:
+                barrier.wait(timeout=30)
+                engine.submit(SummaryRequest(dataset="race", k=3, L=L, D=1))
+            except Exception as error:  # pragma: no cover - debugging aid
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(L,))
+            for L in l_values for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        assert errors == []
+        stats = engine.stats()
+        assert stats.pools.misses == len(l_values)
+        assert stats.pools.hits == len(l_values)
+        assert stats.requests == len(l_values) * 2

@@ -12,6 +12,7 @@ import pytest
 from repro.common.errors import InvalidParameterError, SchemaError
 from repro.core.answers import AnswerSet
 from repro.service import (
+    Dispatcher,
     Engine,
     ErrorResponse,
     ExploreRequest,
@@ -23,20 +24,10 @@ from repro.service import (
     parse_response,
     serve,
 )
-from tests.conftest import random_answer_set
+from repro.service.serve import serve_line
+from tests.conftest import paper_like_answers, random_answer_set
 
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
-
-
-def paper_like_answers() -> AnswerSet:
-    """A small deterministic answer set with a codec (decodable patterns)."""
-    rows = [
-        ("1970s", "student"), ("1970s", "educator"), ("1980s", "student"),
-        ("1980s", "engineer"), ("1990s", "student"), ("1990s", "writer"),
-        ("1990s", "artist"), ("1980s", "artist"),
-    ]
-    values = [4.5, 4.2, 4.0, 3.9, 2.5, 2.2, 2.0, 3.0]
-    return AnswerSet.from_rows(rows, values, attributes=("era", "group"))
 
 
 @pytest.fixture
@@ -388,6 +379,139 @@ class TestServeLoop:
         assert responses[0]["kind"] == "error"
         assert "numeric" in responses[0]["message"]
         assert responses[1]["kind"] == "pong"
+
+
+class TestServeLoopTermination:
+    """The satellite contracts: shutdown kind, clean EOF, hostile input."""
+
+    def run_stream(self, engine, text: str):
+        stdout = io.StringIO()
+        written = serve(io.StringIO(text), stdout, engine=engine)
+        return written, [
+            json.loads(line) for line in stdout.getvalue().splitlines()
+        ]
+
+    def test_shutdown_acks_and_stops_the_loop(self, engine):
+        written, responses = self.run_stream(
+            engine,
+            '{"kind": "ping"}\n'
+            '{"kind": "shutdown"}\n'
+            '{"kind": "ping"}\n',  # must never be served
+        )
+        assert written == 2
+        assert [r["kind"] for r in responses] == ["pong", "shutdown_ack"]
+        assert responses[1]["scope"] == "session"
+
+    def test_shutdown_server_scope_acks_with_scope(self, engine):
+        _, responses = self.run_stream(
+            engine, '{"kind": "shutdown", "scope": "server"}\n'
+        )
+        assert responses[0] == {
+            "kind": "shutdown_ack", "schema_version": 2, "scope": "server",
+        }
+
+    def test_bad_shutdown_scope_is_error_and_loop_survives(self, engine):
+        _, responses = self.run_stream(
+            engine,
+            '{"kind": "shutdown", "scope": "bogus"}\n{"kind": "ping"}\n',
+        )
+        assert responses[0]["kind"] == "error"
+        assert "scope" in responses[0]["message"]
+        assert responses[1]["kind"] == "pong"
+
+    def test_eof_terminates_cleanly_without_output(self, engine):
+        written, responses = self.run_stream(engine, "")
+        assert written == 0
+        assert responses == []
+
+    def test_eof_after_requests_is_clean(self, engine):
+        written, responses = self.run_stream(engine, '{"kind": "ping"}')
+        assert written == 1  # final unterminated line still served
+        assert responses[0]["kind"] == "pong"
+
+    def test_oversized_line_rejected_with_line_too_long(self, engine):
+        stdout = io.StringIO()
+        dispatcher = Dispatcher(engine, max_line_bytes=64)
+        serve(
+            io.StringIO('{"pad": "%s"}\n{"kind": "ping"}\n' % ("x" * 200)),
+            stdout, dispatcher=dispatcher,
+        )
+        first, second = [
+            json.loads(line) for line in stdout.getvalue().splitlines()
+        ]
+        assert first["kind"] == "error"
+        assert first["error_type"] == "LineTooLong"
+        assert second["kind"] == "pong"
+        assert dispatcher.oversized == 1
+
+    def test_giant_line_discarded_in_chunks_one_error(self, engine):
+        """A line many times the limit streams through the bounded reader
+        as chunks, yields exactly one LineTooLong, and the loop recovers
+        at the next newline — stdio mirrors the TCP framing guarantee."""
+        dispatcher = Dispatcher(engine, max_line_bytes=64)
+        stdout = io.StringIO()
+        serve(
+            io.StringIO("x" * 10_000 + '\n{"kind": "ping"}\n'),
+            stdout, dispatcher=dispatcher,
+        )
+        responses = [
+            json.loads(line) for line in stdout.getvalue().splitlines()
+        ]
+        assert [r["kind"] for r in responses] == ["error", "pong"]
+        assert responses[0]["error_type"] == "LineTooLong"
+        assert dispatcher.oversized == 1
+
+    def test_oversized_final_line_at_eof(self, engine):
+        dispatcher = Dispatcher(engine, max_line_bytes=64)
+        stdout = io.StringIO()
+        written = serve(io.StringIO("y" * 500), stdout,
+                        dispatcher=dispatcher)
+        (response,) = [
+            json.loads(line) for line in stdout.getvalue().splitlines()
+        ]
+        assert written == 1
+        assert response["error_type"] == "LineTooLong"
+
+    def test_undecodable_bytes_rejected_with_error_response(self, engine):
+        """Bad bytes on a text stream produce an error line, never an
+        exception.  (The text decoder discards the rest of its chunk, so
+        per-line recovery is a TCP-framing feature — tested in
+        test_server.py; stdio just has to fail soft and terminate.)"""
+        raw = io.BytesIO(b'\xff\xfe\n{"kind": "ping"}\n')
+        stream = io.TextIOWrapper(raw, encoding="utf-8", newline="\n")
+        stdout = io.StringIO()
+        written = serve(stream, stdout, engine=engine)
+        responses = [
+            json.loads(line) for line in stdout.getvalue().splitlines()
+        ]
+        assert written == len(responses) >= 1
+        assert responses[0]["kind"] == "error"
+        assert "UTF-8" in responses[0]["message"]
+
+    def test_dispatcher_bytes_line_paths(self, engine):
+        dispatcher = Dispatcher(engine, max_line_bytes=64)
+        oversized = dispatcher.dispatch_line(b"x" * 100)
+        assert oversized.response["error_type"] == "LineTooLong"
+        undecodable = dispatcher.dispatch_line(b"\xff\xfe")
+        assert undecodable.response["error_type"] == "SchemaError"
+        pong = dispatcher.dispatch_line(b'{"kind": "ping"}\n')
+        assert pong.response["kind"] == "pong"
+        assert pong.kind == "ping"
+        assert dispatcher.undecodable == 1
+
+    def test_stats_reports_rejection_counters(self, engine):
+        dispatcher = Dispatcher(engine, max_line_bytes=64)
+        dispatcher.dispatch_line("y" * 100)
+        dispatcher.dispatch_line("not json")
+        stats = dispatcher.dispatch_line('{"kind": "stats"}').response
+        assert stats["rejected"] == {
+            "oversized": 1, "undecodable": 0, "malformed": 1,
+        }
+        assert "coalesced" in stats["pools"]
+
+    def test_serve_line_compat_wrapper(self, engine):
+        assert serve_line(engine, "\n") is None
+        assert serve_line(engine, '{"kind": "ping"}')["kind"] == "pong"
 
 
 class TestSessionEngineSharing:
