@@ -14,11 +14,16 @@ Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--smoke] [--out PATH]
                                                   [--workloads NAME ...]
+                                                  [--profile]
 
-The kernel-comparison workload also cross-checks that both kernels return
-*identical* solutions, and (full mode) fails loudly if the bitset kernel is
-less than 5x faster than the pure-Python kernel — the acceptance bar this
-runner exists to keep honest.
+The kernel-comparison workloads also cross-check that the kernels return
+*identical* solutions, and (full mode) fail loudly when a committed floor
+is broken: bitset >= 5x python on the n=10k workload, dense+numpy >= 3x
+bitset on the n=10^6 scaling workload, and the dense array fallback >=
+0.9x bitset everywhere — the acceptance bars this runner exists to keep
+honest.  ``--profile`` additionally cProfiles each workload into
+``results/profile_<name>.{pstats,txt}`` so optimization decisions stay
+profile-driven.
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.core import dense  # noqa: E402
 from repro.core.bottom_up import bottom_up  # noqa: E402
 from repro.core.brute_force import brute_force  # noqa: E402
 from repro.core.fixed_order import fixed_order  # noqa: E402
@@ -59,6 +65,16 @@ KERNEL_SPEEDUP_FLOOR = 5.0
 HEAP_EVAL_RATIO_FLOOR = 2.5
 HEAP_ARGMAX_SPEEDUP_FLOOR = 0.95
 HEAP_ARGMAX_PEAK_FLOOR = 1.25
+
+#: Floors for the dense_scaling workload (enforced in full mode).  The
+#: dense kernel with numpy must beat the bitset kernel by this factor on
+#: the mask-sum-dominated warm run at n = DENSE_FLOOR_N; the pure-stdlib
+#: array fallback must never regress below DENSE_FALLBACK_SPEEDUP_FLOOR
+#: of bitset at *any* measured n (it routes the packed blocks through
+#: int word-parallel ops, so parity is the design point).
+DENSE_NUMPY_SPEEDUP_FLOOR = 3.0
+DENSE_FALLBACK_SPEEDUP_FLOOR = 0.9
+DENSE_FLOOR_N = 1_000_000
 
 
 def best_of(fn, repeats: int = 3) -> tuple[object, float]:
@@ -389,6 +405,121 @@ def bench_rounds_vs_groups(smoke: bool) -> dict:
     }
 
 
+def _dense_scaling_leg(answers, kernel: str, L: int, k: int, D: int,
+                       repeats: int):
+    """One kernel leg of the scaling workload on a lazy mask-only pool.
+
+    Returns ``(solution, init_seconds, cold_seconds, warm_seconds)``.
+    The *cold* run pays the lazy pool's on-demand coverage
+    materialization (posting intersections + mask packing); *warm* runs
+    hit the pool's cluster cache and are dominated by the coverage
+    primitives — AND/ANDNOT/popcount/value-sum over large masks — which
+    is exactly what the kernels differ in.  Both numbers are recorded;
+    the floors compare the warm (steady-state serving) cost.
+    """
+    start = time.perf_counter()
+    pool = ClusterPool(
+        answers, L=L, strategy="lazy", mask_only=True, kernel=kernel
+    )
+    init_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    solution = bottom_up(pool, k, D, kernel=kernel)
+    cold_seconds = time.perf_counter() - start
+    warm_seconds = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        solution = bottom_up(pool, k, D, kernel=kernel)
+        warm_seconds = min(warm_seconds, time.perf_counter() - start)
+    return solution, init_seconds, cold_seconds, warm_seconds
+
+
+def bench_dense_scaling(smoke: bool) -> dict:
+    """Large-n scaling workload: dense kernel vs bitset at n up to 10^6.
+
+    Bottom-Up on lazy mask-only pools (m=6, L=100, k=20, D=2) for
+    n in {10^4, 10^5, 10^6}; three legs per n — bitset, dense with the
+    numpy backend, and dense with the pure-stdlib array fallback (forced
+    via :class:`repro.core.dense.numpy_disabled`) — each on a pool in its
+    own mask representation.  All legs must return identical solutions
+    (bitset and dense sum in the same ascending order, so equality is
+    exact, not tie-tolerant).  Full-mode floors:
+    :data:`DENSE_NUMPY_SPEEDUP_FLOOR` at n = :data:`DENSE_FLOOR_N` and
+    :data:`DENSE_FALLBACK_SPEEDUP_FLOOR` everywhere.
+    """
+    sizes = (2_000, 20_000) if smoke else (10_000, 100_000, 1_000_000)
+    L = 50 if smoke else 100
+    k, D = 20, 2
+    have_numpy = dense.numpy_enabled()
+    entries = []
+    ratios: dict[int, dict[str, float]] = {}
+    for n in sizes:
+        answers = synthetic_answer_set(n, m=6, domain_size=32, seed=5)
+        repeats = 1 if (smoke or n >= 1_000_000) else 2
+        legs: dict[str, tuple] = {}
+        legs["bitset"] = _dense_scaling_leg(answers, "bitset", L, k, D,
+                                            repeats)
+        with dense.numpy_disabled():
+            legs["dense-fallback"] = _dense_scaling_leg(
+                answers, "dense", L, k, D, repeats
+            )
+        if have_numpy:
+            legs["dense-numpy"] = _dense_scaling_leg(
+                answers, "dense", L, k, D, repeats
+            )
+        reference = legs["bitset"][0]
+        for label, (solution, *_rest) in legs.items():
+            assert solution.patterns() == reference.patterns(), (
+                "dense_scaling kernel divergence at n=%d (%s)" % (n, label)
+            )
+        bitset_warm = legs["bitset"][3]
+        ratios[n] = {
+            label: bitset_warm / legs[label][3]
+            for label in legs
+            if label != "bitset"
+        }
+        for label, (solution, init_s, cold_s, warm_s) in legs.items():
+            entries.append({
+                "label": "n=%d-%s" % (n, label),
+                "kernel": "dense" if label.startswith("dense") else "bitset",
+                "seconds": warm_s,
+                "cold_seconds": cold_s,
+                "init_seconds": init_s,
+            })
+        if not smoke:
+            fallback_ratio = ratios[n]["dense-fallback"]
+            if fallback_ratio < DENSE_FALLBACK_SPEEDUP_FLOOR:
+                raise SystemExit(
+                    "dense array-fallback regression at n=%d: %.2fx < "
+                    "%.2fx floor" % (n, fallback_ratio,
+                                     DENSE_FALLBACK_SPEEDUP_FLOOR)
+                )
+            if (
+                have_numpy
+                and n >= DENSE_FLOOR_N
+                and ratios[n]["dense-numpy"] < DENSE_NUMPY_SPEEDUP_FLOOR
+            ):
+                raise SystemExit(
+                    "dense kernel speedup regression at n=%d: %.2fx < "
+                    "%.1fx floor" % (n, ratios[n]["dense-numpy"],
+                                     DENSE_NUMPY_SPEEDUP_FLOOR)
+                )
+    document = {
+        "name": "dense_scaling",
+        "params": {"m": 6, "L": L, "k": k, "D": D, "domain_size": 32,
+                   "mapping": "lazy", "mask_only": True,
+                   "sizes": list(sizes), "numpy": have_numpy},
+        "entries": entries,
+        "dense_speedups": {
+            str(n): per_n for n, per_n in ratios.items()
+        },
+    }
+    if have_numpy:
+        document["speedup"] = max(
+            per_n["dense-numpy"] for per_n in ratios.values()
+        )
+    return document
+
+
 WORKLOADS = {
     "fig5_bruteforce": bench_fig5_bruteforce,
     "rounds_vs_groups": bench_rounds_vs_groups,
@@ -396,7 +527,35 @@ WORKLOADS = {
     "fig8b_delta": bench_fig8b_delta,
     "fig8_kernel_core": bench_kernel_core,
     "service_cache": bench_service_cache,
+    "dense_scaling": bench_dense_scaling,
 }
+
+
+def _run_profiled(name: str, smoke: bool) -> dict:
+    """Run one workload under cProfile, dumping stats under results/.
+
+    Writes ``results/profile_<name>.pstats`` (binary, for ``snakeviz``/
+    ``pstats`` sessions) and ``results/profile_<name>.txt`` (top 40
+    functions by cumulative time) so future kernel decisions — e.g. the
+    ROADMAP's convex-hull argmax — start from measured hot paths rather
+    than guesses.  Profiling inflates wall-clock, so profiled runs are
+    for *attribution*; never commit their timings to BENCH_core.json.
+    """
+    import cProfile
+    import pstats
+
+    results_dir = REPO_ROOT / "results"
+    results_dir.mkdir(exist_ok=True)
+    profiler = cProfile.Profile()
+    workload = profiler.runcall(WORKLOADS[name], smoke)
+    profiler.dump_stats(results_dir / ("profile_%s.pstats" % name))
+    with open(results_dir / ("profile_%s.txt" % name), "w") as stream:
+        stats = pstats.Stats(
+            str(results_dir / ("profile_%s.pstats" % name)), stream=stream
+        )
+        stats.sort_stats("cumulative").print_stats(40)
+    print("  profile -> results/profile_%s.{pstats,txt}" % name)
+    return workload
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -413,13 +572,23 @@ def main(argv: list[str] | None = None) -> int:
         "--workloads", nargs="*", choices=sorted(WORKLOADS),
         help="subset of workloads to run (default: all)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="cProfile each workload and dump pstats output under "
+        "results/ (profile_<workload>.pstats + a cumulative-time text "
+        "top-40 in profile_<workload>.txt) so kernel decisions are "
+        "profile-driven",
+    )
     args = parser.parse_args(argv)
     names = args.workloads or sorted(WORKLOADS)
     results = []
     for name in names:
         print("running %s%s ..." % (name, " (smoke)" if args.smoke else ""),
               flush=True)
-        workload = WORKLOADS[name](args.smoke)
+        if args.profile:
+            workload = _run_profiled(name, args.smoke)
+        else:
+            workload = WORKLOADS[name](args.smoke)
         for entry in workload["entries"]:
             print("  %-14s %-7s %8.3f s" % (
                 entry["label"], entry["kernel"], entry["seconds"]))

@@ -33,7 +33,11 @@ from pathlib import Path
 
 from repro.common.errors import ReproError
 from repro.core.answers import AnswerSet
-from repro.core.bitset import DEFAULT_KERNEL, KERNELS
+from repro.core.bitset import (
+    DEFAULT_KERNEL,
+    DENSE_AUTO_THRESHOLD,
+    KERNEL_CHOICES,
+)
 from repro.core.merge import ARGMAX_MODES, AUTO_ARGMAX
 from repro.core.registry import algorithm_names, get_algorithm
 from repro.query.csv_io import answer_set_from_relation, read_csv
@@ -82,9 +86,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="algorithm (default: hybrid)",
     )
     parser.add_argument(
-        "--kernel", default=DEFAULT_KERNEL, choices=list(KERNELS),
-        help="evaluation kernel: 'bitset' (optimized, default) or "
-        "'python' (pure-Python ablation baseline)",
+        "--kernel", default=DEFAULT_KERNEL, choices=list(KERNEL_CHOICES),
+        help="evaluation kernel: 'bitset' (int bitmasks, default), "
+        "'dense' (packed uint64 blocks, numpy-vectorized when available "
+        "— built for very large n), 'python' (pure-Python ablation "
+        "baseline), or 'auto' (dense above %d answers when numpy is "
+        "importable, else bitset)" % DENSE_AUTO_THRESHOLD,
     )
     parser.add_argument(
         "--argmax", default=AUTO_ARGMAX, choices=list(ARGMAX_MODES),

@@ -72,6 +72,7 @@ class AnswerSet:
         self._prefix_sums: list[float] | None = None
         self._avg_all: float | None = None
         self._min_value: float | None = None
+        self._value_table = None
 
     # -- basic accessors ---------------------------------------------------
 
@@ -157,12 +158,33 @@ class AnswerSet:
             return self.value_sum_range(first, last + 1) / len(indices)
         return sum(self.values[i] for i in indices) / len(indices)
 
-    # -- bitset kernel support ---------------------------------------------
+    # -- mask kernel support -------------------------------------------------
 
-    def mask_value_sum(self, mask: int) -> float:
-        """Sum of values over the set bits of *mask* (an element-index
-        bitmask; see :mod:`repro.core.bitset`)."""
-        return mask_value_sum(self.values, mask)
+    @property
+    def value_table(self):
+        """The values as a contiguous ``array('d')`` row (dense kernel).
+
+        Built once on first dense-kernel access; the numpy backend views
+        the same buffer zero-copy.  See :class:`repro.core.dense.ValueTable`.
+        """
+        table = self._value_table
+        if table is None:
+            from repro.core.dense import ValueTable
+
+            table = ValueTable(self.values)
+            self._value_table = table
+        return table
+
+    def mask_value_sum(self, mask) -> float:
+        """Sum of values over the set bits of *mask*, in ascending order.
+
+        *mask* is either an int bitmask (:mod:`repro.core.bitset`) or a
+        packed :class:`~repro.core.dense.BitBlocks` mask (the dense
+        kernel); both sum identically (same floats) for the same bits.
+        """
+        if isinstance(mask, int):
+            return mask_value_sum(self.values, mask)
+        return mask.value_sum(self.value_table)
 
     def decode(self, pattern: Sequence[int]) -> tuple[Any, ...]:
         """Decode an int-code pattern back to raw attribute values."""

@@ -18,13 +18,19 @@ cannot be answered by popcount; :func:`mask_value_sum` iterates only the
 set bits (sparse masks) or only the non-zero bytes (dense masks), which in
 practice is 1-2 orders of magnitude faster than iterating a Python set.
 
-Kernels are named: ``"bitset"`` (this module, the default) and
-``"python"`` (the original set-based code, kept as the ablation baseline
-for the Figure 8b-style experiments).  Both kernels run identical greedy
-logic and produce identical solutions whenever value sums are exact
-(property tests enforce this on dyadic-rational values); on arbitrary
-floats the kernels sum in different orders, so exact ties may break
-differently at the last ulp.
+Kernels are named: ``"bitset"`` (this module, the default), ``"python"``
+(the original set-based code, kept as the ablation baseline for the
+Figure 8b-style experiments), and ``"dense"`` (fixed-width uint64 block
+masks with numpy-vectorized primitives and a pure-stdlib array fallback —
+:mod:`repro.core.dense` — built for n >= 10^5..10^6).  ``"auto"`` is a
+*policy*, not a kernel: :func:`resolve_kernel` maps it to ``"dense"``
+above :data:`DENSE_AUTO_THRESHOLD` elements when numpy is available and
+to the default otherwise.  All kernels run identical greedy logic, sum
+values in ascending element-index order, and produce identical solutions
+whenever value sums are exact (property tests enforce this on
+dyadic-rational values); on arbitrary floats the ``python`` kernel sums
+in set-iteration order, so exact ties may break differently at the last
+ulp.
 
 The three primitives in one glance::
 
@@ -52,10 +58,22 @@ from repro.common.errors import InvalidParameterError
 BITSET_KERNEL = "bitset"
 #: The original pure-Python set kernel (ablation baseline).
 PYTHON_KERNEL = "python"
-#: Every kernel name the engines accept.
-KERNELS = (BITSET_KERNEL, PYTHON_KERNEL)
+#: The packed uint64-block kernel (numpy-vectorized, array fallback).
+DENSE_KERNEL = "dense"
+#: Every concrete kernel name the engines accept.
+KERNELS = (BITSET_KERNEL, PYTHON_KERNEL, DENSE_KERNEL)
 #: What engines run when no kernel is requested.
 DEFAULT_KERNEL = BITSET_KERNEL
+#: The size-based kernel policy: resolved per instance, never run as-is.
+AUTO_KERNEL = "auto"
+#: What requests/CLI may carry: every kernel plus the auto policy.
+KERNEL_CHOICES = KERNELS + (AUTO_KERNEL,)
+#: ``kernel="auto"`` selects the dense kernel at or above this answer-set
+#: size, provided numpy is importable (the stdlib fallback tracks the
+#: bitset kernel, so switching without numpy buys nothing).  Calibrated
+#: on the ``dense_scaling`` benchmark: at 64k elements the two kernels
+#: are at parity, from ~10^5 dense wins ~3x, at 10^6 ~4.5x.
+DENSE_AUTO_THRESHOLD = 1 << 16
 
 #: Bit offsets set in each possible byte value; drives the dense-sum path.
 _BYTE_BITS: tuple[tuple[int, ...], ...] = tuple(
@@ -66,13 +84,29 @@ _BYTE_BITS: tuple[tuple[int, ...], ...] = tuple(
 _SPARSE_LIMIT = 96
 
 
-def resolve_kernel(kernel: str | None) -> str:
-    """Validate a kernel name; ``None`` resolves to :data:`DEFAULT_KERNEL`."""
+def resolve_kernel(kernel: str | None, n: int | None = None) -> str:
+    """Resolve a kernel request to the concrete kernel an engine will run.
+
+    ``None`` resolves to :data:`DEFAULT_KERNEL`.  ``"auto"`` applies the
+    size policy: :data:`DENSE_KERNEL` when the instance size *n* is known,
+    at least :data:`DENSE_AUTO_THRESHOLD`, and numpy is available —
+    otherwise the default.  Concrete names pass through after validation.
+    Every layer that resolves (pool construction, merge engine, service
+    cache keys) passes the same *n*, so one request resolves identically
+    everywhere.
+    """
     if kernel is None:
+        return DEFAULT_KERNEL
+    if kernel == AUTO_KERNEL:
+        if n is not None and n >= DENSE_AUTO_THRESHOLD:
+            from repro.core.dense import numpy_enabled
+
+            if numpy_enabled():
+                return DENSE_KERNEL
         return DEFAULT_KERNEL
     if kernel not in KERNELS:
         raise InvalidParameterError(
-            "unknown kernel %r; expected one of %r" % (kernel, KERNELS)
+            "unknown kernel %r; expected one of %r" % (kernel, KERNEL_CHOICES)
         )
     return kernel
 
@@ -126,3 +160,27 @@ def mask_value_sum(values: Sequence[float], mask: int) -> float:
                 total += values[base + offset]
         base += 8
     return total
+
+
+class _IntMaskOps:
+    """Cold-path helpers over int masks (the bitset kernel's counterpart
+    to :data:`repro.core.dense.DENSE_MASK_OPS`; hot paths use the int
+    operators directly)."""
+
+    __slots__ = ()
+
+    @staticmethod
+    def empty(nbits: int) -> int:
+        return 0
+
+    @staticmethod
+    def test(mask: int, index: int) -> bool:
+        return bool((mask >> index) & 1)
+
+    @staticmethod
+    def indices(mask: int) -> Iterator[int]:
+        return iter_bits(mask)
+
+
+#: The int-mask kernels' engine-facing cold-path helpers.
+INT_MASK_OPS = _IntMaskOps()

@@ -14,11 +14,13 @@ search below adds sound pruning that preserves exactness:
 * Once coverage is complete, optional extra clusters are only explored in
   canonical (pattern-sorted) order to avoid enumerating permutations.
 
-Like the greedy algorithms, the search runs on one of two kernels: the
+Like the greedy algorithms, the search runs on one of three kernels: the
 default ``"bitset"`` kernel keeps the covered set as an int mask — set
 difference, branching target selection, and pruning all become single
 machine-word operations, and backtracking is free because masks are
-immutable values — while ``"python"`` keeps the original set-based search
+immutable values — ``"dense"`` runs the identical search on packed
+uint64-block masks (:mod:`repro.core.dense`; it needs a pool built with
+``kernel="dense"``), and ``"python"`` keeps the original set-based search
 as the ablation baseline.
 
 The trivial **lower bound** baseline is the all-star cluster, feasible for
@@ -28,10 +30,60 @@ every (k, L, D); its value is the global average of S.
 from __future__ import annotations
 
 from repro.common.errors import InvalidParameterError
-from repro.core.bitset import BITSET_KERNEL, resolve_kernel
+from repro.core.bitset import (
+    DENSE_KERNEL,
+    PYTHON_KERNEL,
+    iter_bits,
+    resolve_kernel,
+)
 from repro.core.cluster import Cluster, comparable, distance
+from repro.core.dense import first_n_blocks, zero_blocks
 from repro.core.semilattice import ClusterPool
 from repro.core.solution import Solution
+
+
+class _IntSearchOps:
+    """Mask helpers for the int-bitmask search (the bitset kernel)."""
+
+    __slots__ = ()
+
+    @staticmethod
+    def first_n(count: int, nbits: int) -> int:
+        return (1 << count) - 1
+
+    @staticmethod
+    def empty(nbits: int) -> int:
+        return 0
+
+    @staticmethod
+    def indices(mask: int):
+        return iter_bits(mask)
+
+    @staticmethod
+    def lowest_bit(mask: int) -> int:
+        return (mask & -mask).bit_length() - 1
+
+
+class _DenseSearchOps:
+    """Mask helpers for the packed-block search (the dense kernel)."""
+
+    __slots__ = ()
+
+    @staticmethod
+    def first_n(count: int, nbits: int):
+        return first_n_blocks(count, nbits)
+
+    @staticmethod
+    def empty(nbits: int):
+        return zero_blocks(nbits)
+
+    @staticmethod
+    def indices(mask):
+        return mask.indices()
+
+    @staticmethod
+    def lowest_bit(mask) -> int:
+        return mask.lowest_bit()
 
 
 def lower_bound(pool: ClusterPool) -> Solution:
@@ -138,23 +190,28 @@ class _Search:
         covered.difference_update(fresh)
 
 
-class _BitsetSearch:
-    """The same exact search on the bitset kernel.
+class _MaskedSearch:
+    """The same exact search on a mask kernel (bitset or dense).
 
-    The covered union is an int mask passed down the recursion (no
+    The covered union is an immutable mask passed down the recursion (no
     mutate-and-undo), the branch target is the lowest set bit of
     ``top_mask & ~covered``, and marginal value sums run over set bits
-    only.  Candidate order, pruning bounds, and the 1e-12 improvement
-    threshold are identical to :class:`_Search`, so both kernels find the
-    same optimum.
+    only.  The mask representation — int bitmask or packed uint64 blocks
+    — is abstracted behind a tiny *ops* adapter (:class:`_IntSearchOps` /
+    :class:`_DenseSearchOps`); candidate order, pruning bounds, and the
+    1e-12 improvement threshold are identical to :class:`_Search`, so
+    every kernel finds the same optimum.
     """
 
-    def __init__(self, pool: ClusterPool, k: int, L: int, D: int) -> None:
+    def __init__(
+        self, pool: ClusterPool, k: int, L: int, D: int, ops=_IntSearchOps()
+    ) -> None:
         self.pool = pool
         self.k = k
         self.D = D
         self.answers = pool.answers
-        self.top_mask = (1 << L) - 1
+        self.ops = ops
+        self.top_mask = ops.first_n(L, pool.answers.n)
         self.candidates: list[Cluster] = sorted(
             (pool.cluster(p) for p in pool.patterns()),
             key=lambda c: (-c.avg, c.pattern),
@@ -165,12 +222,8 @@ class _BitsetSearch:
         self.by_element: dict[int, list[Cluster]] = {}
         for cluster in self.candidates:
             hits = cluster.mask & self.top_mask
-            while hits:
-                low = hits & -hits
-                self.by_element.setdefault(
-                    low.bit_length() - 1, []
-                ).append(cluster)
-                hits ^= low
+            for index in ops.indices(hits):
+                self.by_element.setdefault(index, []).append(cluster)
         self.best_avg = float("-inf")
         self.best: list[Cluster] | None = None
         self.nodes = 0
@@ -184,7 +237,7 @@ class _BitsetSearch:
         return True
 
     def record(
-        self, chosen: list[Cluster], covered: int, total: float
+        self, chosen: list[Cluster], covered, total: float
     ) -> None:
         count = covered.bit_count()
         if not count:
@@ -197,7 +250,7 @@ class _BitsetSearch:
     def extend(
         self,
         chosen: list[Cluster],
-        covered: int,
+        covered,
         total: float,
         next_candidate: int,
     ) -> None:
@@ -225,7 +278,7 @@ class _BitsetSearch:
         )
         if max(current_avg, self.max_candidate_avg) <= self.best_avg + 1e-12:
             return
-        target = (missing & -missing).bit_length() - 1
+        target = self.ops.lowest_bit(missing)
         for cluster in self.by_element.get(target, ()):
             if not self.compatible(chosen, cluster):
                 continue
@@ -234,7 +287,7 @@ class _BitsetSearch:
     def _descend(
         self,
         chosen: list[Cluster],
-        covered: int,
+        covered,
         total: float,
         cluster: Cluster,
         next_candidate: int,
@@ -265,12 +318,22 @@ def brute_force(
     """
     if k < 1:
         raise InvalidParameterError("k=%d must be >= 1" % k)
-    if resolve_kernel(kernel) == BITSET_KERNEL:
-        search = _BitsetSearch(pool, k, pool.L, D)
-        search.extend([], 0, 0.0, 0)
-    else:
+    resolved = resolve_kernel(kernel, n=pool.answers.n)
+    if resolved == PYTHON_KERNEL:
         search = _Search(pool, k, pool.L, D)
         search.extend([], set(), 0.0, 0)
+    else:
+        dense = resolved == DENSE_KERNEL
+        if dense != (pool.kernel == DENSE_KERNEL):
+            raise InvalidParameterError(
+                "kernel=%r needs cluster masks in its own representation, "
+                "but the pool was built with kernel=%r; construct "
+                "ClusterPool(..., kernel=%r)" % (resolved, pool.kernel,
+                                                 resolved)
+            )
+        ops = _DenseSearchOps() if dense else _IntSearchOps()
+        search = _MaskedSearch(pool, k, pool.L, D, ops=ops)
+        search.extend([], ops.empty(pool.answers.n), 0.0, 0)
     if search.best is None:
         return lower_bound(pool)
     return Solution.from_clusters(search.best, pool.answers)

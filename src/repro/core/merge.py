@@ -15,19 +15,27 @@ Evaluation is the hot path, and two layers of optimization live here:
   instead of recomputing from scratch.  Controlled by ``use_delta``; the
   naive recompute path is kept for the Figure 8b ablation.
 
-* **The bitset kernel + incremental pair cache** (``kernel="bitset"``, the
-  default): covered sets are int bitmasks (:mod:`repro.core.bitset`), so
-  marginal counts are one ``bit_count()`` and marginal sums iterate only
-  set bits; and the engine maintains a persistent *pair table* — for every
-  unordered pair of solution clusters, its distance and its LCA cluster —
-  updated in O(|O|) per merge instead of being re-derived for all
-  O(|O|^2) pairs in every greedy round.  ``kernel="python"`` preserves the
-  original pure-Python set implementation as the ablation baseline.  The
-  two kernels run the same greedy logic with the same tie-break keys and
-  produce identical solutions whenever value sums are exact (integer or
-  dyadic-rational values — property-tested); on arbitrary floats they
-  accumulate sums in different orders, so a mathematically exact tie can,
-  in principle, break differently at the last ulp.
+* **The mask kernels + incremental pair cache** (``kernel="bitset"``, the
+  default, or ``kernel="dense"``): covered sets are bitmasks — arbitrary-
+  precision ints (:mod:`repro.core.bitset`) or packed uint64 blocks with
+  numpy-vectorized primitives (:mod:`repro.core.dense`, built for
+  n >= 10^5) — so marginal counts are one ``bit_count()`` and marginal
+  sums run over set bits only; and the engine maintains a persistent
+  *pair table* — for every unordered pair of solution clusters, its
+  distance and its LCA cluster — updated in O(|O|) per merge instead of
+  being re-derived for all O(|O|^2) pairs in every greedy round.  Both
+  mask kernels share this entire code path (the mask objects expose the
+  same operators); a dense engine requires a pool built with
+  ``kernel="dense"`` so the cluster masks match its representation.
+  ``kernel="python"`` preserves the original pure-Python set
+  implementation as the ablation baseline.  All kernels run the same
+  greedy logic with the same tie-break keys and produce identical
+  solutions whenever value sums are exact (integer or dyadic-rational
+  values — property-tested); ``bitset`` and ``dense`` sum in the same
+  ascending index order and are float-identical to each other always,
+  while on arbitrary floats the ``python`` kernel accumulates in a
+  different order, so a mathematically exact tie can, in principle,
+  break differently at the last ulp.
 
 * **The lazy upper-bound heap argmax** (``argmax="heap"``, the default on
   the bitset kernel whenever no element value is negative): instead of
@@ -88,7 +96,9 @@ from repro.common.errors import InvalidParameterError
 from repro.core.answers import AnswerSet
 from repro.core.bitset import (
     BITSET_KERNEL,
-    iter_bits,
+    DENSE_KERNEL,
+    INT_MASK_OPS,
+    PYTHON_KERNEL,
     resolve_kernel,
 )
 from repro.core.cluster import (
@@ -116,9 +126,11 @@ def resolve_argmax(argmax: str | None, kernel: str, answers: AnswerSet) -> str:
     """Resolve an argmax request to the concrete mode an engine will run.
 
     ``None``/``"auto"`` chooses :data:`HEAP_ARGMAX` exactly when it is
-    sound and implemented — the bitset kernel (the heap lives on the pair
-    table) with no negative element value (marginal sums must be monotone
-    non-increasing for stale bounds to stay upper bounds) — and
+    sound and implemented — a mask kernel (``bitset`` or ``dense``; the
+    heap lives on the pair table) with no negative element value
+    (marginal sums must be monotone non-increasing for stale bounds to
+    stay upper bounds; both mask kernels sum in ascending index order,
+    which preserves that monotonicity in floats) — and
     :data:`SCAN_ARGMAX` otherwise.  An explicit ``"heap"`` that cannot be
     honored is an :class:`~repro.common.errors.InvalidParameterError`
     rather than a silent fallback: the caller asked for a specific
@@ -130,14 +142,15 @@ def resolve_argmax(argmax: str | None, kernel: str, answers: AnswerSet) -> str:
         raise InvalidParameterError(
             "unknown argmax %r; expected one of %r" % (argmax, ARGMAX_MODES)
         )
-    heap_ok = kernel == BITSET_KERNEL and answers.min_value >= 0.0
+    heap_ok = kernel != PYTHON_KERNEL and answers.min_value >= 0.0
     if argmax == AUTO_ARGMAX:
         return HEAP_ARGMAX if heap_ok else SCAN_ARGMAX
     if argmax == HEAP_ARGMAX and not heap_ok:
-        if kernel != BITSET_KERNEL:
+        if kernel == PYTHON_KERNEL:
             raise InvalidParameterError(
-                "argmax='heap' requires kernel='bitset' (the heap indexes "
-                "the pair table); got kernel=%r" % kernel
+                "argmax='heap' requires a mask kernel ('bitset' or "
+                "'dense'; the heap indexes the pair table); got "
+                "kernel=%r" % kernel
             )
         raise InvalidParameterError(
             "argmax='heap' requires non-negative element values (stale "
@@ -255,30 +268,54 @@ class MergeEngine:
         self.pool = pool
         self.answers: AnswerSet = pool.answers
         self.use_delta = use_delta
-        self.kernel = resolve_kernel(kernel)
-        self._bitset = self.kernel == BITSET_KERNEL
+        self.kernel = resolve_kernel(kernel, n=pool.answers.n)
+        self._masked = self.kernel != PYTHON_KERNEL
+        if self._masked:
+            pool_dense = (
+                getattr(pool, "kernel", BITSET_KERNEL) == DENSE_KERNEL
+            )
+            if pool_dense != (self.kernel == DENSE_KERNEL):
+                raise InvalidParameterError(
+                    "kernel=%r needs cluster masks in its own "
+                    "representation, but the pool was built with "
+                    "kernel=%r; construct ClusterPool(..., kernel=%r) "
+                    "(or go through ProblemInstance.pool_for)"
+                    % (self.kernel, getattr(pool, "kernel", BITSET_KERNEL),
+                       self.kernel)
+                )
+        if self.kernel == DENSE_KERNEL:
+            from repro.core.dense import DENSE_MASK_OPS
+
+            self._ops = DENSE_MASK_OPS
+        else:
+            self._ops = INT_MASK_OPS
         self.argmax = resolve_argmax(argmax, self.kernel, self.answers)
         self._heap_argmax = self.argmax == HEAP_ARGMAX
         #: One lazy heap per distance filter (None = unfiltered phase 2).
         self._heaps: dict[int | None, _ArgmaxHeap] = {}
         #: Greedy-argmax counters: rounds served, groups a scan would have
-        #: evaluated, marginals actually evaluated.  Snapshot() attaches a
-        #: copy so services can surface the pruning ratio.
+        #: evaluated, marginals actually evaluated, plus the lazy heap's
+        #: frontier width (total and per-round max of heap entries popped
+        #: per argmax round — the evidence behind the ROADMAP's "is the
+        #: frontier wide enough for a convex-hull argmax" question).
+        #: Snapshot() attaches a copy so services can surface the ratios.
         self.stats: dict[str, float] = {
             "argmax_rounds": 0.0,
             "argmax_groups": 0.0,
             "argmax_evals": 0.0,
             "argmax_skips": 0.0,
+            "argmax_pops": 0.0,
+            "argmax_pops_max": 0.0,
         }
         self._solution: dict[Pattern, Cluster] = {}
         self.rounds: int = 0
         self._delta_cache: dict[Pattern, _DeltaState] = {}
         self._covered_sum: float = 0.0
-        if self._bitset:
+        if self._masked:
             self._pairs: dict[tuple[Pattern, Pattern], _PairRow] | None = {}
             self._by_lca: dict[Pattern, _LcaGroup] | None = {}
             self._covered: set[int] | None = None
-            self._covered_mask = 0
+            self._covered_mask = self._ops.empty(self.answers.n)
             self._last_diff: list[int] = []
             for cluster in clusters:
                 if cluster.pattern in self._solution:
@@ -326,26 +363,26 @@ class MergeEngine:
 
     @property
     def covered_count(self) -> int:
-        if self._bitset:
+        if self._masked:
             return self._covered_mask.bit_count()
         return len(self._covered)
 
     def is_covered(self, index: int) -> bool:
         """True if element *index* is covered by the current solution."""
-        if self._bitset:
-            return bool((self._covered_mask >> index) & 1)
+        if self._masked:
+            return self._ops.test(self._covered_mask, index)
         return index in self._covered
 
     def is_fully_covered(self, cluster: Cluster) -> bool:
         """True if every element of cov(*cluster*) is already covered."""
-        if self._bitset:
+        if self._masked:
             return not (cluster.mask & ~self._covered_mask)
         return all(index in self._covered for index in cluster.covered)
 
     def covered_indices(self) -> frozenset[int]:
         """The covered union T as a frozenset of element indices."""
-        if self._bitset:
-            return frozenset(iter_bits(self._covered_mask))
+        if self._masked:
+            return frozenset(self._ops.indices(self._covered_mask))
         return frozenset(self._covered)
 
     def clone(self) -> "MergeEngine":
@@ -364,7 +401,8 @@ class MergeEngine:
         twin.answers = self.answers
         twin.use_delta = self.use_delta
         twin.kernel = self.kernel
-        twin._bitset = self._bitset
+        twin._masked = self._masked
+        twin._ops = self._ops
         twin.argmax = self.argmax
         twin._heap_argmax = self._heap_argmax
         twin._heaps = {}
@@ -414,6 +452,13 @@ class MergeEngine:
         )
         stats = dict(self.stats)
         stats["argmax_heap"] = 1.0 if self._heap_argmax else 0.0
+        # Frontier width: mean heap entries popped per argmax round (the
+        # max rides in argmax_pops_max); 0.0 under the scan argmax.
+        stats["argmax_pops_mean"] = (
+            stats["argmax_pops"] / stats["argmax_rounds"]
+            if stats["argmax_rounds"]
+            else 0.0
+        )
         return Solution(
             tuple(ordered),
             self.covered_indices(),
@@ -425,7 +470,7 @@ class MergeEngine:
 
     def _marginal(self, candidate: Cluster) -> tuple[float, int]:
         """(sum, count) of cov(candidate) \\ T, via delta judgment or naively."""
-        if self._bitset:
+        if self._masked:
             return self._marginal_bitset(candidate)
         values = self.answers.values
         if not self.use_delta:
@@ -814,6 +859,7 @@ class MergeEngine:
         best_avg = float("-inf")
         evals = 0
         skips = 0
+        pops = 0
         touched: set[Pattern] = set()
         repush: list[tuple[float, Pattern]] = []
         while entries:
@@ -822,9 +868,11 @@ class MergeEngine:
             info = meta.get(pattern)
             if group is None or info is None or info[0] != -neg_priority:
                 heappop(entries)  # dissolved group or superseded entry
+                pops += 1
                 continue
             if pattern in touched:
                 heappop(entries)  # same-priority duplicate, handled above
+                pops += 1
                 continue
             if best_group is not None:
                 if (-neg_priority + drift) * _DRIFT_SLACK < best_avg:
@@ -839,12 +887,14 @@ class MergeEngine:
                     # Refined skip: provably cannot win or tie; sink the
                     # entry to its current bound and move on unevaluated.
                     heappop(entries)
+                    pops += 1
                     skips += 1
                     touched.add(pattern)
                     meta[pattern] = (refined, stale_sum, stale_mass)
                     repush.append((-refined, pattern))
                     continue
             heappop(entries)
+            pops += 1
             delta_sum, delta_cnt = marginal(group[1])
             if not fresh_build:
                 # On a build round every state was just stamped by
@@ -870,6 +920,9 @@ class MergeEngine:
         self.stats["argmax_groups"] += len(meta)
         self.stats["argmax_evals"] += evals
         self.stats["argmax_skips"] += skips
+        self.stats["argmax_pops"] += pops
+        if pops > self.stats["argmax_pops_max"]:
+            self.stats["argmax_pops_max"] = float(pops)
         if best_group is None:
             return None
         row = best_group[2][min(best_group[2])]
@@ -979,7 +1032,7 @@ class MergeEngine:
         of growing with the engine's lifetime.
         """
         self.rounds += 1
-        if self._bitset:
+        if self._masked:
             self._cover_log[self.rounds] = self._covered_mask
             self._diff_since_cache.clear()
             if self.rounds % 64 == 0 and len(self._cover_log) > 64:
@@ -998,7 +1051,7 @@ class MergeEngine:
 
     def _absorb_coverage(self, merged: Cluster) -> None:
         """Fold cov(*merged*) into T, recording the per-round difference."""
-        if self._bitset:
+        if self._masked:
             fresh = merged.mask & ~self._covered_mask
             if fresh:
                 self._covered_mask |= fresh

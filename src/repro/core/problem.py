@@ -20,6 +20,7 @@ from typing import Literal
 
 from repro.common.errors import InvalidParameterError
 from repro.core.answers import AnswerSet
+from repro.core.bitset import DENSE_KERNEL, PYTHON_KERNEL, resolve_kernel
 from repro.core.registry import (
     AlgorithmsView,
     get_algorithm,
@@ -63,6 +64,7 @@ class ProblemInstance:
     mapping: MappingStrategy = "eager"
     mask_only: bool = False
     _pool: ClusterPool | None = field(default=None, repr=False)
+    _dense_pool: ClusterPool | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         n, m = self.answers.n, self.answers.m
@@ -89,15 +91,56 @@ class ProblemInstance:
 
     @property
     def pool(self) -> ClusterPool:
-        """The cluster pool for (S, L), built on first access."""
-        if self._pool is None or self._pool.L != self.L:
-            self._pool = ClusterPool(
-                self.answers,
-                self.L,
-                strategy=self.mapping,
-                mask_only=self.mask_only,
-            )
-        return self._pool
+        """The cluster pool for (S, L), built on first access (the int
+        mask representation shared by the bitset/python kernels)."""
+        return self.pool_for(None)
+
+    def pool_for(self, kernel: str | None) -> ClusterPool:
+        """The cluster pool whose mask representation matches *kernel*.
+
+        The bitset and python kernels share int-bitmask pools; the dense
+        kernel needs packed-block masks, so it gets (and caches) its own
+        pool.  The python kernel only consumes frozenset coverage, which
+        both representations serve identically, so it reuses whichever
+        pool already exists.  ``kernel="auto"`` resolves through the
+        size policy first (:func:`repro.core.bitset.resolve_kernel`), so
+        the pool a runner sees always agrees with the kernel its merge
+        engine resolves.
+        """
+        resolved = resolve_kernel(kernel, n=self.answers.n)
+        want_dense = resolved == DENSE_KERNEL
+        tolerant = resolved == PYTHON_KERNEL
+        for candidate in (self._pool, self._dense_pool):
+            if candidate is None or candidate.L != self.L:
+                continue
+            if tolerant or (candidate.kernel == DENSE_KERNEL) == want_dense:
+                return candidate
+        built = ClusterPool(
+            self.answers,
+            self.L,
+            strategy=self.mapping,
+            mask_only=self.mask_only,
+            kernel=DENSE_KERNEL if want_dense else None,
+        )
+        if want_dense:
+            self._dense_pool = built
+        else:
+            self._pool = built
+        return built
+
+    def adopt_pool(self, pool: ClusterPool) -> None:
+        """Seed an externally built pool into its representation's slot.
+
+        The service engine and exploration sessions check pools out of
+        their own caches; this keeps the slot-selection invariant (dense
+        pools in ``_dense_pool``, int pools in ``_pool``) in one place
+        so :meth:`pool_for` finds the adopted pool instead of building a
+        duplicate.
+        """
+        if pool.kernel == DENSE_KERNEL:
+            self._dense_pool = pool
+        else:
+            self._pool = pool
 
     def solve(self, algorithm: AlgorithmName = "hybrid", **kwargs) -> Solution:
         """Run the chosen algorithm; see :func:`repro.core.registry.algorithm_names`."""
@@ -115,7 +158,12 @@ class ProblemInstance:
 def _run_bottom_up(instance: ProblemInstance, **kwargs) -> Solution:
     from repro.core.bottom_up import bottom_up
 
-    return bottom_up(instance.pool, instance.k, instance.D, **kwargs)
+    return bottom_up(
+        instance.pool_for(kwargs.get("kernel")),
+        instance.k,
+        instance.D,
+        **kwargs,
+    )
 
 
 @register_algorithm(
@@ -128,7 +176,12 @@ def _run_bottom_up(instance: ProblemInstance, **kwargs) -> Solution:
 def _run_bottom_up_level(instance: ProblemInstance, **kwargs) -> Solution:
     from repro.core.bottom_up import bottom_up_level_start
 
-    return bottom_up_level_start(instance.pool, instance.k, instance.D, **kwargs)
+    return bottom_up_level_start(
+        instance.pool_for(kwargs.get("kernel")),
+        instance.k,
+        instance.D,
+        **kwargs,
+    )
 
 
 @register_algorithm(
@@ -141,7 +194,12 @@ def _run_bottom_up_level(instance: ProblemInstance, **kwargs) -> Solution:
 def _run_bottom_up_pairwise(instance: ProblemInstance, **kwargs) -> Solution:
     from repro.core.bottom_up import bottom_up_pairwise_avg
 
-    return bottom_up_pairwise_avg(instance.pool, instance.k, instance.D, **kwargs)
+    return bottom_up_pairwise_avg(
+        instance.pool_for(kwargs.get("kernel")),
+        instance.k,
+        instance.D,
+        **kwargs,
+    )
 
 
 @register_algorithm(
@@ -157,7 +215,12 @@ def _run_bottom_up_pairwise(instance: ProblemInstance, **kwargs) -> Solution:
 def _run_fixed_order(instance: ProblemInstance, **kwargs) -> Solution:
     from repro.core.fixed_order import fixed_order
 
-    return fixed_order(instance.pool, instance.k, instance.D, **kwargs)
+    return fixed_order(
+        instance.pool_for(kwargs.get("kernel")),
+        instance.k,
+        instance.D,
+        **kwargs,
+    )
 
 
 @register_algorithm(
@@ -170,7 +233,12 @@ def _run_fixed_order(instance: ProblemInstance, **kwargs) -> Solution:
 def _run_random_fixed_order(instance: ProblemInstance, **kwargs) -> Solution:
     from repro.core.fixed_order import random_fixed_order
 
-    return random_fixed_order(instance.pool, instance.k, instance.D, **kwargs)
+    return random_fixed_order(
+        instance.pool_for(kwargs.get("kernel")),
+        instance.k,
+        instance.D,
+        **kwargs,
+    )
 
 
 @register_algorithm(
@@ -183,7 +251,12 @@ def _run_random_fixed_order(instance: ProblemInstance, **kwargs) -> Solution:
 def _run_kmeans_fixed_order(instance: ProblemInstance, **kwargs) -> Solution:
     from repro.core.fixed_order import kmeans_fixed_order
 
-    return kmeans_fixed_order(instance.pool, instance.k, instance.D, **kwargs)
+    return kmeans_fixed_order(
+        instance.pool_for(kwargs.get("kernel")),
+        instance.k,
+        instance.D,
+        **kwargs,
+    )
 
 
 @register_algorithm(
@@ -196,7 +269,12 @@ def _run_kmeans_fixed_order(instance: ProblemInstance, **kwargs) -> Solution:
 def _run_hybrid(instance: ProblemInstance, **kwargs) -> Solution:
     from repro.core.hybrid import hybrid
 
-    return hybrid(instance.pool, instance.k, instance.D, **kwargs)
+    return hybrid(
+        instance.pool_for(kwargs.get("kernel")),
+        instance.k,
+        instance.D,
+        **kwargs,
+    )
 
 
 @register_algorithm(
@@ -209,7 +287,12 @@ def _run_hybrid(instance: ProblemInstance, **kwargs) -> Solution:
 def _run_brute_force(instance: ProblemInstance, **kwargs) -> Solution:
     from repro.core.brute_force import brute_force
 
-    return brute_force(instance.pool, instance.k, instance.D, **kwargs)
+    return brute_force(
+        instance.pool_for(kwargs.get("kernel")),
+        instance.k,
+        instance.D,
+        **kwargs,
+    )
 
 
 @register_algorithm(

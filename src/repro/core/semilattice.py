@@ -30,9 +30,16 @@ from this (Figure 8a).
 All three produce identical :class:`~repro.core.cluster.Cluster` objects,
 which property tests verify.
 
-Independently of the strategy, ``mask_only=True`` switches the pool to its
-low-memory mode: per-pattern coverage is stored *only* as int bitmasks
-(the bitset kernel's working representation) and the per-pattern
+Independently of the strategy, ``kernel=`` selects the pool's *mask
+representation*: int bitmasks (the default, shared by the bitset and
+python kernels) or packed uint64 blocks when ``kernel="dense"`` — the
+working representation of :mod:`repro.core.dense`, built vectorized when
+numpy is available.  A :class:`~repro.core.merge.MergeEngine` requires a
+pool whose representation matches its kernel.
+
+Also independently, ``mask_only=True`` switches the pool to its
+low-memory mode: per-pattern coverage is stored *only* as bitmasks
+(the mask kernels' working representation) and the per-pattern
 ``frozenset`` index sets are never materialized at initialization —
 roughly halving init memory at large L, since most pool patterns are never
 touched again after mapping.  The ``coverage()``/``cluster()`` API is
@@ -49,8 +56,9 @@ from typing import Iterable, Literal
 from repro.common.errors import InvalidParameterError
 from repro.common.interning import STAR
 from repro.core.answers import AnswerSet
-from repro.core.bitset import bitset_of, iter_bits
+from repro.core.bitset import DENSE_KERNEL, bitset_of, resolve_kernel
 from repro.core.cluster import Cluster, Pattern, covers, generalizations
+from repro.core.dense import blocks_of, mask_indices
 
 MappingStrategy = Literal["eager", "naive", "lazy"]
 
@@ -79,6 +87,7 @@ class ClusterPool:
         strategy: MappingStrategy = "eager",
         fallback_capacity: int = FALLBACK_CACHE_SIZE,
         mask_only: bool = False,
+        kernel: str | None = None,
     ) -> None:
         if strategy not in _VALID_STRATEGIES:
             raise InvalidParameterError(
@@ -98,6 +107,16 @@ class ClusterPool:
         self.strategy = strategy
         self.fallback_capacity = fallback_capacity
         self.mask_only = bool(mask_only)
+        # The mask *representation* the pool builds: int bitmasks for the
+        # bitset/python kernels (they share storage), packed uint64 blocks
+        # for the dense kernel.  A merge engine requires a pool whose
+        # representation matches its kernel (MergeEngine validates).
+        self.kernel = resolve_kernel(kernel, n=answers.n)
+        if self.kernel == DENSE_KERNEL:
+            n = answers.n
+            self._pack = lambda ids: blocks_of(ids, n)
+        else:
+            self._pack = bitset_of
         self._patterns: set[Pattern] = set()
         for index in answers.top(L):
             self._patterns.update(generalizations(answers.elements[index]))
@@ -133,8 +152,9 @@ class ClusterPool:
         coverage = self._coverage
         masks = self._masks
         mask_only = self.mask_only
+        pack = self._pack
         for pattern, ids in buckets.items():
-            masks[pattern] = bitset_of(ids)
+            masks[pattern] = pack(ids)
             if not mask_only:
                 coverage[pattern] = frozenset(ids)
 
@@ -147,7 +167,7 @@ class ClusterPool:
                 for index, element in enumerate(elements)
                 if covers(pattern, element)
             ]
-            self._masks[pattern] = bitset_of(ids)
+            self._masks[pattern] = self._pack(ids)
             if not self.mask_only:
                 self._coverage[pattern] = frozenset(ids)
 
@@ -204,19 +224,20 @@ class ClusterPool:
         if mask is None:
             # Only reachable under the lazy strategy: eager/naive prefill.
             ids = frozenset(self._coverage_lazy(pattern))
-            self._masks[pattern] = bitset_of(ids)
+            self._masks[pattern] = self._pack(ids)
             if not self.mask_only:
                 self._coverage[pattern] = ids
             return ids
         # Mask-only pools derive the frozenset view on demand; callers
         # that need it repeatedly hold on to the materialized Cluster.
-        ids = frozenset(iter_bits(mask))
+        ids = frozenset(mask_indices(mask))
         if not self.mask_only:
             self._coverage[pattern] = ids
         return ids
 
-    def mask(self, pattern: Pattern) -> int:
-        """Coverage of *pattern* as an int bitmask (bitset kernel API)."""
+    def mask(self, pattern: Pattern):
+        """Coverage of *pattern* as a mask in the pool's representation:
+        an int bitmask, or packed uint64 blocks when ``kernel="dense"``."""
         cached = self._masks.get(pattern)
         if cached is not None:
             return cached
@@ -240,7 +261,7 @@ class ClusterPool:
             self._fallback.move_to_end(pattern)
             return cached
         covered = self._scan_coverage(pattern)
-        mask = bitset_of(covered)
+        mask = self._pack(covered)
         built = Cluster(
             pattern=pattern,
             covered=covered,
@@ -279,9 +300,10 @@ class ClusterPool:
         return self.cluster(tuple([STAR] * self.answers.m))
 
     def __repr__(self) -> str:
-        return "ClusterPool(L=%d, strategy=%s, patterns=%d%s)" % (
+        return "ClusterPool(L=%d, strategy=%s, patterns=%d%s%s)" % (
             self.L,
             self.strategy,
             len(self._patterns),
             ", mask_only" if self.mask_only else "",
+            ", kernel=dense" if self.kernel == DENSE_KERNEL else "",
         )

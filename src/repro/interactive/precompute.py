@@ -84,6 +84,13 @@ class SolutionStore:
     shared_phase_distance:
         D used during the shared Fixed-Order phase.  The default 0 is the
         most permissive; each per-D Bottom-Up run then enforces its own D.
+    kernel:
+        The sweep engines' evaluation kernel (``"bitset"``/``"python"``/
+        ``"dense"``/``"auto"``; see :func:`repro.core.bitset.resolve_kernel`).
+        A kernel resolving to ``"dense"`` needs *pool* built with
+        ``kernel="dense"`` (the merge engine validates); the service
+        layer's :meth:`repro.service.Engine.checkout_store` pairs them
+        automatically.
     """
 
     def __init__(

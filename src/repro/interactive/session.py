@@ -143,12 +143,17 @@ class ExplorationSession:
         instance = ProblemInstance(
             self.answers, k=k, L=L, D=D, mapping=self.mapping
         )
+        # Check out a pool in the requested kernel's mask representation
+        # (dense kernels get packed-block pools) so the engine cache is
+        # reused instead of the instance building its own.
         pool, init_seconds, cache_hit = self.engine.checkout_pool(
-            self.dataset, instance.L, self.mapping
+            self.dataset, instance.L, self.mapping,
+            kernel=kwargs.get("kernel"),
         )
         if not cache_hit:
             self._pool_seconds[instance.L] = init_seconds
-        instance._pool = pool  # reuse the engine cache
+        # Reuse the engine cache, seeding the matching representation slot.
+        instance.adopt_pool(pool)
         start = time.perf_counter()
         solution = instance.solve(algorithm, **kwargs)
         return TimedSolution(

@@ -31,7 +31,7 @@ from dataclasses import MISSING, asdict, dataclass, field, fields
 from typing import Any, Mapping, Sequence
 
 from repro.common.errors import SchemaError
-from repro.core.bitset import DEFAULT_KERNEL, KERNELS
+from repro.core.bitset import DEFAULT_KERNEL, KERNEL_CHOICES
 
 #: Version stamp carried by every wire message; bump on breaking changes.
 #: Because parsing is strict (unknown keys rejected), *adding* response
@@ -128,9 +128,10 @@ def _require_str(name: str, value: Any) -> None:
 
 
 def _require_kernel(value: Any) -> None:
-    if value not in KERNELS:
+    if value not in KERNEL_CHOICES:
         raise SchemaError(
-            "kernel must be one of %r, got %r" % (list(KERNELS), value)
+            "kernel must be one of %r, got %r"
+            % (list(KERNEL_CHOICES), value)
         )
 
 

@@ -11,9 +11,11 @@ rebuilding them.
 
 Cache keys pin down everything that changes the cached object's content:
 
-* pools are keyed by ``(dataset, L, mapping, mask_only)`` — the answer
-  set, the top-L slice the pool generalizes, the coverage-mapping
-  strategy, and whether frozenset coverage is materialized;
+* pools are keyed by ``(dataset, L, mapping, mask_only, mask_repr)`` —
+  the answer set, the top-L slice the pool generalizes, the
+  coverage-mapping strategy, whether frozenset coverage is materialized,
+  and the mask representation (``"int"`` for the bitset/python kernels,
+  ``"dense"`` for packed uint64-block pools);
 * stores are keyed by ``(dataset, L, mapping, mask_only, k_range,
   d_values, kernel, argmax)`` — everything the pool key pins plus the
   precompute sweep's parameter grid and the merge-engine substrate the
@@ -50,7 +52,7 @@ from typing import Any, Callable, Generic, Hashable, Sequence, TypeVar
 from repro.common.errors import InvalidParameterError, ReproError
 from repro.common.interning import STAR
 from repro.core.answers import AnswerSet
-from repro.core.bitset import resolve_kernel
+from repro.core.bitset import DENSE_KERNEL, resolve_kernel
 from repro.core.problem import ProblemInstance
 from repro.core.registry import validate_algorithm_kwargs
 from repro.core.semilattice import ClusterPool
@@ -209,7 +211,7 @@ class Engine:
     ----------
     max_pools:
         LRU bound on cached :class:`ClusterPool`s, keyed by
-        ``(dataset, L, mapping, mask_only)``.
+        ``(dataset, L, mapping, mask_only, mask_repr)``.
     max_stores:
         LRU bound on cached :class:`SolutionStore`s, keyed by
         ``(dataset, L, mapping, mask_only, k_range, d_values, kernel,
@@ -271,18 +273,27 @@ class Engine:
         L: int,
         mapping: str = "eager",
         mask_only: bool | None = None,
+        kernel: str | None = None,
     ) -> tuple[ClusterPool, float, bool]:
         """The cluster pool for (dataset, L) — ``(pool, init_seconds, hit)``.
 
         *mask_only* defaults to the engine-wide setting; passing an
         explicit value checks out (and caches) a pool in that mode.
+        *kernel* selects the pool's mask representation: the bitset and
+        python kernels share int-bitmask pools, while ``"dense"`` (or
+        ``"auto"`` resolving to it at this dataset's size) checks out a
+        packed-block pool.  The representation is part of the cache key,
+        so kernels never alias each other's pools.
         """
         answers = self.dataset(dataset)
         masked = self.mask_only if mask_only is None else bool(mask_only)
+        resolved = resolve_kernel(kernel, n=answers.n)
+        dense = resolved == DENSE_KERNEL
         return self._pools.get_or_build(
-            (dataset, L, mapping, masked),
+            (dataset, L, mapping, masked, "dense" if dense else "int"),
             lambda: ClusterPool(
-                answers, L, strategy=mapping, mask_only=masked
+                answers, L, strategy=mapping, mask_only=masked,
+                kernel=DENSE_KERNEL if dense else None,
             ),
         )
 
@@ -306,11 +317,11 @@ class Engine:
         """
         k_range = tuple(k_range)
         d_key = tuple(sorted(set(d_values)))
-        kernel = resolve_kernel(kernel)
+        kernel = resolve_kernel(kernel, n=self.dataset(dataset).n)
         argmax_key = "auto" if argmax is None else argmax
         masked = self.mask_only
         pool, pool_seconds, _pool_hit = self.checkout_pool(
-            dataset, L, mapping
+            dataset, L, mapping, kernel=kernel
         )
         store, store_seconds, store_hit = self._stores.get_or_build(
             (dataset, L, mapping, masked, k_range, d_key, kernel,
@@ -355,9 +366,11 @@ class Engine:
         answers = self.dataset(request.dataset)
         info = validate_algorithm_kwargs(request.algorithm, request.options)
         # Algorithms without a kernelized path (e.g. lower-bound) report
-        # "none" rather than pretending a kernel ran.
+        # "none" rather than pretending a kernel ran.  "auto" resolves
+        # here (against this dataset's n) so the checked-out pool, the
+        # merge engine, and the reported kernel all agree.
         kernel = (
-            resolve_kernel(request.options.get("kernel"))
+            resolve_kernel(request.options.get("kernel"), n=answers.n)
             if "kernel" in info.kwargs
             else "none"
         )
@@ -370,9 +383,12 @@ class Engine:
             mask_only=self.mask_only,
         )
         pool, init_seconds, cache_hit = self.checkout_pool(
-            request.dataset, instance.L, request.mapping
+            request.dataset,
+            instance.L,
+            request.mapping,
+            kernel=None if kernel == "none" else kernel,
         )
-        instance._pool = pool
+        instance.adopt_pool(pool)
         start = time.perf_counter()
         solution = instance.solve(request.algorithm, **request.options)
         algo_seconds = time.perf_counter() - start

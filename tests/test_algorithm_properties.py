@@ -178,43 +178,88 @@ def test_solution_clusters_come_from_pool(instance):
             assert cluster.pattern in pool
 
 
-# -- bitset kernel vs python kernel equivalence ------------------------------
+# -- kernel equivalence (bitset vs python vs dense, pairwise) ----------------
+
+#: Every concrete kernel, each run on a pool in its own representation.
+ALL_KERNELS = ("bitset", "python", "dense")
+
+
+def _pools_per_kernel(answers, L, mask_only=False):
+    """One pool per mask representation (python shares the int pool)."""
+    int_pool = ClusterPool(answers, L=L, mask_only=mask_only)
+    dense_pool = ClusterPool(
+        answers, L=L, mask_only=mask_only, kernel="dense"
+    )
+    return {"bitset": int_pool, "python": int_pool, "dense": dense_pool}
 
 
 @settings(max_examples=40, deadline=None)
 @given(dyadic_instances())
 def test_kernels_produce_identical_solutions(instance):
-    """The tentpole contract: ``kernel="bitset"`` and ``kernel="python"``
-    return bit-identical solutions for every algorithm, on both the
-    delta-judgment and the naive evaluation paths."""
+    """The tentpole contract: ``kernel="bitset"``, ``kernel="python"``,
+    and ``kernel="dense"`` return bit-identical solutions for every
+    algorithm, on both the delta-judgment and the naive evaluation
+    paths — so the three kernels are pairwise interchangeable."""
     answers, k, L, D = instance
-    pool = ClusterPool(answers, L=L)
+    pools = _pools_per_kernel(answers, L)
     runs = [
-        lambda kr: bottom_up(pool, k, D, kernel=kr),
-        lambda kr: bottom_up(pool, k, D, use_delta=False, kernel=kr),
-        lambda kr: bottom_up_level_start(pool, k, D, kernel=kr),
-        lambda kr: bottom_up_pairwise_avg(pool, k, D, kernel=kr),
-        lambda kr: fixed_order(pool, k, D, kernel=kr),
-        lambda kr: hybrid(pool, k, D, kernel=kr),
+        lambda kr: bottom_up(pools[kr], k, D, kernel=kr),
+        lambda kr: bottom_up(pools[kr], k, D, use_delta=False, kernel=kr),
+        lambda kr: bottom_up_level_start(pools[kr], k, D, kernel=kr),
+        lambda kr: bottom_up_pairwise_avg(pools[kr], k, D, kernel=kr),
+        lambda kr: fixed_order(pools[kr], k, D, kernel=kr),
+        lambda kr: hybrid(pools[kr], k, D, kernel=kr),
     ]
     for run in runs:
-        fast = run("bitset")
-        slow = run("python")
-        assert fast.patterns() == slow.patterns()
-        assert fast.covered == slow.covered
-        assert fast.value_sum == slow.value_sum
+        reference = run(ALL_KERNELS[0])
+        for kernel in ALL_KERNELS[1:]:
+            other = run(kernel)
+            assert other.patterns() == reference.patterns(), kernel
+            assert other.covered == reference.covered, kernel
+            assert other.value_sum == reference.value_sum, kernel
+
+
+@settings(max_examples=25, deadline=None)
+@given(dyadic_instances())
+def test_kernels_agree_on_mask_only_pools(instance):
+    """Mask-only pools (no frozenset materialization) keep all three
+    kernels bit-identical to the default-pool reference."""
+    answers, k, L, D = instance
+    reference = bottom_up(ClusterPool(answers, L=L), k, D)
+    pools = _pools_per_kernel(answers, L, mask_only=True)
+    for kernel in ALL_KERNELS:
+        solution = bottom_up(pools[kernel], k, D, kernel=kernel)
+        assert solution.patterns() == reference.patterns(), kernel
+        assert solution.value_sum == reference.value_sum, kernel
+
+
+@settings(max_examples=15, deadline=None)
+@given(dyadic_instances())
+def test_kernels_identical_on_array_fallback(instance):
+    """The dense kernel's stdlib array fallback (numpy disabled) is
+    bit-identical to the numpy backend and to the bitset kernel."""
+    from repro.core import dense
+
+    answers, k, L, D = instance
+    reference = bottom_up(ClusterPool(answers, L=L), k, D)
+    with dense.numpy_disabled():
+        pool = ClusterPool(answers, L=L, kernel="dense")
+        solution = bottom_up(pool, k, D, kernel="dense")
+    assert solution.patterns() == reference.patterns()
+    assert solution.value_sum == reference.value_sum
 
 
 @settings(max_examples=15, deadline=None)
 @given(dyadic_instances())
 def test_brute_force_kernels_agree(instance):
-    """The exact search finds the same optimum on both kernels."""
+    """The exact search finds the same optimum on all three kernels."""
     answers, _, L, D = instance
     L = min(L, 4)  # keep the exponential search tiny
-    pool = ClusterPool(answers, L=L)
-    fast = brute_force(pool, 2, D, kernel="bitset")
-    slow = brute_force(pool, 2, D, kernel="python")
-    assert fast.patterns() == slow.patterns()
+    pools = _pools_per_kernel(answers, L)
+    reference = brute_force(pools["bitset"], 2, D, kernel="bitset")
+    for kernel in ("python", "dense"):
+        other = brute_force(pools[kernel], 2, D, kernel=kernel)
+        assert other.patterns() == reference.patterns(), kernel
 
 
 # -- incremental pair cache vs full rescan -----------------------------------

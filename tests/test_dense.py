@@ -1,0 +1,397 @@
+"""Tests for the dense packed-array kernel: :mod:`repro.core.dense`
+primitives on both backends (numpy and the stdlib array fallback), the
+AnswerSet value table, dense ClusterPool construction, the auto kernel
+policy, engine/pool representation matching, and the frontier-width
+argmax counters."""
+
+from __future__ import annotations
+
+import random
+from array import array
+
+import pytest
+
+from repro.common.errors import InvalidParameterError
+from repro.core import dense
+from repro.core.answers import AnswerSet
+from repro.core.bitset import (
+    BITSET_KERNEL,
+    DENSE_AUTO_THRESHOLD,
+    DENSE_KERNEL,
+    KERNEL_CHOICES,
+    KERNELS,
+    bitset_of,
+    mask_value_sum,
+    resolve_kernel,
+)
+from repro.core.bottom_up import bottom_up
+from repro.core.brute_force import brute_force
+from repro.core.merge import MergeEngine
+from repro.core.semilattice import ClusterPool
+from tests.conftest import random_answer_set
+
+#: Both backends when numpy is importable, else just the fallback.
+BACKENDS = ("numpy", "array") if dense.HAVE_NUMPY else ("array",)
+
+
+def _backend(name):
+    """Context under which masks build on the requested backend."""
+    if name == "array":
+        return dense.numpy_disabled()
+    import contextlib
+
+    return contextlib.nullcontext()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBitBlocksPrimitives:
+    def test_roundtrip_and_popcount(self, backend):
+        with _backend(backend):
+            for nbits, indices in (
+                (1, []),
+                (8, [0]),
+                (64, [0, 63]),
+                (65, [0, 63, 64]),
+                (1000, [0, 1, 63, 64, 65, 999]),
+                (300, list(range(0, 300, 3))),
+            ):
+                mask = dense.blocks_of(indices, nbits)
+                assert list(mask.indices()) == sorted(indices)
+                assert mask.bit_count() == len(indices)
+                assert bool(mask) == bool(indices)
+                assert mask.nblocks == (nbits + 63) // 64
+                packed = mask.blocks()
+                assert isinstance(packed, array)
+                assert packed.typecode == "Q"
+                assert len(packed) == mask.nblocks
+
+    def test_operators_match_int_masks(self, backend):
+        rng = random.Random(11)
+        nbits = 500
+        a_ids = rng.sample(range(nbits), 120)
+        b_ids = rng.sample(range(nbits), 200)
+        ia, ib = bitset_of(a_ids), bitset_of(b_ids)
+        with _backend(backend):
+            ba = dense.blocks_of(a_ids, nbits)
+            bb = dense.blocks_of(b_ids, nbits)
+            for op in ("__and__", "__or__", "__xor__"):
+                expected = getattr(ia, op)(ib)
+                got = getattr(ba, op)(bb)
+                assert list(got.indices()) == list(
+                    dense.mask_indices(expected)
+                )
+            andnot = ba & ~bb
+            assert list(andnot.indices()) == list(
+                dense.mask_indices(ia & ~ib)
+            )
+            assert (~ba).bit_count() == nbits - len(a_ids)
+
+    def test_test_and_lowest_bit(self, backend):
+        with _backend(backend):
+            mask = dense.blocks_of([3, 70, 128], 200)
+            assert mask.test(3) and mask.test(70) and mask.test(128)
+            assert not mask.test(0) and not mask.test(199)
+            assert mask.lowest_bit() == 3
+            assert dense.zero_blocks(200).lowest_bit() == -1
+            assert dense.first_n_blocks(5, 200).bit_count() == 5
+
+    def test_equality_across_backends(self, backend):
+        ids = [1, 64, 129]
+        with _backend(backend):
+            first = dense.blocks_of(ids, 200)
+        second = dense.blocks_of(ids, 200)  # whatever backend is active
+        assert first == second
+        assert first != dense.blocks_of([1, 64], 200)
+
+    def test_value_sum_bit_identical_to_bitset(self, backend):
+        """Sparse and vectorized paths produce the exact floats of the
+        bitset kernel's ascending-order scalar sum."""
+        rng = random.Random(5)
+        nbits = 4000
+        values = [rng.uniform(0.0, 9.0) for _ in range(nbits)]
+        table = dense.ValueTable(values)
+        with _backend(backend):
+            for count in (0, 1, 30, 500, 3500):
+                ids = sorted(rng.sample(range(nbits), count))
+                int_sum = mask_value_sum(values, bitset_of(ids))
+                blocks_sum = dense.blocks_of(ids, nbits).value_sum(table)
+                assert blocks_sum == int_sum  # exact, not approx
+
+    def test_value_sum_monotone_under_superset(self, backend):
+        """Ascending sequential summation keeps subset sums dominated by
+        superset sums for non-negative values — the heap argmax's
+        soundness precondition — on both backends."""
+        rng = random.Random(13)
+        nbits = 2500
+        values = [rng.uniform(0.0, 1.0) for _ in range(nbits)]
+        table = dense.ValueTable(values)
+        with _backend(backend):
+            subset = sorted(rng.sample(range(nbits), 700))
+            superset = sorted(
+                set(subset) | set(rng.sample(range(nbits), 1200))
+            )
+            assert dense.blocks_of(subset, nbits).value_sum(
+                table
+            ) <= dense.blocks_of(superset, nbits).value_sum(table)
+
+
+class TestValueTable:
+    def test_packed_row_and_list(self):
+        table = dense.ValueTable([3.0, 1.5, 2.25])
+        assert isinstance(table.packed, array)
+        assert table.packed.typecode == "d"
+        assert list(table.packed) == [3.0, 1.5, 2.25]
+        assert len(table) == 3
+
+    @pytest.mark.skipif(not dense.HAVE_NUMPY, reason="needs numpy")
+    def test_np_view_is_zero_copy(self):
+        import numpy as np
+
+        table = dense.ValueTable([1.0, 2.0])
+        assert table.np_view.dtype == np.float64
+        assert table.np_view.tolist() == [1.0, 2.0]
+
+    def test_answer_set_value_table_cached(self):
+        answers = random_answer_set(n=10, m=3, domain=4, seed=1)
+        assert answers.value_table is answers.value_table
+        assert list(answers.value_table.packed) == answers.values
+
+    def test_answer_set_mask_value_sum_dispatch(self):
+        answers = random_answer_set(n=32, m=3, domain=4, seed=2)
+        ids = [1, 5, 17, 31]
+        expected = sum(answers.values[i] for i in ids)
+        assert answers.mask_value_sum(bitset_of(ids)) == pytest.approx(
+            expected
+        )
+        assert answers.mask_value_sum(
+            dense.blocks_of(ids, answers.n)
+        ) == pytest.approx(expected)
+
+
+class TestKernelResolution:
+    def test_kernel_names(self):
+        assert DENSE_KERNEL in KERNELS
+        assert "auto" in KERNEL_CHOICES
+        assert "auto" not in KERNELS
+
+    def test_explicit_names_pass_through(self):
+        for name in KERNELS:
+            assert resolve_kernel(name) == name
+            assert resolve_kernel(name, n=10**7) == name
+
+    def test_auto_policy(self):
+        small = resolve_kernel("auto", n=DENSE_AUTO_THRESHOLD - 1)
+        assert small == BITSET_KERNEL
+        large = resolve_kernel("auto", n=DENSE_AUTO_THRESHOLD)
+        if dense.numpy_enabled():
+            assert large == DENSE_KERNEL
+        else:
+            assert large == BITSET_KERNEL
+        # Unknown size: stay on the default rather than guessing.
+        assert resolve_kernel("auto") == BITSET_KERNEL
+
+    def test_auto_needs_numpy(self):
+        with dense.numpy_disabled():
+            assert (
+                resolve_kernel("auto", n=DENSE_AUTO_THRESHOLD)
+                == BITSET_KERNEL
+            )
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown kernel"):
+            resolve_kernel("numpy")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("strategy", ["eager", "naive", "lazy"])
+class TestDensePools:
+    def test_masks_match_bitset_pool(self, backend, strategy):
+        answers = random_answer_set(n=40, m=4, domain=3, seed=6)
+        reference = ClusterPool(answers, L=6, strategy=strategy)
+        with _backend(backend):
+            pool = ClusterPool(
+                answers, L=6, strategy=strategy, kernel="dense"
+            )
+            assert pool.kernel == DENSE_KERNEL
+            for pattern in pool.patterns():
+                mask = pool.mask(pattern)
+                assert isinstance(mask, dense.BitBlocks)
+                assert frozenset(mask.indices()) == reference.coverage(
+                    pattern
+                )
+                assert pool.coverage(pattern) == reference.coverage(pattern)
+                cluster = pool.cluster(pattern)
+                assert cluster.mask is mask or cluster.mask == mask
+                assert cluster.value_sum == pytest.approx(
+                    sum(answers.values[i] for i in cluster.covered)
+                )
+
+    def test_mask_only_dense_pool(self, backend, strategy):
+        answers = random_answer_set(n=30, m=3, domain=4, seed=8)
+        reference = ClusterPool(answers, L=5, strategy=strategy)
+        with _backend(backend):
+            pool = ClusterPool(
+                answers, L=5, strategy=strategy, mask_only=True,
+                kernel="dense",
+            )
+            for pattern in pool.patterns():
+                assert pool.coverage(pattern) == reference.coverage(pattern)
+
+
+class TestEnginePoolMatching:
+    def test_dense_engine_rejects_int_pool(self, tiny_answers):
+        pool = ClusterPool(tiny_answers, L=4)
+        with pytest.raises(InvalidParameterError, match="representation"):
+            MergeEngine(pool, (), kernel="dense")
+
+    def test_bitset_engine_rejects_dense_pool(self, tiny_answers):
+        pool = ClusterPool(tiny_answers, L=4, kernel="dense")
+        with pytest.raises(InvalidParameterError, match="representation"):
+            MergeEngine(pool, (), kernel="bitset")
+
+    def test_python_kernel_tolerates_dense_pool(self, tiny_answers):
+        dense_pool = ClusterPool(tiny_answers, L=4, kernel="dense")
+        int_pool = ClusterPool(tiny_answers, L=4)
+        fast = bottom_up(dense_pool, 2, 1, kernel="python")
+        slow = bottom_up(int_pool, 2, 1, kernel="python")
+        assert fast.patterns() == slow.patterns()
+
+    def test_brute_force_requires_matching_pool(self, tiny_answers):
+        pool = ClusterPool(tiny_answers, L=3)
+        with pytest.raises(InvalidParameterError, match="representation"):
+            brute_force(pool, 2, 1, kernel="dense")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_engine_accessors_on_dense_masks(self, tiny_answers, backend):
+        """The engine's mask-facing read API (is_covered, covered_count,
+        covered_indices, is_fully_covered) works on packed-block masks —
+        regression test: is_covered used the int-only shift expression."""
+        with _backend(backend):
+            pool = ClusterPool(tiny_answers, L=4, kernel="dense")
+            engine = MergeEngine(
+                pool, (pool.singleton(i) for i in range(4)), kernel="dense"
+            )
+            int_pool = ClusterPool(tiny_answers, L=4)
+            reference = MergeEngine(
+                int_pool, (int_pool.singleton(i) for i in range(4))
+            )
+            for index in range(tiny_answers.n):
+                assert engine.is_covered(index) == reference.is_covered(
+                    index
+                )
+            assert engine.covered_count == reference.covered_count
+            assert engine.covered_indices() == reference.covered_indices()
+            assert engine.is_fully_covered(pool.singleton(0))
+
+    def test_heap_argmax_allowed_on_dense(self, tiny_answers):
+        pool = ClusterPool(tiny_answers, L=4, kernel="dense")
+        engine = MergeEngine(
+            pool,
+            (pool.singleton(i) for i in range(4)),
+            kernel="dense",
+            argmax="heap",
+        )
+        assert engine.argmax == "heap"
+        assert engine.kernel == DENSE_KERNEL
+
+
+class TestProblemInstancePools:
+    def test_pool_for_caches_per_representation(self, small_answers):
+        from repro.core.problem import ProblemInstance
+
+        instance = ProblemInstance(small_answers, k=4, L=8, D=1)
+        int_pool = instance.pool_for("bitset")
+        dense_pool = instance.pool_for("dense")
+        assert int_pool.kernel != DENSE_KERNEL
+        assert dense_pool.kernel == DENSE_KERNEL
+        assert instance.pool_for("bitset") is int_pool
+        assert instance.pool_for("dense") is dense_pool
+        # The python kernel reuses whatever already exists.
+        assert instance.pool_for("python") in (int_pool, dense_pool)
+
+    def test_solve_with_dense_kernel(self, small_answers):
+        from repro.core.problem import ProblemInstance
+
+        instance = ProblemInstance(small_answers, k=4, L=8, D=1)
+        fast = instance.solve("bottom-up", kernel="dense")
+        slow = instance.solve("bottom-up", kernel="bitset")
+        assert fast.patterns() == slow.patterns()
+
+
+class TestFrontierWidthCounters:
+    def test_heap_records_pops(self, small_answers):
+        pool = ClusterPool(small_answers, L=10)
+        solution = bottom_up(pool, 3, 1, argmax="heap")
+        stats = solution.stats
+        # Build rounds evaluate without popping, so pops and evals are
+        # not ordered in general; the counters just have to move.
+        assert stats["argmax_pops"] > 0.0
+        assert stats["argmax_pops_max"] >= 1.0
+        assert stats["argmax_pops"] >= stats["argmax_pops_max"]
+        assert stats["argmax_pops_mean"] == pytest.approx(
+            stats["argmax_pops"] / stats["argmax_rounds"]
+        )
+
+    def test_scan_records_zero_pops(self, small_answers):
+        pool = ClusterPool(small_answers, L=10)
+        solution = bottom_up(pool, 3, 1, argmax="scan")
+        assert solution.stats["argmax_pops"] == 0.0
+        assert solution.stats["argmax_pops_max"] == 0.0
+        assert solution.stats["argmax_pops_mean"] == 0.0
+
+    def test_counters_ride_the_wire_format(self, small_answers):
+        from repro.service import Engine
+        from repro.service.api import SummaryRequest
+
+        engine = Engine()
+        engine.register_dataset("ds", small_answers)
+        response = engine.submit(
+            SummaryRequest(dataset="ds", k=3, L=8, D=1,
+                           algorithm="bottom-up")
+        )
+        for key in ("argmax_pops", "argmax_pops_max", "argmax_pops_mean"):
+            assert key in response.phase_seconds
+
+
+class TestServiceDenseKernel:
+    def test_summary_reports_dense_and_splits_pool_cache(self, small_answers):
+        from repro.service import Engine
+        from repro.service.api import SummaryRequest
+
+        engine = Engine()
+        engine.register_dataset("ds", small_answers)
+        base = dict(dataset="ds", k=3, L=8, D=1, algorithm="bottom-up")
+        bitset = engine.submit(SummaryRequest(**base))
+        dense_response = engine.submit(
+            SummaryRequest(**base, options={"kernel": "dense"})
+        )
+        assert bitset.kernel == "bitset"
+        assert dense_response.kernel == "dense"
+        assert dense_response.cache_hit is False  # dense pool is its own
+        assert dense_response.objective == pytest.approx(bitset.objective)
+
+    def test_auto_kernel_resolves_on_the_wire(self, small_answers):
+        from repro.service import Engine
+        from repro.service.api import SummaryRequest
+
+        engine = Engine()
+        engine.register_dataset("ds", small_answers)
+        response = engine.submit(
+            SummaryRequest(dataset="ds", k=3, L=8, D=1,
+                           algorithm="bottom-up",
+                           options={"kernel": "auto"})
+        )
+        # Small n: the policy lands on the default kernel.
+        assert response.kernel == BITSET_KERNEL
+
+    def test_explore_accepts_dense(self, small_answers):
+        from repro.service import Engine
+        from repro.service.api import ExploreRequest
+
+        engine = Engine()
+        engine.register_dataset("ds", small_answers)
+        response = engine.submit(
+            ExploreRequest(dataset="ds", k=3, L=8, D=1, k_range=(2, 5),
+                           d_values=(0, 1), kernel="dense")
+        )
+        assert response.kernel == "dense"

@@ -70,6 +70,7 @@ def test_bench_core_is_a_full_run():
     names = {workload["name"] for workload in document["workloads"]}
     assert "rounds_vs_groups" in names
     assert "fig8_kernel_core" in names
+    assert "dense_scaling" in names
 
 
 def test_readme_cites_bench_numbers_verbatim():
@@ -94,6 +95,15 @@ def test_readme_cites_bench_numbers_verbatim():
         if int(L) >= 100:
             cited.append("%.2f×" % stats["argmax"])
             cited.append("%.1f×" % stats["eval_ratio"])
+    scaling = workloads["dense_scaling"]
+    scaling_seconds = {
+        e["label"]: e["seconds"] for e in scaling["entries"]
+    }
+    cited.append("%.3f s" % scaling_seconds["n=1000000-bitset"])
+    cited.append("%.3f s" % scaling_seconds["n=1000000-dense-numpy"])
+    for n_text, ratios in scaling["dense_speedups"].items():
+        if int(n_text) >= 100_000:
+            cited.append("%.1f×" % ratios["dense-numpy"])
     missing = [number for number in cited if number not in readme]
     assert not missing, (
         "README Performance section is out of date with BENCH_core.json; "
@@ -167,3 +177,39 @@ def test_rounds_vs_groups_floors_hold_in_committed_results():
             assert stats["eval_ratio"] >= HEAP_EVAL_RATIO_FLOOR, L
             peak = max(peak, stats["argmax"])
     assert peak >= HEAP_ARGMAX_PEAK_FLOOR
+
+
+def test_dense_scaling_floors_hold_in_committed_results():
+    """The committed full run must satisfy the dense-kernel floors: the
+    numpy backend >= 3x bitset at n = 10^6, and the stdlib array
+    fallback never below 0.9x bitset at any measured size."""
+    import sys
+
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    try:
+        from run_bench import (
+            DENSE_FALLBACK_SPEEDUP_FLOOR,
+            DENSE_FLOOR_N,
+            DENSE_NUMPY_SPEEDUP_FLOOR,
+        )
+    finally:
+        sys.path.pop(0)
+    scaling = next(
+        w for w in _bench_document()["workloads"]
+        if w["name"] == "dense_scaling"
+    )
+    # The committed run must exercise the vectorized backend and reach
+    # the million-row size the floors are defined at.
+    assert scaling["params"]["numpy"] is True
+    assert DENSE_FLOOR_N in scaling["params"]["sizes"]
+    floored = 0
+    for n_text, ratios in scaling["dense_speedups"].items():
+        assert (
+            ratios["dense-fallback"] >= DENSE_FALLBACK_SPEEDUP_FLOOR
+        ), n_text
+        if int(n_text) >= DENSE_FLOOR_N:
+            assert (
+                ratios["dense-numpy"] >= DENSE_NUMPY_SPEEDUP_FLOOR
+            ), n_text
+            floored += 1
+    assert floored >= 1

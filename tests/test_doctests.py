@@ -8,6 +8,7 @@ import pytest
 
 import repro.common.timing
 import repro.core.bitset
+import repro.core.dense
 import repro.core.merge
 import repro.core.problem
 import repro.server.singleflight
@@ -20,6 +21,7 @@ import repro.service.engine
         repro.core.problem,
         repro.common.timing,
         repro.core.bitset,
+        repro.core.dense,
         repro.core.merge,
         repro.server.singleflight,
         repro.service.engine,
