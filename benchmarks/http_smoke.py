@@ -1,0 +1,225 @@
+"""CI smoke for the HTTP front door, driven through the real CLI.
+
+Boots ``repro-serve --http`` as a subprocess (token file, quota, durable
+session dir, preloaded CSV), then drives the full tenant lifecycle over
+plain urllib: liveness, 401 on a missing token, summary/explore, session
+create + step, quota exhaustion to a 429, a Prometheus ``/metrics``
+scrape — then shuts the server down via the admin route, asserts exit
+code 0, boots a *second* server on the same session directory, and
+resumes the session by name to prove restart durability.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/http_smoke.py
+
+Exit code 0 means every assertion held and both server processes wound
+down cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.web.auth import write_token_file  # noqa: E402
+
+TOKEN = "smoke-token-alice"
+QUOTA_CAPACITY = 6
+
+CSV = """era,grp,val
+1970s,student,4.5
+1970s,educator,4.2
+1980s,student,4.0
+1980s,engineer,3.9
+1990s,student,2.5
+1990s,writer,2.2
+1990s,artist,2.0
+1980s,artist,3.0
+"""
+
+
+def start_server(workdir: Path, session_dir: Path, csv: Path) -> tuple:
+    """Launch ``repro-serve --http`` and wait for its ready banner."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-c",
+            "from repro.cli import serve_main; "
+            "raise SystemExit(serve_main())",
+            "--http", "127.0.0.1:0",
+            "--auth-tokens", str(workdir / "tokens.txt"),
+            "--quota", "%d/3600" % QUOTA_CAPACITY,
+            "--session-dir", str(session_dir),
+            str(csv),
+        ],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    banner_line = process.stdout.readline()
+    if not banner_line:
+        stderr = process.communicate(timeout=10)[1]
+        raise SystemExit("server produced no ready banner:\n%s" % stderr)
+    banner = json.loads(banner_line)
+    assert banner["kind"] == "ready", banner
+    assert banner["transport"] == "http", banner
+    assert banner["auth_required"] is True, banner
+    assert banner["datasets"] == ["smoke"], banner
+    return process, "http://127.0.0.1:%d" % banner["port"]
+
+
+def call(base, method, path, body=None, token=TOKEN):
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(base + path, data=data, method=method)
+    if token is not None:
+        request.add_header("Authorization", "Bearer " + token)
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            raw = response.read()
+            status = response.status
+            content_type = response.headers.get("Content-Type", "")
+    except urllib.error.HTTPError as error:
+        raw = error.read()
+        status = error.code
+        content_type = error.headers.get("Content-Type", "")
+    if content_type.startswith("application/json"):
+        return status, json.loads(raw)
+    return status, raw.decode("utf-8")
+
+
+def expect(condition: bool, message: str) -> None:
+    if not condition:
+        raise SystemExit("http_smoke FAILED: %s" % message)
+
+
+def shutdown(process, base) -> None:
+    status, ack = call(
+        base, "POST", "/v2/admin/shutdown", {"scope": "server"}
+    )
+    expect(status == 200 and ack.get("kind") == "shutdown_ack",
+           "shutdown not acknowledged: %r" % (ack,))
+    try:
+        process.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        raise SystemExit("http_smoke FAILED: server did not exit after "
+                         "server-scope shutdown")
+    expect(process.returncode == 0,
+           "server exited %d, want 0" % process.returncode)
+
+
+def main() -> int:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-http-smoke-"))
+    session_dir = workdir / "sessions"
+    csv = workdir / "smoke.csv"
+    csv.write_text(CSV)
+    write_token_file(workdir / "tokens.txt", [("alice", TOKEN)])
+
+    print("booting repro-serve --http (auth + quota + sessions) ...",
+          flush=True)
+    process, base = start_server(workdir, session_dir, csv)
+    try:
+        status, payload = call(base, "GET", "/healthz", token=None)
+        expect(status == 200 and payload["status"] == "ok",
+               "healthz: %r" % (payload,))
+
+        status, payload = call(
+            base, "POST", "/v2/summary",
+            {"schema_version": 2, "dataset": "smoke", "k": 2, "L": 4,
+             "D": 1},
+            token=None,
+        )
+        expect(status == 401 and payload["error_type"] == "AuthError",
+               "unauthenticated summary: %d %r" % (status, payload))
+
+        status, payload = call(
+            base, "POST", "/v2/summary",
+            {"schema_version": 2, "dataset": "smoke", "k": 2, "L": 4,
+             "D": 1},
+        )
+        expect(status == 200 and payload["kind"] == "summary_response",
+               "summary: %d %r" % (status, payload))
+
+        status, payload = call(
+            base, "POST", "/v2/explore",
+            {"schema_version": 2, "dataset": "smoke", "k": 2, "L": 4,
+             "D": 1, "k_range": [2, 3], "d_values": [1]},
+        )
+        expect(status == 200 and payload["algorithm"] == "precomputed",
+               "explore: %d %r" % (status, payload))
+
+        status, record = call(
+            base, "POST", "/v2/sessions",
+            {"name": "smoke-session",
+             "base": {"schema_version": 2, "kind": "summary",
+                      "dataset": "smoke", "k": 2, "L": 4, "D": 1}},
+        )
+        expect(status == 200 and record["name"] == "smoke-session",
+               "session create: %d %r" % (status, record))
+
+        status, payload = call(
+            base, "POST", "/v2/sessions/smoke-session/step", {"k": 3}
+        )
+        expect(status == 200 and payload["k"] == 3,
+               "session step: %d %r" % (status, payload))
+
+        # Burn the rest of the bucket with distinct requests -> 429.
+        saw_429 = False
+        for extra in range(QUOTA_CAPACITY + 2):
+            status, payload = call(
+                base, "POST", "/v2/summary",
+                {"schema_version": 2, "dataset": "smoke",
+                 "k": 2 + extra % 3, "L": 4 + extra % 2, "D": 1},
+            )
+            if status == 429:
+                expect(payload["error_type"] == "QuotaExceeded",
+                       "429 payload: %r" % (payload,))
+                saw_429 = True
+                break
+        expect(saw_429, "quota never produced a 429")
+
+        status, text = call(base, "GET", "/metrics", token=None)
+        expect(status == 200, "metrics status %d" % status)
+        expect("# TYPE repro_request_latency_seconds histogram" in text,
+               "metrics missing latency histogram")
+        expect("repro_quota_rejected" in text,
+               "metrics missing quota gauges")
+
+        print("first server OK (401/200/429, session, metrics); "
+              "restarting ...", flush=True)
+        shutdown(process, base)
+    except BaseException:
+        process.kill()
+        raise
+
+    # Second life: the named session must survive the restart.
+    process, base = start_server(workdir, session_dir, csv)
+    try:
+        status, record = call(base, "GET", "/v2/sessions/smoke-session")
+        expect(status == 200 and record["base"]["k"] == 3,
+               "resumed session: %d %r" % (status, record))
+        status, payload = call(
+            base, "POST", "/v2/sessions/smoke-session/step", {"D": 0}
+        )
+        expect(status == 200 and payload["kind"] == "summary_response"
+               and payload["D"] == 0,
+               "resumed step: %d %r" % (status, payload))
+        shutdown(process, base)
+    except BaseException:
+        process.kill()
+        raise
+    print("http_smoke OK: auth, quota, sessions survive restart, "
+          "clean shutdown x2")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,8 @@ The paper ships a web GUI; the library's equivalent entry points are CLIs::
 
     repro-serve [preload.csv ...]                 # JSON-lines on stdin
     repro-serve --tcp 0.0.0.0:9037 [preload.csv]  # concurrent TCP server
+    repro-serve --http 0.0.0.0:8080 \\
+        --auth-tokens tokens.txt --quota 60/60    # multi-tenant HTTP
 
 ``--sql`` runs the restricted aggregate template against the loaded CSV
 (the FROM name must match the file stem or --name); without it, the CSV is
@@ -273,6 +275,37 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "ephemeral port, reported in the ready banner) instead of stdio",
     )
     parser.add_argument(
+        "--http", metavar="HOST:PORT",
+        help="serve the HTTP/JSON front door (routes /healthz /metrics "
+        "/v2/summary|explore|guidance /v2/admin/* /v2/sessions/*; port 0 "
+        "binds an ephemeral port).  May be combined with --tcp: the TCP "
+        "server then runs on a background thread",
+    )
+    parser.add_argument(
+        "--auth-tokens", metavar="FILE", type=Path,
+        help="require bearer-token auth on every transport; FILE holds one "
+        "'user:token' per line ('#' comments).  Without it the server is "
+        "open (single-tenant backward-compatible mode)",
+    )
+    parser.add_argument(
+        "--quota", metavar="CAPACITY/WINDOW_SECONDS",
+        help="per-user token-bucket quota on the analytical kinds, e.g. "
+        "60/60 = 60 requests per user per minute; buckets refill at "
+        "window boundaries.  Exhaustion answers error_type=QuotaExceeded "
+        "(HTTP 429)",
+    )
+    parser.add_argument(
+        "--session-dir", metavar="DIR", type=Path,
+        help="HTTP mode: directory for durable named sessions (default: a "
+        "fresh temp dir — sessions then do not survive a restart)",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=5.0,
+        help="seconds a server-scope shutdown waits for in-flight shard "
+        "queues to drain before tearing connections down "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
         "--shards", type=int, default=DEFAULT_SHARDS,
         help="TCP mode: per-dataset worker shards (default %(default)s)",
     )
@@ -298,17 +331,17 @@ def build_serve_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _parse_host_port(value: str) -> tuple[str, int]:
+def _parse_host_port(value: str, flag: str = "--tcp") -> tuple[str, int]:
     host, _, port_text = value.rpartition(":")
     if not host or not port_text:
         raise ReproError(
-            "--tcp expects HOST:PORT, got %r" % value
+            "%s expects HOST:PORT, got %r" % (flag, value)
         )
     try:
         port = int(port_text)
     except ValueError:
         raise ReproError(
-            "--tcp port must be an integer, got %r" % port_text
+            "%s port must be an integer, got %r" % (flag, port_text)
         ) from None
     return host, port
 
@@ -321,7 +354,18 @@ def serve_main(argv: list[str] | None = None) -> int:
     args = build_serve_parser().parse_args(argv)
     engine = Engine(mask_only=args.mask_only)
     try:
-        tcp = _parse_host_port(args.tcp) if args.tcp else None
+        tcp = _parse_host_port(args.tcp, "--tcp") if args.tcp else None
+        http = _parse_host_port(args.http, "--http") if args.http else None
+        auth = quota = None
+        if args.auth_tokens is not None:
+            from repro.web.auth import AuthService
+
+            auth = AuthService.from_file(args.auth_tokens)
+        if args.quota is not None:
+            from repro.web.quota import QuotaService, parse_quota_spec
+
+            capacity, window = parse_quota_spec(args.quota)
+            quota = QuotaService(capacity, window)
         for csv_path in args.csv:
             dataset, answers = _answers_from_csv(csv_path, None, None)
             engine.register_dataset(dataset, answers)
@@ -331,6 +375,73 @@ def serve_main(argv: list[str] | None = None) -> int:
     except ReproError as error:
         print("error: %s" % error, file=sys.stderr)
         return EXIT_PARAM_ERROR
+    if http is not None:
+        from repro.server.tcp import BackgroundServer, TCPServer
+        from repro.web.http import WebServer
+
+        background = None
+        if tcp is not None:
+            # HTTP is the foreground transport; TCP rides on a daemon
+            # thread sharing the engine (each transport has its own
+            # scheduler — auth/quota services are shared, so the quota
+            # budget spans both transports).
+            tcp_server = TCPServer(
+                engine,
+                tcp[0],
+                tcp[1],
+                shards=args.shards,
+                workers_per_shard=args.workers_per_shard,
+                queue_depth=args.queue_depth,
+                max_line_bytes=args.max_line_bytes,
+                coalesce=not args.no_coalesce,
+                auth=auth,
+                quota=quota,
+                drain_timeout=args.drain_timeout,
+            )
+            background = BackgroundServer(tcp_server)
+        web = WebServer(
+            engine,
+            http[0],
+            http[1],
+            shards=args.shards,
+            workers_per_shard=args.workers_per_shard,
+            queue_depth=args.queue_depth,
+            max_body_bytes=args.max_line_bytes,
+            coalesce=not args.no_coalesce,
+            auth=auth,
+            quota=quota,
+            session_dir=(
+                str(args.session_dir) if args.session_dir else None
+            ),
+            drain_timeout=args.drain_timeout,
+        )
+
+        def _announce_web(running: WebServer) -> None:
+            print(json.dumps(running.ready_banner(), sort_keys=True),
+                  flush=True)
+
+        try:
+            if background is not None:
+                background.start()
+                print(
+                    json.dumps(
+                        background.server.ready_banner(), sort_keys=True
+                    ),
+                    flush=True,
+                )
+            web.run(ready=_announce_web)
+        except KeyboardInterrupt:
+            pass
+        except OSError as error:
+            print("error: %s" % error, file=sys.stderr)
+            return EXIT_IO_ERROR
+        except (ReproError, ValueError) as error:
+            print("error: %s" % error, file=sys.stderr)
+            return EXIT_PARAM_ERROR
+        finally:
+            if background is not None:
+                background.stop()
+        return 0
     if tcp is not None:
         from repro.server.tcp import TCPServer
 
@@ -344,6 +455,9 @@ def serve_main(argv: list[str] | None = None) -> int:
             queue_depth=args.queue_depth,
             max_line_bytes=args.max_line_bytes,
             coalesce=not args.no_coalesce,
+            auth=auth,
+            quota=quota,
+            drain_timeout=args.drain_timeout,
         )
 
         def _announce(running: TCPServer) -> None:
@@ -367,8 +481,12 @@ def serve_main(argv: list[str] | None = None) -> int:
         "datasets": engine.dataset_names(),
     }
     print(json.dumps(banner, sort_keys=True), flush=True)
-    serve(sys.stdin, sys.stdout, engine=engine,
-          max_line_bytes=args.max_line_bytes)
+    from repro.service.serve import Dispatcher
+
+    dispatcher = Dispatcher(
+        engine, max_line_bytes=args.max_line_bytes, auth=auth, quota=quota
+    )
+    serve(sys.stdin, sys.stdout, dispatcher=dispatcher)
     return 0
 
 

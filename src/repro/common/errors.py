@@ -48,3 +48,32 @@ class Overloaded(ReproError):
     server shedding load instead of queueing without bound; clients should
     back off and retry.
     """
+
+
+class AuthError(ReproError):
+    """A request failed authentication on a token-secured server.
+
+    Served back as ``kind="error", error_type="AuthError"`` (HTTP 401).
+    Raised for a missing token, an unknown/garbage token, and a revoked
+    token alike — the message deliberately does not distinguish the
+    last two, so probing the token space leaks nothing.
+    """
+
+
+class QuotaExceeded(ReproError):
+    """A per-user quota bucket ran dry (HTTP 429).
+
+    Unlike :class:`Overloaded` (a *server-wide* shard queue filling up),
+    this is *per-user* admission control: one tenant exhausting its
+    token bucket is rejected while every other tenant keeps being
+    served.  The bucket refills at the next quota window.
+    """
+
+
+class UnknownSessionError(ReproError):
+    """A named exploration session does not exist (HTTP 404).
+
+    Also raised for session files that fail to load (corrupted JSON,
+    missing fields): a session the server cannot read is served as
+    "not found", never as a crash.
+    """

@@ -3,7 +3,10 @@
 The serving tier's health is summarized by a handful of numbers — queue
 depths, coalesce hit rate, per-kind latency quantiles — that ride in the
 ``stats`` admin response (under the open ``"server"`` key) so any wire
-client can watch them without a separate metrics port.
+client can watch them without a separate metrics port.  The same
+counters and histograms render as Prometheus text exposition via
+:func:`prometheus_text` — the HTTP front door serves that at
+``/metrics``, so the tier is scrapeable by standard tooling.
 
 :class:`LatencyHistogram` uses fixed log-spaced buckets (0.5 ms … 30 s
 plus an unbounded terminal bucket), the standard server-metrics trade:
@@ -17,7 +20,7 @@ from __future__ import annotations
 
 import bisect
 import threading
-from typing import Any
+from typing import Any, Mapping
 
 #: Upper bounds (seconds) of the latency buckets; the last bucket is
 #: unbounded and reports the exact observed max instead of a bound.
@@ -30,9 +33,12 @@ BUCKET_BOUNDS: tuple[float, ...] = (
 #: (unparseable lines) and ``"other"`` (unknown kinds).  The kind string
 #: comes from the client, so keying histograms on it verbatim would let a
 #: hostile client grow server memory one invented kind at a time.
+#: ``session``/``healthz``/``metrics`` are the HTTP front door's own
+#: routes (session CRUD, liveness, the Prometheus scrape itself).
 TRACKED_KINDS = frozenset({
     "summary", "explore", "guidance",
     "ping", "load_csv", "datasets", "algorithms", "stats", "shutdown",
+    "session", "healthz", "metrics",
     "invalid",
 })
 
@@ -77,6 +83,13 @@ class LatencyHistogram:
                         return BUCKET_BOUNDS[index]
                     return self._max
             return self._max
+
+    def export(self) -> tuple[list[int], int, float, float]:
+        """Consistent snapshot for exposition: per-bucket counts (the
+        last entry is the unbounded terminal bucket), total count, sum
+        of observations, and the exact max."""
+        with self._lock:
+            return list(self._counts), self._count, self._sum, self._max
 
     def summary(self) -> dict[str, float]:
         with self._lock:
@@ -129,3 +142,85 @@ class ServerMetrics:
                 for kind, histogram in sorted(latency.items())
             },
         }
+
+    def histograms(self) -> dict[str, LatencyHistogram]:
+        with self._lock:
+            return dict(self._latency)
+
+
+# -- Prometheus exposition -----------------------------------------------------
+
+_METRIC_NAME_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
+)
+
+
+def _sanitize_metric_name(name: str) -> str:
+    return "".join(c if c in _METRIC_NAME_OK else "_" for c in name)
+
+
+def _format_value(value: float) -> str:
+    # Integral values print without an exponent or trailing zeros; repr
+    # keeps full float precision for the rest.
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(
+    metrics: "ServerMetrics",
+    extra: Mapping[str, float] | None = None,
+    *,
+    namespace: str = "repro",
+) -> str:
+    """Render counters + latency histograms in Prometheus text format.
+
+    Counters become ``<ns>_<name>_total``; each per-kind latency
+    histogram becomes one ``<ns>_request_latency_seconds`` histogram
+    series labelled ``{kind="..."}`` with the standard cumulative
+    ``_bucket{le=...}`` / ``_sum`` / ``_count`` triplet.  *extra* adds
+    flat gauges (the caller may embed its own ``{label="..."}`` suffix
+    in a key); it is how the HTTP front door folds in scheduler queue
+    depths, quota counters, and session-store health.
+    """
+    lines: list[str] = []
+    snapshot_counters = metrics.snapshot()["counters"]
+    for name in sorted(snapshot_counters):
+        metric = "%s_%s_total" % (namespace, _sanitize_metric_name(name))
+        lines.append("# TYPE %s counter" % metric)
+        lines.append(
+            "%s %s" % (metric, _format_value(snapshot_counters[name]))
+        )
+    histograms = metrics.histograms()
+    if histograms:
+        metric = "%s_request_latency_seconds" % namespace
+        lines.append("# TYPE %s histogram" % metric)
+        for kind in sorted(histograms):
+            counts, count, total, _maximum = histograms[kind].export()
+            cumulative = 0
+            for bound, bucket in zip(BUCKET_BOUNDS, counts):
+                cumulative += bucket
+                lines.append(
+                    '%s_bucket{kind="%s",le="%s"} %d'
+                    % (metric, kind, _format_value(bound), cumulative)
+                )
+            cumulative += counts[-1]
+            lines.append(
+                '%s_bucket{kind="%s",le="+Inf"} %d'
+                % (metric, kind, cumulative)
+            )
+            lines.append(
+                '%s_sum{kind="%s"} %s' % (metric, kind, _format_value(total))
+            )
+            lines.append('%s_count{kind="%s"} %d' % (metric, kind, count))
+    typed: set[str] = set()
+    for key in sorted(extra or {}):
+        name, brace, labels = key.partition("{")
+        base = "%s_%s" % (namespace, _sanitize_metric_name(name))
+        if base not in typed:  # one TYPE line per family, not per label
+            typed.add(base)
+            lines.append("# TYPE %s gauge" % base)
+        lines.append(
+            "%s%s%s %s" % (base, brace, labels, _format_value(extra[key]))
+        )
+    return "\n".join(lines) + "\n"

@@ -97,6 +97,8 @@ class ShardedScheduler:
         self.flight = SingleFlight()
         self._shards = [_Shard(i, queue_depth) for i in range(shards)]
         self._overloaded = 0
+        self._inflight = 0  # accepted (queued or in-service) leaders
+        self._idle = threading.Condition(threading.Lock())
         self._stats_lock = threading.Lock()
         self._stopped = False
         for shard in self._shards:
@@ -142,9 +144,14 @@ class ShardedScheduler:
         self, key: str | None, payload: dict[str, Any], future: Future
     ) -> None:
         shard = self._shards[self.shard_index(payload)]
+        with self._idle:
+            self._inflight += 1
         try:
             shard.queue.put_nowait((key, payload, future))
         except queue.Full:
+            with self._idle:
+                self._inflight -= 1
+                self._idle.notify_all()
             with self._stats_lock:
                 self._overloaded += 1
             self._resolve(key, future, _error_dict(Overloaded(
@@ -178,8 +185,34 @@ class ShardedScheduler:
             with self._stats_lock:
                 shard.served += 1
             self._resolve(key, future, response)
+            with self._idle:
+                self._inflight -= 1
+                self._idle.notify_all()
 
     # -- lifecycle / introspection -------------------------------------------
+
+    def drain(self, timeout: float | None = 5.0) -> bool:
+        """Wait (bounded) until every accepted request has resolved.
+
+        This is the graceful half of server shutdown: requests already
+        admitted to a shard queue — whose clients are blocked on their
+        futures — get served before the transport tears connections
+        down, instead of being abandoned mid-flight.  Returns ``True``
+        when the queues went idle within *timeout*, ``False`` when the
+        deadline passed with work still in flight (the caller proceeds
+        with shutdown either way; the bound is the point).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self._inflight > 0:
+                remaining = (
+                    None if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+            return True
 
     def stop(self, timeout: float | None = 10.0) -> None:
         """Drain queued work, then stop every worker thread.
@@ -219,7 +252,10 @@ class ShardedScheduler:
         with self._stats_lock:
             overloaded = self._overloaded
             served = [shard.served for shard in self._shards]
+        with self._idle:
+            inflight = self._inflight
         return {
+            "inflight": inflight,
             "shards": len(self._shards),
             "workers_per_shard": len(self._shards[0].threads),
             "queue_depth": self._shards[0].queue.maxsize,

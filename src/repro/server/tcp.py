@@ -125,6 +125,9 @@ class TCPServer:
         max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
         coalesce: bool = True,
         submit: Callable[[dict[str, Any]], dict[str, Any]] | None = None,
+        auth=None,
+        quota=None,
+        drain_timeout: float = 5.0,
     ) -> None:
         self.engine = engine
         self.host = host
@@ -134,6 +137,9 @@ class TCPServer:
         self.queue_depth = queue_depth
         self.max_line_bytes = max_line_bytes
         self.coalesce = coalesce
+        self.auth = auth
+        self.quota = quota
+        self.drain_timeout = drain_timeout
         self._submit = submit if submit is not None else engine.submit_dict
         self.metrics = ServerMetrics()
         self.scheduler: ShardedScheduler | None = None
@@ -167,6 +173,8 @@ class TCPServer:
                 max_line_bytes=self.max_line_bytes,
                 submit=self.scheduler.submit,
                 extra_stats=self.server_stats,
+                auth=self.auth,
+                quota=self.quota,
             )
             server = await asyncio.start_server(
                 self._handle_connection, self.host, self.port
@@ -180,6 +188,20 @@ class TCPServer:
             finally:
                 server.close()
                 await server.wait_closed()
+                # Graceful drain: requests already admitted to shard
+                # queues have clients awaiting their futures — let them
+                # resolve (bounded) before tearing the connections down,
+                # so a server-scope shutdown never abandons queued work.
+                drained = await self._loop.run_in_executor(
+                    None, self.scheduler.drain, self.drain_timeout
+                )
+                if drained:
+                    # The futures are resolved but handlers still need
+                    # loop turns to write the responses; give them a
+                    # short, bounded grace before closing writers.
+                    for _ in range(100):
+                        await asyncio.sleep(0)
+                    await asyncio.sleep(0.05)
                 for writer in list(self._writers):
                     writer.close()
                 # Give connection handlers a beat to observe EOF and finish.

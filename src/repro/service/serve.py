@@ -36,10 +36,20 @@ from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Any, Callable, IO
 
-from repro.common.errors import LineTooLong, ReproError, SchemaError
+from repro.common.errors import (
+    AuthError,
+    LineTooLong,
+    QuotaExceeded,
+    ReproError,
+    SchemaError,
+)
 from repro.core.registry import algorithm_infos
 from repro.service.api import SCHEMA_VERSION, ErrorResponse
 from repro.service.engine import CacheStats, Engine
+
+#: Request kinds that cost real computation — the ones per-user quotas
+#: are charged against (admin/introspection kinds stay free).
+ANALYTIC_KINDS = frozenset({"summary", "explore", "guidance"})
 
 #: Default bound on one request line.  Counted in bytes of UTF-8; a line
 #: beyond it is discarded (never buffered whole) and answered with
@@ -112,10 +122,23 @@ class Dispatcher:
     extra_stats:
         Optional callable merged into ``stats`` responses under the
         ``"server"`` key (the TCP server's scheduler/latency metrics).
+    auth:
+        Optional :class:`repro.web.auth.AuthService`.  When set, every
+        request except ``ping`` (the liveness probe, mirroring the open
+        ``/healthz`` route) must carry a valid ``auth`` envelope field;
+        failures become ``error_type="AuthError"`` responses.  Unset —
+        the backward-compatible open mode — any ``auth`` field is
+        popped and ignored.
+    quota:
+        Optional :class:`repro.web.quota.QuotaService`.  Charged per
+        authenticated user (or the shared anonymous identity on an open
+        server) for the analytical kinds only; an empty bucket becomes
+        an ``error_type="QuotaExceeded"`` response.
 
-    The dispatcher also counts the hostile-input rejections it served
-    (``oversized`` / ``undecodable`` / ``malformed``); they ride in every
-    ``stats`` response under ``"rejected"``.
+    The dispatcher also counts the rejections it served (``oversized`` /
+    ``undecodable`` / ``malformed`` hostile input, plus ``auth`` and
+    ``quota`` denials); they ride in every ``stats`` response under
+    ``"rejected"``.
     """
 
     def __init__(
@@ -125,6 +148,8 @@ class Dispatcher:
         max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
         submit: Callable[[dict[str, Any]], Any] | None = None,
         extra_stats: Callable[[], dict[str, Any]] | None = None,
+        auth=None,
+        quota=None,
     ) -> None:
         if max_line_bytes < 2:
             raise ValueError(
@@ -134,10 +159,14 @@ class Dispatcher:
         self.max_line_bytes = max_line_bytes
         self._submit = submit if submit is not None else engine.submit_dict
         self._extra_stats = extra_stats
+        self.auth = auth
+        self.quota = quota
         self._counts_lock = threading.Lock()
         self.oversized = 0
         self.undecodable = 0
         self.malformed = 0
+        self.auth_rejected = 0
+        self.quota_rejected = 0
 
     # -- hostile-input responses (shared with the TCP framing layer) --------
 
@@ -199,9 +228,31 @@ class Dispatcher:
 
     def dispatch_payload(self, payload: dict[str, Any]) -> DispatchOutcome:
         """Serve one parsed request object (admin inline, analytics via
-        the ``submit`` hook)."""
+        the ``submit`` hook).
+
+        The ``auth`` envelope field is consumed here — authenticated
+        (or ignored on an open server) and popped before the payload
+        reaches strict request parsing or the single-flight key, so
+        identical requests from different users still coalesce.
+        """
         kind = payload.get("kind")
         kind_label = kind if isinstance(kind, str) else "invalid"
+        token = payload.pop("auth", None)
+        user = "anonymous"
+        if self.auth is not None and kind != "ping":
+            try:
+                user = self.auth.authenticate(token)
+            except AuthError as error:
+                with self._counts_lock:
+                    self.auth_rejected += 1
+                return DispatchOutcome(_error_payload(error), kind=kind_label)
+        if self.quota is not None and kind in ANALYTIC_KINDS:
+            try:
+                self.quota.charge(user, kind)
+            except QuotaExceeded as error:
+                with self._counts_lock:
+                    self.quota_rejected += 1
+                return DispatchOutcome(_error_payload(error), kind=kind_label)
         try:
             admin = self._handle_admin(payload)
         except ReproError as error:
@@ -282,6 +333,8 @@ class Dispatcher:
                     "oversized": self.oversized,
                     "undecodable": self.undecodable,
                     "malformed": self.malformed,
+                    "auth": self.auth_rejected,
+                    "quota": self.quota_rejected,
                 }
             response: dict[str, Any] = {
                 "schema_version": SCHEMA_VERSION,

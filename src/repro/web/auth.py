@@ -1,0 +1,180 @@
+"""Token-based authentication for the serving tier.
+
+The trust model is deliberately minimal — this is a front door, not an
+identity provider: the operator ships a *token file* mapping bearer
+tokens to user names, and every request proves its identity by carrying
+one of those tokens (``Authorization: Bearer <token>`` over HTTP, an
+``auth`` envelope field on the JSON wire).  What the layer guarantees:
+
+* **constant-time comparison** — every candidate token in the table is
+  checked with :func:`hmac.compare_digest`, and the loop never breaks
+  early, so response timing does not reveal how much of a token matched
+  or whether a user exists;
+* **indistinguishable failures** — unknown tokens and revoked tokens
+  produce the same :class:`~repro.common.errors.AuthError` message, so
+  probing leaks nothing; only a *missing* token is called out
+  separately (that one helps honest misconfigured clients);
+* **runtime revocation** — :meth:`revoke_token` / :meth:`revoke_user`
+  take effect on the next request, no restart.
+
+Token file format (``repro-serve --auth-tokens FILE``): one
+``user:token`` per line, ``#`` comments and blank lines ignored.  A
+user may hold several tokens (one line each).
+"""
+
+from __future__ import annotations
+
+import hmac
+import re
+import threading
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.common.errors import AuthError, SchemaError
+
+#: Users (and session names, which share the rule) must be short, flat
+#: identifiers — they become file-system path components in the session
+#: store, so no separators, no dot-prefixes, no empties.
+NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+#: The identity used for quota/session bookkeeping when the server runs
+#: without an auth table (single-tenant backward-compat mode).
+ANONYMOUS_USER = "anonymous"
+
+
+def validate_name(name: str, what: str = "name") -> str:
+    """Reject identifiers that cannot safely become path components."""
+    if not isinstance(name, str) or not NAME_PATTERN.match(name):
+        raise SchemaError(
+            "%s must match %s, got %r" % (what, NAME_PATTERN.pattern, name)
+        )
+    return name
+
+
+class AuthService:
+    """A bearer-token table with constant-time lookup and revocation."""
+
+    def __init__(self, tokens: Mapping[str, str]) -> None:
+        """*tokens* maps token -> user name."""
+        self._lock = threading.Lock()
+        self._tokens: dict[str, str] = {}
+        for token, user in tokens.items():
+            if not isinstance(token, str) or not token:
+                raise SchemaError("auth tokens must be non-empty strings")
+            self._tokens[token] = validate_name(user, "auth user")
+        self.rejected = 0
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "AuthService":
+        """Parse a ``user:token``-per-line token file."""
+        tokens: dict[str, str] = {}
+        for number, raw in enumerate(
+            Path(path).read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            user, separator, token = line.partition(":")
+            if not separator or not user.strip() or not token.strip():
+                raise SchemaError(
+                    "%s:%d: expected 'user:token', got %r"
+                    % (path, number, raw)
+                )
+            tokens[token.strip()] = user.strip()
+        if not tokens:
+            raise SchemaError("token file %s defines no tokens" % path)
+        return cls(tokens)
+
+    def authenticate(self, token: object) -> str:
+        """The user a token belongs to; :class:`AuthError` otherwise."""
+        if token is None:
+            self._count_rejection()
+            raise AuthError(
+                "missing auth token (send the 'auth' envelope field, or "
+                "an Authorization: Bearer header over HTTP)"
+            )
+        if not isinstance(token, str):
+            self._count_rejection()
+            raise AuthError("auth token must be a string")
+        encoded = token.encode("utf-8")
+        matched: str | None = None
+        with self._lock:
+            # Compare against *every* entry, never breaking early, so the
+            # timing of a rejection is independent of the table contents.
+            for candidate, user in self._tokens.items():
+                if hmac.compare_digest(candidate.encode("utf-8"), encoded):
+                    matched = user
+        if matched is None:
+            self._count_rejection()
+            raise AuthError("invalid or revoked auth token")
+        return matched
+
+    def _count_rejection(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    # -- revocation ----------------------------------------------------------
+
+    def revoke_token(self, token: str) -> bool:
+        """Drop one token; True if it existed."""
+        with self._lock:
+            return self._tokens.pop(token, None) is not None
+
+    def revoke_user(self, user: str) -> int:
+        """Drop every token of *user*; returns how many were dropped."""
+        with self._lock:
+            doomed = [
+                token for token, owner in self._tokens.items()
+                if owner == user
+            ]
+            for token in doomed:
+                del self._tokens[token]
+        return len(doomed)
+
+    # -- introspection -------------------------------------------------------
+
+    def users(self) -> list[str]:
+        with self._lock:
+            return sorted(set(self._tokens.values()))
+
+    def stats(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "users": sorted(set(self._tokens.values())),
+                "tokens": len(self._tokens),
+                "rejected": self.rejected,
+            }
+
+
+def identify(auth: AuthService | None, token: object) -> str:
+    """The quota/session identity of a request.
+
+    With an auth service, the authenticated user (raises
+    :class:`AuthError` on failure).  Without one — the open,
+    backward-compatible mode — every caller is :data:`ANONYMOUS_USER`
+    and any stray token is ignored.
+    """
+    if auth is None:
+        return ANONYMOUS_USER
+    return auth.authenticate(token)
+
+
+def parse_bearer(header: object) -> str | None:
+    """Extract the token from an ``Authorization: Bearer ...`` header."""
+    if not isinstance(header, str):
+        return None
+    scheme, _, token = header.partition(" ")
+    if scheme.lower() != "bearer" or not token.strip():
+        return None
+    return token.strip()
+
+
+def write_token_file(
+    path: str | Path, entries: Iterable[tuple[str, str]]
+) -> Path:
+    """Write a ``user:token`` file (test/bench/CI helper)."""
+    path = Path(path)
+    lines = ["# repro auth tokens — user:token per line"]
+    lines += ["%s:%s" % (user, token) for user, token in entries]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,622 @@
+"""The multi-tenant HTTP/JSON front door over the shared dispatcher.
+
+``repro-serve --http HOST:PORT`` serves the same schema-v2 request
+objects as stdio and TCP, mapped onto routes — every request still goes
+through the one transport-agnostic
+:class:`~repro.service.serve.Dispatcher` and the sharded scheduler, so
+the response *payloads* are byte-identical across all three transports
+(the HTTP body is exactly the JSON line TCP would have written).  What
+HTTP adds is the tenant model: bearer-token auth, per-user token-bucket
+quotas, durable named sessions, and proper status codes.
+
+Routes (stdlib ``ThreadingHTTPServer``; one thread per connection,
+analytics still run on the shared sharded worker pool):
+
+=====================================  =======================================
+``GET  /healthz``                      liveness + dataset list (no auth)
+``GET  /metrics``                      Prometheus text exposition (no auth)
+``POST /v2/summary|explore|guidance``  the analytical kinds; body is the
+                                       wire request object (``kind``
+                                       optional, filled from the route)
+``POST /v2/admin/<kind>``              ping / load_csv / datasets /
+                                       algorithms / stats / shutdown
+``POST   /v2/sessions``                create a named session
+``GET    /v2/sessions``                list the caller's sessions
+``GET    /v2/sessions/<name>``         fetch one session record
+``POST   /v2/sessions/<name>/step``    merge overrides into the base
+                                       request, dispatch, advance
+``DELETE /v2/sessions/<name>``         delete a session
+=====================================  =======================================
+
+Status codes are derived from the response payload, so the error bytes
+stay transport-identical and only the HTTP envelope differs: 400 bad
+request (schema/parameter errors), 401 ``AuthError``, 404 unknown
+route/session, 413 body too large, 429 ``QuotaExceeded``, 503
+``Overloaded``.
+
+Shutdown (``POST /v2/admin/shutdown`` with ``scope="server"``) answers
+the ack first, then drains the shard queues (bounded by
+``drain_timeout``) before the listener stops — mirroring the TCP tier's
+graceful drain.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Mapping
+
+from repro.common.errors import ReproError, SchemaError
+from repro.server.metrics import ServerMetrics, prometheus_text
+from repro.server.scheduler import (
+    DEFAULT_QUEUE_DEPTH,
+    DEFAULT_SHARDS,
+    DEFAULT_WORKERS_PER_SHARD,
+    ShardedScheduler,
+)
+from repro.service.api import SCHEMA_VERSION, ErrorResponse
+from repro.service.engine import Engine
+from repro.service.serve import (
+    ANALYTIC_KINDS,
+    DEFAULT_MAX_LINE_BYTES,
+    Dispatcher,
+    SERVER_SCOPE,
+)
+from repro.web.auth import ANONYMOUS_USER, AuthService, parse_bearer
+from repro.web.quota import QuotaService
+from repro.web.sessions import SessionService, SessionStore
+
+#: error_type -> HTTP status; anything else that is ``kind="error"``
+#: is a plain bad request.
+STATUS_BY_ERROR_TYPE: Mapping[str, int] = {
+    "AuthError": 401,
+    "UnknownSessionError": 404,
+    "LineTooLong": 413,
+    "QuotaExceeded": 429,
+    "Overloaded": 503,
+}
+
+#: Admin kinds the ``/v2/admin/<kind>`` route refuses to alias (they
+#: have first-class routes of their own).
+_ADMIN_EXCLUDED = ANALYTIC_KINDS
+
+
+def status_for(payload: Any) -> int:
+    """The HTTP status a wire response payload maps to."""
+    if isinstance(payload, dict) and payload.get("kind") == "error":
+        return STATUS_BY_ERROR_TYPE.get(payload.get("error_type"), 400)
+    return 200
+
+
+def _error_payload(error: Exception) -> dict[str, Any]:
+    return ErrorResponse(
+        error_type=type(error).__name__, message=str(error)
+    ).to_dict()
+
+
+class _Route:
+    """One resolved request: handler + path arguments."""
+
+    __slots__ = ("call", "args", "kind_label")
+
+    def __init__(self, call: Callable, args: tuple, kind_label: str) -> None:
+        self.call = call
+        self.args = args
+        self.kind_label = kind_label
+
+
+class WebServer:
+    """The HTTP front door: routers -> services -> the shared engine.
+
+    Construction wires the full service stack: a sharded scheduler over
+    *engine*, a :class:`Dispatcher` with the optional auth and quota
+    services, and a :class:`SessionService` over *session_dir*.  Run it
+    blocking via :meth:`run`, or from synchronous tests/benchmarks via
+    :class:`BackgroundWebServer`.  ``port=0`` binds an ephemeral port;
+    ``bound_port`` reports it once running.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        shards: int = DEFAULT_SHARDS,
+        workers_per_shard: int = DEFAULT_WORKERS_PER_SHARD,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        max_body_bytes: int = DEFAULT_MAX_LINE_BYTES,
+        coalesce: bool = True,
+        auth: AuthService | None = None,
+        quota: QuotaService | None = None,
+        session_dir: str | None = None,
+        drain_timeout: float = 5.0,
+        submit: Callable[[dict[str, Any]], dict[str, Any]] | None = None,
+    ) -> None:
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.max_body_bytes = max_body_bytes
+        self.drain_timeout = drain_timeout
+        self.auth = auth
+        self.quota = quota
+        self.metrics = ServerMetrics()
+        self.scheduler = ShardedScheduler(
+            submit if submit is not None else engine.submit_dict,
+            shards=shards,
+            workers_per_shard=workers_per_shard,
+            queue_depth=queue_depth,
+            coalesce=coalesce,
+        )
+        self.dispatcher = Dispatcher(
+            engine,
+            max_line_bytes=max_body_bytes,
+            submit=self.scheduler.submit,
+            extra_stats=self.server_stats,
+            auth=auth,
+            quota=quota,
+        )
+        if session_dir is None:
+            import tempfile
+
+            # Ephemeral store: sessions work but do not survive restart;
+            # pass --session-dir for durability.
+            session_dir = tempfile.mkdtemp(prefix="repro-sessions-")
+        self.session_dir = session_dir
+        self.sessions = SessionService(
+            SessionStore(session_dir), self.dispatcher
+        )
+        self.bound_port: int | None = None
+        self.started_at: float | None = None
+        self._httpd: ThreadingHTTPServer | None = None
+        self._stop_thread: threading.Thread | None = None
+        self._stopping = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def run(self, ready: Callable[["WebServer"], None] | None = None) -> None:
+        """Bind, serve until shutdown, then stop the worker pool."""
+        web = self
+
+        class _Server(ThreadingHTTPServer):
+            daemon_threads = True  # a wedged client cannot block exit
+
+        try:
+            self._httpd = _Server((self.host, self.port), _Handler)
+            self._httpd.web = self  # type: ignore[attr-defined]
+            self.bound_port = self._httpd.server_address[1]
+            self.started_at = time.time()
+            if ready is not None:
+                ready(web)
+            self._httpd.serve_forever(poll_interval=0.05)
+            self._httpd.server_close()
+        finally:
+            self.scheduler.stop()
+
+    def request_stop(self) -> None:
+        """Drain the shard queues (bounded), then stop the listener.
+
+        Safe from handler threads: the actual ``shutdown()`` runs on a
+        helper thread because it blocks until ``serve_forever`` exits.
+        """
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+
+        def _stop() -> None:
+            self.scheduler.drain(self.drain_timeout)
+            if self._httpd is not None:
+                self._httpd.shutdown()
+
+        self._stop_thread = threading.Thread(
+            target=_stop, name="repro-web-stop", daemon=True
+        )
+        self._stop_thread.start()
+
+    # -- routing -------------------------------------------------------------
+
+    def resolve(self, method: str, path: str) -> _Route | None:
+        parts = [part for part in path.split("/") if part]
+        if method == "GET" and path == "/healthz":
+            return _Route(self._route_healthz, (), "healthz")
+        if method == "GET" and path == "/metrics":
+            return _Route(self._route_metrics, (), "metrics")
+        if len(parts) >= 2 and parts[0] == "v2":
+            if method == "POST" and len(parts) == 2 and (
+                parts[1] in ANALYTIC_KINDS
+            ):
+                return _Route(self._route_analytic, (parts[1],), parts[1])
+            if method == "POST" and len(parts) == 3 and (
+                parts[1] == "admin"
+            ):
+                return _Route(self._route_admin, (parts[2],), parts[2])
+            if parts[1] == "sessions":
+                if len(parts) == 2:
+                    if method == "POST":
+                        return _Route(
+                            self._route_session_create, (), "session"
+                        )
+                    if method == "GET":
+                        return _Route(
+                            self._route_session_list, (), "session"
+                        )
+                if len(parts) == 3 and method == "GET":
+                    return _Route(
+                        self._route_session_get, (parts[2],), "session"
+                    )
+                if len(parts) == 3 and method == "DELETE":
+                    return _Route(
+                        self._route_session_delete, (parts[2],), "session"
+                    )
+                if (
+                    len(parts) == 4
+                    and parts[3] == "step"
+                    and method == "POST"
+                ):
+                    return _Route(
+                        self._route_session_step, (parts[2],), "session"
+                    )
+        return None
+
+    # -- route handlers ------------------------------------------------------
+    # Each returns (status, payload, content_type); content_type None
+    # means JSON.  ``token`` is the bearer token (or None), ``body`` the
+    # parsed JSON body (or None for GET/DELETE).
+
+    def _route_healthz(self, token, body):
+        payload = {
+            "status": "ok",
+            "schema_version": SCHEMA_VERSION,
+            "transport": "http",
+            "uptime_seconds": (
+                time.time() - self.started_at if self.started_at else 0.0
+            ),
+            "datasets": self.engine.dataset_names(),
+            "auth_required": self.auth is not None,
+        }
+        return 200, payload, None
+
+    def _route_metrics(self, token, body):
+        extra: dict[str, float] = {}
+        scheduler = self.scheduler.stats()
+        extra["scheduler_inflight"] = scheduler["inflight"]
+        extra["scheduler_overloaded"] = scheduler["overloaded"]
+        for index, depth in enumerate(scheduler["queue_depths"]):
+            extra['shard_queue_depth{shard="%d"}' % index] = depth
+        flight = scheduler["singleflight"]
+        extra["singleflight_leaders"] = flight["leaders"]
+        extra["singleflight_coalesced"] = flight["coalesced"]
+        if self.quota is not None:
+            quota = self.quota.stats()
+            extra["quota_granted"] = quota["granted"]
+            extra["quota_rejected"] = quota["rejected"]
+            extra["quota_users"] = quota["users"]
+        if self.auth is not None:
+            extra["auth_rejected"] = self.auth.stats()["rejected"]
+        store = self.sessions.store.stats()
+        extra["sessions_corrupted"] = store["corrupted"]
+        extra["sessions_cached"] = store["cached"]
+        engine = self.engine.stats()
+        extra["engine_pool_hits"] = engine.pools.hits
+        extra["engine_pool_misses"] = engine.pools.misses
+        extra["engine_store_hits"] = engine.stores.hits
+        extra["engine_store_misses"] = engine.stores.misses
+        text = prometheus_text(self.metrics, extra)
+        return 200, text, "text/plain; version=0.0.4; charset=utf-8"
+
+    def _identify(self, token) -> str:
+        """The session/tenant identity of a request (may raise AuthError)."""
+        if self.auth is None:
+            return ANONYMOUS_USER
+        return self.auth.authenticate(token)
+
+    def _dispatch(self, payload: dict[str, Any], token):
+        """Route one wire payload through the shared dispatcher."""
+        if token is not None and "auth" not in payload:
+            payload["auth"] = token
+        outcome = self.dispatcher.dispatch_payload(payload)
+        response = outcome.response
+        if hasattr(response, "result"):  # scheduler future
+            response = response.result()
+        return status_for(response), response, None
+
+    def _route_analytic(self, token, body, kind):
+        if body is None:
+            body = {}
+        body.setdefault("kind", kind)
+        if body["kind"] != kind:
+            raise SchemaError(
+                "route /v2/%s cannot carry kind=%r" % (kind, body["kind"])
+            )
+        return self._dispatch(body, token)
+
+    def _route_admin(self, token, body, kind):
+        if kind in _ADMIN_EXCLUDED:
+            raise SchemaError(
+                "kind %r is served at /v2/%s, not under /v2/admin/"
+                % (kind, kind)
+            )
+        if body is None:
+            body = {}
+        body.setdefault("kind", kind)
+        if body["kind"] != kind:
+            raise SchemaError(
+                "route /v2/admin/%s cannot carry kind=%r"
+                % (kind, body["kind"])
+            )
+        return self._dispatch(body, token)
+
+    # -- session routes ------------------------------------------------------
+
+    def _route_session_create(self, token, body):
+        user = self._identify(token)
+        if not isinstance(body, dict):
+            raise SchemaError("session create needs a JSON object body")
+        name = body.get("name")
+        base = body.get("base")
+        record = self.sessions.create(user, name, base)
+        return 200, record.to_dict(), None
+
+    def _route_session_list(self, token, body):
+        user = self._identify(token)
+        return 200, {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "sessions",
+            "user": user,
+            "sessions": self.sessions.list(user),
+        }, None
+
+    def _route_session_get(self, token, body, name):
+        user = self._identify(token)
+        return 200, self.sessions.get(user, name).to_dict(), None
+
+    def _route_session_delete(self, token, body, name):
+        user = self._identify(token)
+        self.sessions.delete(user, name)
+        return 200, {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "session_deleted",
+            "name": name,
+        }, None
+
+    def _route_session_step(self, token, body, name):
+        user = self._identify(token)
+        response = self.sessions.step(
+            user, name, body if body is not None else {}, auth_token=token
+        )
+        return status_for(response), response, None
+
+    # -- introspection -------------------------------------------------------
+
+    def server_stats(self) -> dict[str, Any]:
+        """The ``"server"`` section of the ``stats`` admin response."""
+        stats: dict[str, Any] = {
+            "transport": "http",
+            "host": self.host,
+            "port": self.bound_port,
+            "max_body_bytes": self.max_body_bytes,
+            "uptime_seconds": (
+                time.time() - self.started_at if self.started_at else 0.0
+            ),
+            "sessions": self.sessions.store.stats(),
+        }
+        if self.auth is not None:
+            stats["auth"] = self.auth.stats()
+        if self.quota is not None:
+            stats["quota"] = self.quota.stats()
+        stats.update(self.metrics.snapshot())
+        stats["scheduler"] = self.scheduler.stats()
+        return stats
+
+    def ready_banner(self) -> dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "ready",
+            "transport": "http",
+            "host": self.host,
+            "port": self.bound_port,
+            "datasets": self.engine.dataset_names(),
+            "auth_required": self.auth is not None,
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin per-request adapter: read body, resolve route, write JSON."""
+
+    protocol_version = "HTTP/1.1"
+    timeout = 60  # a stalled client cannot pin its handler thread forever
+
+    @property
+    def web(self) -> WebServer:
+        return self.server.web  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Access logging would be per-request stderr noise; the metrics
+        # histograms carry the same information queryably.
+        pass
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _write_json(self, status: int, payload: Any) -> None:
+        # Exactly the bytes the TCP transport writes per line — the
+        # transport-parity contract.
+        body = (
+            json.dumps(payload, sort_keys=True) + "\n"
+        ).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        if status == 429 and self.web.quota is not None:
+            # RFC 6585: tell throttled clients when the window resets.
+            self.send_header(
+                "Retry-After",
+                str(max(1, round(self.web.quota.seconds_until_reset()))),
+            )
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _write_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict[str, Any] | None:
+        length_text = self.headers.get("Content-Length")
+        if length_text is None:
+            return None
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise SchemaError("invalid Content-Length header")
+        if length < 0:
+            raise SchemaError("invalid Content-Length header")
+        if length == 0:
+            return None
+        if length > self.web.max_body_bytes:
+            # Counted like an oversized wire line; the connection closes
+            # (we never read the body) so framing cannot desync.
+            raise _BodyTooLarge()
+        raw = self.rfile.read(length)
+        if len(raw) < length:
+            raise SchemaError("request body was truncated")
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except UnicodeDecodeError:
+            raise SchemaError("request body is not valid UTF-8")
+        except json.JSONDecodeError as error:
+            raise SchemaError("invalid JSON: %s" % error)
+        if not isinstance(payload, dict):
+            raise SchemaError("request body must be a JSON object")
+        return payload
+
+    # -- request entry points ------------------------------------------------
+
+    def _serve(self, method: str) -> None:
+        started = time.perf_counter()
+        web = self.web
+        route = web.resolve(method, self.path.split("?", 1)[0])
+        kind_label = route.kind_label if route is not None else "invalid"
+        close_connection = False
+        try:
+            if route is None:
+                status, payload, content_type = 404, _error_payload(
+                    SchemaError("no route for %s %s" % (method, self.path))
+                ), None
+            else:
+                token = parse_bearer(self.headers.get("Authorization"))
+                body = self._read_body() if method in ("POST", "PUT") else None
+                status, payload, content_type = route.call(
+                    token, body, *route.args
+                )
+        except _BodyTooLarge:
+            oversized = web.dispatcher.oversized_error()
+            oversized["message"] = (
+                "request body exceeds max_body_bytes=%d" % web.max_body_bytes
+            )
+            status, payload, content_type = 413, oversized, None
+            close_connection = True  # unread body: cannot reuse the socket
+        except ReproError as error:
+            status, payload, content_type = (
+                status_for(_error_payload(error)), _error_payload(error), None
+            )
+        except Exception as error:  # belt and suspenders: never a traceback
+            status, payload, content_type = 500, _error_payload(error), None
+        try:
+            if close_connection:
+                self.close_connection = True
+            if content_type is None:
+                self._write_json(status, payload)
+            else:
+                self._write_text(status, payload, content_type)
+        except (BrokenPipeError, ConnectionResetError):
+            return
+        web.metrics.observe(kind_label, time.perf_counter() - started)
+        web.metrics.incr("responses")
+        web.metrics.incr("http_%d" % (status // 100 * 100))
+        # Ack-then-stop ordering: a server-scope shutdown begins only
+        # after its acknowledgement is on the wire, so the requesting
+        # client always sees the response before the listener dies.
+        if (
+            isinstance(payload, dict)
+            and payload.get("kind") == "shutdown_ack"
+            and payload.get("scope") == SERVER_SCOPE
+        ):
+            web.request_stop()
+
+    def do_GET(self) -> None:
+        self._serve("GET")
+
+    def do_POST(self) -> None:
+        self._serve("POST")
+
+    def do_DELETE(self) -> None:
+        self._serve("DELETE")
+
+
+class _BodyTooLarge(Exception):
+    """Internal: Content-Length exceeded max_body_bytes (HTTP 413)."""
+
+
+class BackgroundWebServer:
+    """Run a :class:`WebServer` on a daemon thread (tests, benchmarks).
+
+    ``start()`` blocks until the port is bound; ``stop()`` requests the
+    drain-then-shutdown sequence and joins, returning ``True`` when the
+    server wound down within the timeout.
+    """
+
+    def __init__(self, server: WebServer) -> None:
+        self.server = server
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-web-server", daemon=True
+        )
+
+    def _run(self) -> None:
+        try:
+            self.server.run(ready=lambda _: self._ready.set())
+        except BaseException as error:  # surface startup failures to start()
+            self._error = error
+        finally:
+            self._ready.set()
+
+    def start(self, timeout: float = 30.0) -> "BackgroundWebServer":
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise TimeoutError(
+                "HTTP server did not start within %gs" % timeout
+            )
+        if self._error is not None:
+            raise RuntimeError("HTTP server failed to start") from self._error
+        return self
+
+    @property
+    def port(self) -> int:
+        port = self.server.bound_port
+        if port is None:
+            raise RuntimeError("server is not running")
+        return port
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    def base_url(self) -> str:
+        return "http://%s:%d" % (self.host, self.port)
+
+    def stop(self, timeout: float = 30.0) -> bool:
+        self.server.request_stop()
+        self._thread.join(timeout)
+        return not self._thread.is_alive()
+
+    def __enter__(self) -> "BackgroundWebServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

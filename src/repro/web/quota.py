@@ -1,0 +1,150 @@
+"""Per-user token-bucket quotas with periodic reset.
+
+This is the *tenant-level* admission control the multi-user front door
+adds on top of the scheduler's *server-level* one: a shard queue filling
+up rejects everyone (``Overloaded``, HTTP 503), while a quota bucket
+running dry rejects exactly the user who drained it (``QuotaExceeded``,
+HTTP 429) and nobody else — one analyst hammering refresh cannot starve
+the rest of the fleet.
+
+The model is a token bucket with *windowed* reset rather than
+continuous drip refill: each user gets ``capacity`` tokens per
+``window_seconds`` window, and the bucket snaps back to full at every
+window boundary (``window_index = clock() // window_seconds``).
+Windowed reset is what makes the behaviour testable and explainable —
+"60 requests a minute, resets on the minute" — at the cost of allowing
+up to ``2 x capacity`` requests straddling one boundary, which is the
+standard trade.
+
+Heavier kinds can be charged more than one token via ``costs`` (a
+compute quota, not just a request-rate quota).  All state transitions
+happen under one lock, so two requests racing the last token resolve
+deterministically: exactly one wins, the other is rejected.
+
+The clock is injectable (monotonic by default) so tests can cross reset
+boundaries without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Mapping
+
+from repro.common.errors import InvalidParameterError, QuotaExceeded
+
+
+class QuotaService:
+    """Windowed per-user token buckets; thread-safe.
+
+    Parameters
+    ----------
+    capacity:
+        Tokens per user per window.
+    window_seconds:
+        Window length; buckets refill to *capacity* at every boundary.
+    costs:
+        Optional per-kind token cost (default 1 for every kind) — e.g.
+        ``{"summary": 4}`` makes one cold-ish summary count as four
+        explores against the same budget.
+    clock:
+        Seconds-returning callable (tests inject a fake).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        window_seconds: float,
+        *,
+        costs: Mapping[str, int] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise InvalidParameterError(
+                "quota capacity must be >= 1, got %d" % capacity
+            )
+        if window_seconds <= 0:
+            raise InvalidParameterError(
+                "quota window must be positive, got %g" % window_seconds
+            )
+        self.capacity = int(capacity)
+        self.window_seconds = float(window_seconds)
+        self._costs = dict(costs or {})
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: user -> [window_index, tokens_remaining]
+        self._buckets: dict[str, list[float]] = {}
+        self.granted = 0
+        self.rejected = 0
+
+    def cost(self, kind: str | None) -> int:
+        return self._costs.get(kind or "", 1)
+
+    def charge(self, user: str, kind: str | None = None) -> int:
+        """Spend this kind's cost from *user*'s bucket.
+
+        Returns the tokens remaining after the charge; raises
+        :class:`QuotaExceeded` (leaving the bucket untouched) when the
+        bucket holds fewer tokens than the cost.
+        """
+        cost = self.cost(kind)
+        window = int(self._clock() // self.window_seconds)
+        with self._lock:
+            bucket = self._buckets.get(user)
+            if bucket is None or bucket[0] != window:
+                bucket = [window, self.capacity]
+                self._buckets[user] = bucket
+            if bucket[1] < cost:
+                self.rejected += 1
+                raise QuotaExceeded(
+                    "quota exhausted for user %r: %d tokens per %gs window "
+                    "(request cost %d, %d left); retry next window"
+                    % (user, self.capacity, self.window_seconds, cost,
+                       int(bucket[1]))
+                )
+            bucket[1] -= cost
+            self.granted += 1
+            return int(bucket[1])
+
+    def seconds_until_reset(self) -> float:
+        """Time until the next window boundary (the Retry-After hint)."""
+        return self.window_seconds - (self._clock() % self.window_seconds)
+
+    def remaining(self, user: str) -> int:
+        """Tokens left in *user*'s current window (capacity if unseen)."""
+        window = int(self._clock() // self.window_seconds)
+        with self._lock:
+            bucket = self._buckets.get(user)
+            if bucket is None or bucket[0] != window:
+                return self.capacity
+            return int(bucket[1])
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "window_seconds": self.window_seconds,
+                "users": len(self._buckets),
+                "granted": self.granted,
+                "rejected": self.rejected,
+            }
+
+
+def parse_quota_spec(spec: str) -> tuple[int, float]:
+    """Parse the CLI's ``CAPACITY/WINDOW_SECONDS`` quota syntax.
+
+    >>> parse_quota_spec("60/60")
+    (60, 60.0)
+    >>> parse_quota_spec("100/1.5")
+    (100, 1.5)
+    """
+    capacity_text, separator, window_text = spec.partition("/")
+    try:
+        if not separator:
+            raise ValueError
+        return int(capacity_text), float(window_text)
+    except ValueError:
+        raise InvalidParameterError(
+            "--quota expects CAPACITY/WINDOW_SECONDS (e.g. 60/60), got %r"
+            % spec
+        ) from None

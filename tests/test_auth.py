@@ -1,0 +1,160 @@
+"""Tests for the auth layer: token table, failure paths on HTTP and TCP."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import AuthError, SchemaError
+from repro.server import BackgroundServer, LineClient, TCPServer
+from repro.service import Engine
+from repro.web import (
+    ANONYMOUS_USER,
+    AuthService,
+    identify,
+    parse_bearer,
+    validate_name,
+    write_token_file,
+)
+from tests.conftest import paper_like_answers
+from tests.test_web import SUMMARY, http_call, web_server  # noqa: F401
+
+
+def make_engine() -> Engine:
+    engine = Engine()
+    engine.register_dataset("paper", paper_like_answers())
+    return engine
+
+
+class TestAuthService:
+    def test_authenticate_maps_token_to_user(self):
+        auth = AuthService({"tok-a": "alice", "tok-a2": "alice",
+                            "tok-b": "bob"})
+        assert auth.authenticate("tok-a") == "alice"
+        assert auth.authenticate("tok-a2") == "alice"
+        assert auth.authenticate("tok-b") == "bob"
+        assert auth.users() == ["alice", "bob"]
+
+    def test_missing_token_has_distinct_message(self):
+        auth = AuthService({"tok": "alice"})
+        with pytest.raises(AuthError, match="missing"):
+            auth.authenticate(None)
+
+    def test_unknown_and_revoked_are_indistinguishable(self):
+        auth = AuthService({"tok": "alice"})
+        with pytest.raises(AuthError) as unknown:
+            auth.authenticate("never-existed")
+        auth.revoke_token("tok")
+        with pytest.raises(AuthError) as revoked:
+            auth.authenticate("tok")
+        assert str(unknown.value) == str(revoked.value)
+
+    def test_non_string_token_rejected(self):
+        auth = AuthService({"tok": "alice"})
+        with pytest.raises(AuthError):
+            auth.authenticate(12345)
+
+    def test_revoke_user_drops_all_their_tokens(self):
+        auth = AuthService({"t1": "alice", "t2": "alice", "t3": "bob"})
+        assert auth.revoke_user("alice") == 2
+        with pytest.raises(AuthError):
+            auth.authenticate("t1")
+        assert auth.authenticate("t3") == "bob"
+
+    def test_rejections_counted(self):
+        auth = AuthService({"tok": "alice"})
+        for bad in (None, "nope", 7):
+            with pytest.raises(AuthError):
+                auth.authenticate(bad)
+        assert auth.stats()["rejected"] == 3
+
+    def test_invalid_user_name_rejected_at_build(self):
+        with pytest.raises(SchemaError):
+            AuthService({"tok": "../escape"})
+
+    def test_token_file_roundtrip(self, tmp_path):
+        path = write_token_file(
+            tmp_path / "tokens.txt", [("alice", "tok-a"), ("bob", "tok-b")]
+        )
+        auth = AuthService.from_file(path)
+        assert auth.authenticate("tok-a") == "alice"
+        assert auth.authenticate("tok-b") == "bob"
+
+    def test_token_file_rejects_garbage_lines(self, tmp_path):
+        path = tmp_path / "tokens.txt"
+        path.write_text("# fine\nalice:tok\nnot-a-pair\n")
+        with pytest.raises(SchemaError, match="not-a-pair"):
+            AuthService.from_file(path)
+
+    def test_empty_token_file_rejected(self, tmp_path):
+        path = tmp_path / "tokens.txt"
+        path.write_text("# only comments\n")
+        with pytest.raises(SchemaError):
+            AuthService.from_file(path)
+
+
+class TestHelpers:
+    def test_identify_open_server_is_anonymous(self):
+        assert identify(None, None) == ANONYMOUS_USER
+        assert identify(None, "stray-token") == ANONYMOUS_USER
+
+    def test_parse_bearer(self):
+        assert parse_bearer("Bearer tok") == "tok"
+        assert parse_bearer("bearer tok") == "tok"
+        assert parse_bearer("Basic dXNlcg==") is None
+        assert parse_bearer("Bearer ") is None
+        assert parse_bearer(None) is None
+
+    def test_validate_name(self):
+        assert validate_name("alice-1.2_x") == "alice-1.2_x"
+        for bad in ("", ".hidden", "a/b", "a b", "x" * 65, None):
+            with pytest.raises(SchemaError):
+                validate_name(bad)
+
+
+class TestAuthFailurePathsHTTP:
+    @pytest.mark.parametrize("token", [None, "garbage", "tok-revoked"])
+    def test_http_401_paths(self, web_server, token):
+        auth = AuthService({"tok-a": "alice", "tok-revoked": "mallory"})
+        auth.revoke_token("tok-revoked")
+        handle = web_server(auth=auth)
+        status, payload = http_call(
+            handle, "POST", "/v2/summary", dict(SUMMARY), token=token
+        )
+        assert status == 401
+        assert payload["error_type"] == "AuthError"
+
+
+class TestAuthFailurePathsTCP:
+    def test_tcp_auth_envelope_paths(self):
+        auth = AuthService({"tok-a": "alice", "tok-revoked": "mallory"})
+        auth.revoke_token("tok-revoked")
+        server = TCPServer(make_engine(), port=0, auth=auth)
+        handle = BackgroundServer(server).start()
+        try:
+            with LineClient(handle.host, handle.port) as client:
+                # ping stays open (liveness probe).
+                assert client.request({"kind": "ping"})["kind"] == "pong"
+                for bad in (dict(SUMMARY),
+                            dict(SUMMARY, auth="garbage"),
+                            dict(SUMMARY, auth="tok-revoked")):
+                    response = client.request(bad)
+                    assert response["kind"] == "error"
+                    assert response["error_type"] == "AuthError"
+                good = client.request(dict(SUMMARY, auth="tok-a"))
+                assert good["kind"] == "summary_response"
+                stats = client.request(
+                    {"kind": "stats", "auth": "tok-a"}
+                )
+                assert stats["rejected"]["auth"] == 3
+        finally:
+            handle.stop()
+
+    def test_open_server_ignores_stray_auth_field(self):
+        server = TCPServer(make_engine(), port=0)
+        handle = BackgroundServer(server).start()
+        try:
+            with LineClient(handle.host, handle.port) as client:
+                response = client.request(dict(SUMMARY, auth="whatever"))
+                assert response["kind"] == "summary_response"
+        finally:
+            handle.stop()

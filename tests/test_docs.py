@@ -153,6 +153,55 @@ def test_readme_cites_server_bench_numbers_verbatim():
     )
 
 
+def test_bench_http_is_a_full_run_and_floors_hold():
+    """The committed BENCH_http.json must be a full run that satisfies
+    the two-tenant harness's own floors: the flooding tenant throttled
+    (429s observed), the analyst never throttled, the analyst's
+    contended p95 within the ceiling of its solo p95, and byte-identical
+    stdio/HTTP responses for the golden wire requests."""
+    import sys
+
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    try:
+        from bench_http_load import P95_RATIO_CEILING
+    finally:
+        sys.path.pop(0)
+    document = json.loads((REPO_ROOT / "BENCH_http.json").read_text())
+    assert document["smoke"] is False, (
+        "BENCH_http.json must be regenerated with a full (non --smoke) run"
+    )
+    assert document["p95_ratio"] <= P95_RATIO_CEILING
+    assert document["attacker_429s"] > 0
+    assert document["analyst_429s"] == 0
+    assert document["transport_parity"]["identical"] is True
+    assert document["transport_parity"]["golden_file_matched"] is True
+    labels = [s["label"] for s in document["scenarios"]]
+    assert labels == ["solo", "contended"]
+    assert document["trace"]["attackers"] >= 8
+
+
+def test_readme_cites_http_bench_numbers_verbatim():
+    readme = (REPO_ROOT / "README.md").read_text()
+    document = json.loads((REPO_ROOT / "BENCH_http.json").read_text())
+    by_label = {s["label"]: s for s in document["scenarios"]}
+    cited = [
+        "%.2f×" % document["p95_ratio"],
+        "**%d**" % document["attacker_429s"],
+        "%.1f ms" % (
+            by_label["solo"]["analyst_latency"]["p95_seconds"] * 1000.0
+        ),
+        "%.1f ms" % (
+            by_label["contended"]["analyst_latency"]["p95_seconds"] * 1000.0
+        ),
+    ]
+    missing = [number for number in cited if number not in readme]
+    assert not missing, (
+        "README HTTP section is out of date with BENCH_http.json; "
+        "missing: %s (regenerate with `PYTHONPATH=src python "
+        "benchmarks/bench_http_load.py` and update the text)" % missing
+    )
+
+
 def test_rounds_vs_groups_floors_hold_in_committed_results():
     """The committed full run must itself satisfy the enforced floors."""
     import sys

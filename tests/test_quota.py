@@ -1,0 +1,113 @@
+"""Tests for per-user quotas: window refill, races, isolation, costs."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.common.errors import InvalidParameterError, QuotaExceeded
+from repro.web import QuotaService, parse_quota_spec
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestQuotaService:
+    def test_charges_until_empty_then_429(self):
+        quota = QuotaService(3, 60.0, clock=FakeClock())
+        assert quota.charge("alice") == 2
+        assert quota.charge("alice") == 1
+        assert quota.charge("alice") == 0
+        with pytest.raises(QuotaExceeded):
+            quota.charge("alice")
+        stats = quota.stats()
+        assert (stats["granted"], stats["rejected"]) == (3, 1)
+
+    def test_refill_across_reset_boundary(self):
+        """A drained bucket snaps back to capacity exactly when the clock
+        crosses the window boundary — not a second before."""
+        clock = FakeClock(10.0)
+        quota = QuotaService(2, 60.0, clock=clock)
+        quota.charge("alice")
+        quota.charge("alice")
+        clock.now = 59.999  # same window: still empty
+        with pytest.raises(QuotaExceeded):
+            quota.charge("alice")
+        assert quota.remaining("alice") == 0
+        clock.now = 60.0  # boundary: full bucket
+        assert quota.remaining("alice") == 2
+        assert quota.charge("alice") == 1
+
+    def test_rejection_leaves_bucket_untouched(self):
+        quota = QuotaService(2, 60.0, clock=FakeClock(),
+                             costs={"summary": 3, "explore": 1})
+        with pytest.raises(QuotaExceeded):
+            quota.charge("alice", "summary")  # cost 3 > capacity 2
+        # The failed charge spent nothing: two explores still fit.
+        assert quota.charge("alice", "explore") == 1
+        assert quota.charge("alice", "explore") == 0
+
+    def test_per_user_isolation(self):
+        quota = QuotaService(1, 60.0, clock=FakeClock())
+        quota.charge("alice")
+        with pytest.raises(QuotaExceeded):
+            quota.charge("alice")
+        # Bob's bucket is untouched by Alice's exhaustion.
+        assert quota.charge("bob") == 0
+
+    def test_concurrent_race_for_last_token(self):
+        """Many threads racing one remaining token: exactly one wins."""
+        quota = QuotaService(1, 3600.0, clock=FakeClock())
+        barrier = threading.Barrier(8)
+        outcomes: list[bool] = []
+        lock = threading.Lock()
+
+        def contend():
+            barrier.wait()
+            try:
+                quota.charge("alice")
+                won = True
+            except QuotaExceeded:
+                won = False
+            with lock:
+                outcomes.append(won)
+
+        threads = [threading.Thread(target=contend) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sum(outcomes) == 1
+        assert len(outcomes) == 8
+        stats = quota.stats()
+        assert (stats["granted"], stats["rejected"]) == (1, 7)
+
+    def test_unknown_kind_costs_one(self):
+        quota = QuotaService(5, 60.0, clock=FakeClock(),
+                             costs={"summary": 2})
+        assert quota.charge("alice", "guidance") == 4
+        assert quota.charge("alice", "summary") == 2
+        assert quota.charge("alice", None) == 1
+
+    def test_invalid_construction(self):
+        with pytest.raises(InvalidParameterError):
+            QuotaService(0, 60.0)
+        with pytest.raises(InvalidParameterError):
+            QuotaService(1, 0.0)
+
+
+class TestParseQuotaSpec:
+    def test_valid(self):
+        assert parse_quota_spec("60/60") == (60, 60.0)
+        assert parse_quota_spec("100/1.5") == (100, 1.5)
+
+    @pytest.mark.parametrize("bad", ["60", "a/60", "60/b", "/", ""])
+    def test_invalid(self, bad):
+        with pytest.raises(InvalidParameterError):
+            parse_quota_spec(bad)
