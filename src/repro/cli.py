@@ -300,6 +300,14 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "fresh temp dir — sessions then do not survive a restart)",
     )
     parser.add_argument(
+        "--request-timeout", type=float, metavar="SECONDS",
+        help="default deadline for analytical requests on every transport; "
+        "work past it is abandoned at the next kernel checkpoint and "
+        "answered with error_type=DeadlineExceeded (HTTP 504).  Requests "
+        "may override per call with the deadline_ms envelope field.  "
+        "Unset: no default deadline",
+    )
+    parser.add_argument(
         "--drain-timeout", type=float, default=5.0,
         help="seconds a server-scope shutdown waits for in-flight shard "
         "queues to drain before tearing connections down "
@@ -366,6 +374,14 @@ def serve_main(argv: list[str] | None = None) -> int:
 
             capacity, window = parse_quota_spec(args.quota)
             quota = QuotaService(capacity, window)
+        deadline_ms = None
+        if args.request_timeout is not None:
+            if args.request_timeout <= 0:
+                raise ReproError(
+                    "--request-timeout must be positive, got %g"
+                    % args.request_timeout
+                )
+            deadline_ms = args.request_timeout * 1000.0
         for csv_path in args.csv:
             dataset, answers = _answers_from_csv(csv_path, None, None)
             engine.register_dataset(dataset, answers)
@@ -397,6 +413,7 @@ def serve_main(argv: list[str] | None = None) -> int:
                 auth=auth,
                 quota=quota,
                 drain_timeout=args.drain_timeout,
+                default_deadline_ms=deadline_ms,
             )
             background = BackgroundServer(tcp_server)
         web = WebServer(
@@ -414,6 +431,7 @@ def serve_main(argv: list[str] | None = None) -> int:
                 str(args.session_dir) if args.session_dir else None
             ),
             drain_timeout=args.drain_timeout,
+            default_deadline_ms=deadline_ms,
         )
 
         def _announce_web(running: WebServer) -> None:
@@ -458,6 +476,7 @@ def serve_main(argv: list[str] | None = None) -> int:
             auth=auth,
             quota=quota,
             drain_timeout=args.drain_timeout,
+            default_deadline_ms=deadline_ms,
         )
 
         def _announce(running: TCPServer) -> None:
@@ -484,7 +503,8 @@ def serve_main(argv: list[str] | None = None) -> int:
     from repro.service.serve import Dispatcher
 
     dispatcher = Dispatcher(
-        engine, max_line_bytes=args.max_line_bytes, auth=auth, quota=quota
+        engine, max_line_bytes=args.max_line_bytes, auth=auth, quota=quota,
+        default_deadline_ms=deadline_ms,
     )
     serve(sys.stdin, sys.stdout, dispatcher=dispatcher)
     return 0

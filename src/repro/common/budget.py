@@ -1,0 +1,159 @@
+"""Request deadlines as cooperative cancellation tokens.
+
+A :class:`Budget` is a wall-clock deadline plus a cancellation flag.  It
+is created at the dispatch boundary (from the request's ``deadline_ms``
+envelope field or the server's ``--request-timeout`` default) and rides
+with the request: the scheduler checks it while the request is queued
+(expired-in-queue requests are shed without touching compute), and the
+engine installs it as the *current* budget for the worker thread so that
+deep kernel loops — the merge engine's greedy rounds, cluster-pool
+construction — can poll it without threading a parameter through every
+call signature.
+
+Cancellation is *cooperative*: nothing is interrupted preemptively.
+Long-running loops call :func:`checkpoint` at natural round boundaries;
+when the current budget has expired, the checkpoint raises
+:class:`~repro.common.errors.DeadlineExceeded`, which the engine turns
+into a typed error response.  The overshoot past the deadline is
+therefore bounded by the longest stretch of work between two
+checkpoints, not by the total cost of the request.
+
+``checkpoint()`` with no budget installed is a single thread-local
+attribute read — cheap enough to sit inside per-round loops without
+moving benchmark numbers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.common.errors import DeadlineExceeded, InvalidParameterError
+
+__all__ = [
+    "Budget",
+    "budget_scope",
+    "checkpoint",
+    "current_budget",
+]
+
+
+class Budget:
+    """A deadline + cancellation token for one request.
+
+    Parameters
+    ----------
+    deadline:
+        Absolute :func:`time.monotonic` instant after which the work is
+        abandoned, or ``None`` for an unbounded budget (cancellable but
+        never expiring).
+    deadline_ms:
+        The original relative deadline in milliseconds, kept only for
+        error messages.
+    """
+
+    __slots__ = ("deadline", "deadline_ms", "_cancelled")
+
+    def __init__(
+        self,
+        deadline: Optional[float],
+        deadline_ms: Optional[float] = None,
+    ) -> None:
+        self.deadline = deadline
+        self.deadline_ms = deadline_ms
+        self._cancelled = False
+
+    @classmethod
+    def from_deadline_ms(cls, deadline_ms: float) -> "Budget":
+        """A budget expiring ``deadline_ms`` milliseconds from now."""
+        if deadline_ms <= 0:
+            raise InvalidParameterError(
+                "deadline_ms must be > 0, got %r" % (deadline_ms,)
+            )
+        return cls(
+            time.monotonic() + deadline_ms / 1000.0, deadline_ms=deadline_ms
+        )
+
+    def cancel(self) -> None:
+        """Mark the budget spent regardless of the clock.
+
+        The next :meth:`checkpoint` (on whichever thread holds the
+        budget) raises; there is no preemption.
+        """
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def expired(self) -> bool:
+        """True once the deadline has passed or the budget was cancelled."""
+        if self._cancelled:
+            return True
+        return self.deadline is not None and time.monotonic() > self.deadline
+
+    def remaining_seconds(self) -> Optional[float]:
+        """Seconds until expiry (never negative); None when unbounded."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - time.monotonic())
+
+    def checkpoint(self) -> None:
+        """Raise :class:`DeadlineExceeded` if this budget has expired."""
+        if self.expired():
+            if self._cancelled and self.deadline is None:
+                raise DeadlineExceeded("request cancelled")
+            if self.deadline_ms is not None:
+                raise DeadlineExceeded(
+                    "request deadline of %gms exceeded; partial work "
+                    "abandoned" % self.deadline_ms
+                )
+            raise DeadlineExceeded(
+                "request deadline exceeded; partial work abandoned"
+            )
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self._cancelled else (
+            "expired" if self.expired() else "live"
+        )
+        return "Budget(deadline_ms=%r, %s)" % (self.deadline_ms, state)
+
+
+_local = threading.local()
+
+
+def current_budget() -> Optional[Budget]:
+    """The budget installed on this thread, if any."""
+    return getattr(_local, "budget", None)
+
+
+@contextmanager
+def budget_scope(budget: Optional[Budget]) -> Iterator[Optional[Budget]]:
+    """Install *budget* as this thread's current budget for the scope.
+
+    ``budget_scope(None)`` is a supported no-op so call sites do not
+    need a conditional.  Scopes nest; the previous budget is restored
+    on exit.
+    """
+    if budget is None:
+        yield None
+        return
+    previous = getattr(_local, "budget", None)
+    _local.budget = budget
+    try:
+        yield budget
+    finally:
+        _local.budget = previous
+
+
+def checkpoint() -> None:
+    """Poll the current thread's budget; raise if it has expired.
+
+    This is the hook long-running kernels call at round boundaries.
+    With no budget installed it is a single attribute lookup.
+    """
+    budget = getattr(_local, "budget", None)
+    if budget is not None:
+        budget.checkpoint()

@@ -77,3 +77,43 @@ class UnknownSessionError(ReproError):
     missing fields): a session the server cannot read is served as
     "not found", never as a crash.
     """
+
+
+class DeadlineExceeded(ReproError):
+    """A request's deadline (``deadline_ms``) expired before it finished.
+
+    Served back as ``kind="error", error_type="DeadlineExceeded"``
+    (HTTP 504).  Raised cooperatively: long-running kernels poll a
+    :class:`repro.common.budget.Budget` at checkpoints and abandon the
+    work instead of burning CPU for a client that has given up.  Requests
+    whose deadline expires while still queued are shed without ever
+    reaching compute.
+    """
+
+
+class PoisonedRequest(ReproError):
+    """A request repeatedly crashed the workers that picked it up.
+
+    Served back as ``kind="error", error_type="PoisonedRequest"``
+    (HTTP 500).  The scheduler retries a request whose worker died once;
+    when the same request keeps killing workers it is quarantined and
+    answered with this error instead of being retried forever.
+    """
+
+
+class InjectedFault(ReproError):
+    """A deterministic fault-injection site fired with ``error`` behavior.
+
+    Only ever raised when :mod:`repro.common.faults` is armed (chaos
+    tests and ``bench_chaos.py``); production servers never construct it.
+    """
+
+
+class TransportError(ReproError):
+    """Client-side: the connection to the server is no longer usable.
+
+    Raised by :class:`repro.server.client.LineClient` when a socket
+    timeout or OS-level error leaves the line framing undefined — the
+    client closes the connection rather than let the next ``recv()``
+    read a stale half-line.  Retry on a fresh connection.
+    """

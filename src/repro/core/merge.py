@@ -92,6 +92,7 @@ from __future__ import annotations
 from heapq import heapify, heappop, heappush
 from typing import Iterable, Iterator, Sequence
 
+from repro.common.budget import checkpoint as _budget_checkpoint
 from repro.common.errors import InvalidParameterError
 from repro.core.answers import AnswerSet
 from repro.core.bitset import (
@@ -659,6 +660,7 @@ class MergeEngine:
         enumeration.  All paths pick by the exact same key as
         :meth:`best_pair`.
         """
+        _budget_checkpoint()
         if self._pairs is not None:
             return self._best_group(D)
         pairs = self.violating_pairs(D)
@@ -668,6 +670,7 @@ class MergeEngine:
 
     def best_any_pair(self) -> tuple[Cluster, Cluster] | None:
         """The best pair over all pairs, or None when |O| < 2."""
+        _budget_checkpoint()
         if self._pairs is not None:
             return self._best_group(None)
         pairs = self.all_pairs()

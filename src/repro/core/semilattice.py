@@ -53,6 +53,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterable, Literal
 
+from repro.common.budget import checkpoint as _budget_checkpoint
 from repro.common.errors import InvalidParameterError
 from repro.common.interning import STAR
 from repro.core.answers import AnswerSet
@@ -118,7 +119,13 @@ class ClusterPool:
         else:
             self._pack = bitset_of
         self._patterns: set[Pattern] = set()
-        for index in answers.top(L):
+        # Pool construction is the dominant cold-start cost at large n
+        # (seconds at n=10^6); every loop below polls the request budget
+        # at a coarse stride so a deadlined request abandons the build
+        # within milliseconds of expiry instead of finishing it.
+        for count, index in enumerate(answers.top(L)):
+            if not count % 4096:
+                _budget_checkpoint()
             self._patterns.update(generalizations(answers.elements[index]))
         self._coverage: dict[Pattern, frozenset[int]] = {}
         self._masks: dict[Pattern, int] = {}
@@ -145,6 +152,8 @@ class ClusterPool:
         ``mask_only`` pools skip the frozensets entirely."""
         buckets: dict[Pattern, set[int]] = {p: set() for p in self._patterns}
         for index, element in enumerate(self.answers.elements):
+            if not index % 2048:
+                _budget_checkpoint()
             for pattern in generalizations(element):
                 bucket = buckets.get(pattern)
                 if bucket is not None:
@@ -153,7 +162,9 @@ class ClusterPool:
         masks = self._masks
         mask_only = self.mask_only
         pack = self._pack
-        for pattern, ids in buckets.items():
+        for count, (pattern, ids) in enumerate(buckets.items()):
+            if not count % 1024:
+                _budget_checkpoint()
             masks[pattern] = pack(ids)
             if not mask_only:
                 coverage[pattern] = frozenset(ids)
@@ -162,6 +173,7 @@ class ClusterPool:
         """Per-cluster scan of all of S (the unoptimized ablation path)."""
         elements = self.answers.elements
         for pattern in self._patterns:
+            _budget_checkpoint()
             ids = [
                 index
                 for index, element in enumerate(elements)
@@ -176,6 +188,8 @@ class ClusterPool:
         m = self.answers.m
         postings: list[dict[int, set[int]]] = [{} for _ in range(m)]
         for index, element in enumerate(self.answers.elements):
+            if not index % 4096:
+                _budget_checkpoint()
             for attr, code in enumerate(element):
                 postings[attr].setdefault(code, set()).add(index)
         self._postings = postings

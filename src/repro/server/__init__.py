@@ -21,7 +21,8 @@ package is that serving tier, layered strictly on top of
     ``stats`` admin kind.
 ``repro.server.client``
     :class:`LineClient`: a minimal synchronous client for tests and the
-    load harness.
+    load harness; :class:`RetryingClient`: the resilient wrapper with
+    jittered exponential backoff, reconnects, and an attempt budget.
 
 Quickstart::
 
@@ -32,8 +33,8 @@ Quickstart::
             print(client.request({"kind": "ping"}))
 """
 
-from repro.common.errors import Overloaded
-from repro.server.client import LineClient
+from repro.common.errors import Overloaded, TransportError
+from repro.server.client import LineClient, RetryingClient
 from repro.server.metrics import LatencyHistogram, ServerMetrics
 from repro.server.scheduler import (
     DEFAULT_QUEUE_DEPTH,
@@ -52,9 +53,11 @@ __all__ = [
     "LatencyHistogram",
     "LineClient",
     "Overloaded",
+    "RetryingClient",
     "ServerMetrics",
     "ShardedScheduler",
     "SingleFlight",
     "TCPServer",
+    "TransportError",
     "request_key",
 ]

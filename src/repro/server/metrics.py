@@ -38,6 +38,7 @@ BUCKET_BOUNDS: tuple[float, ...] = (
 TRACKED_KINDS = frozenset({
     "summary", "explore", "guidance",
     "ping", "load_csv", "datasets", "algorithms", "stats", "shutdown",
+    "faults",
     "session", "healthz", "metrics",
     "invalid",
 })

@@ -11,26 +11,52 @@ Single-flight coalescing sits *in front* of the queues: followers of an
 in-flight identical request share the leader's future without consuming
 a queue slot, so duplicate-heavy traffic costs one computation and one
 slot per distinct request (see :mod:`repro.server.singleflight`).
+Requests carrying a :class:`~repro.common.budget.Budget` bypass
+coalescing: a short-deadline leader must not poison deadline-free
+followers with *its* ``DeadlineExceeded``, so deadlined requests are
+always their own flight.
 
 Workers are threads because the kernels are CPU-bound pure Python — the
 GIL serializes compute, so throughput comes from coalescing and from
 never blocking the transport, while sharding buys isolation/fairness,
 not parallel CPU.  The executor is deliberately pluggable-shaped (one
 ``submit -> Future`` seam) so a process pool can slot in later.
+
+Resilience (PR 7):
+
+* a request whose budget expired while queued is shed at dequeue — it
+  never touches compute (``deadline_shed``); one that expires *during*
+  compute is abandoned at the next kernel checkpoint
+  (``deadline_exceeded``);
+* workers that die on an unhandled non-``Exception`` (a real crash, or
+  the fault injector's :class:`~repro.common.faults.FaultCrash`) are
+  restarted by the supervisor with exponential backoff
+  (``worker_restarts``); the in-hand request is retried once, and a
+  request that *repeatedly* kills workers is quarantined and answered
+  with ``PoisonedRequest`` instead of being retried forever;
+* ``stop()`` counts wedged workers that outlived the shutdown deadline
+  (``workers_leaked``) and logs a warning instead of silently leaking
+  them.
 """
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
 import time
 import zlib
+from collections import OrderedDict
 from concurrent.futures import Future
 from typing import Any, Callable
 
-from repro.common.errors import Overloaded
+from repro.common.budget import Budget, budget_scope
+from repro.common.errors import DeadlineExceeded, Overloaded, PoisonedRequest
+from repro.common.faults import fault_point
 from repro.service.api import ErrorResponse
 from repro.server.singleflight import SingleFlight, request_key
+
+logger = logging.getLogger(__name__)
 
 _STOP = object()
 
@@ -38,6 +64,14 @@ _STOP = object()
 DEFAULT_SHARDS = 4
 DEFAULT_WORKERS_PER_SHARD = 1
 DEFAULT_QUEUE_DEPTH = 64
+
+#: A request whose worker dies this many times is quarantined.
+DEFAULT_QUARANTINE_AFTER = 2
+#: Bound on remembered poisoned fingerprints (oldest evicted first).
+QUARANTINE_CAPACITY = 128
+#: Supervisor restart backoff: base * 2^(deaths-1), capped.
+RESTART_BACKOFF_BASE = 0.01
+RESTART_BACKOFF_MAX = 1.0
 
 
 def _error_dict(error: Exception) -> dict[str, Any]:
@@ -47,13 +81,14 @@ def _error_dict(error: Exception) -> dict[str, Any]:
 
 
 class _Shard:
-    __slots__ = ("index", "queue", "threads", "served")
+    __slots__ = ("index", "queue", "threads", "served", "deaths")
 
     def __init__(self, index: int, depth: int) -> None:
         self.index = index
         self.queue: queue.Queue = queue.Queue(maxsize=depth)
         self.threads: list[threading.Thread] = []
         self.served = 0
+        self.deaths = 0
 
 
 class ShardedScheduler:
@@ -71,16 +106,20 @@ class ShardedScheduler:
     coalesce:
         Disable to measure the no-single-flight baseline (every request,
         duplicate or not, takes a queue slot and a computation).
+    quarantine_after:
+        Worker deaths the same request may cause before it is
+        quarantined and answered with ``PoisonedRequest``.
     """
 
     def __init__(
         self,
-        submit: Callable[[dict[str, Any]], dict[str, Any]],
+        submit: Callable[..., dict[str, Any]],
         *,
         shards: int = DEFAULT_SHARDS,
         workers_per_shard: int = DEFAULT_WORKERS_PER_SHARD,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         coalesce: bool = True,
+        quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1, got %d" % shards)
@@ -92,25 +131,54 @@ class ShardedScheduler:
             raise ValueError(
                 "queue_depth must be >= 1, got %d" % queue_depth
             )
+        if quarantine_after < 1:
+            raise ValueError(
+                "quarantine_after must be >= 1, got %d" % quarantine_after
+            )
         self._submit = submit
         self.coalesce = bool(coalesce)
+        self.quarantine_after = quarantine_after
         self.flight = SingleFlight()
         self._shards = [_Shard(i, queue_depth) for i in range(shards)]
+        self._workers_per_shard = workers_per_shard
         self._overloaded = 0
         self._inflight = 0  # accepted (queued or in-service) leaders
         self._idle = threading.Condition(threading.Lock())
         self._stats_lock = threading.Lock()
         self._stopped = False
+        self._worker_restarts = 0
+        self._workers_leaked = 0
+        self._deadline_shed = 0
+        self._deadline_exceeded = 0
+        self._poisoned = 0
+        self._crash_retries = 0
+        #: fingerprint -> worker deaths caused by its current attempt run.
+        self._crash_counts: dict[str, int] = {}
+        #: fingerprints answered with PoisonedRequest from now on (bounded).
+        self._quarantine: OrderedDict[str, int] = OrderedDict()
+        self._worker_serial = 0
         for shard in self._shards:
-            for worker in range(workers_per_shard):
-                thread = threading.Thread(
-                    target=self._worker,
-                    args=(shard,),
-                    name="repro-shard-%d-%d" % (shard.index, worker),
-                    daemon=True,
-                )
-                shard.threads.append(thread)
-                thread.start()
+            for _ in range(workers_per_shard):
+                self._spawn_worker(shard)
+
+    def _spawn_worker(self, shard: _Shard, delay: float = 0.0) -> None:
+        """Start one worker thread for *shard* (optionally after backoff).
+
+        Callers hold no lock; the serial counter keeps thread names
+        unique across restarts.
+        """
+        with self._stats_lock:
+            serial = self._worker_serial
+            self._worker_serial += 1
+        thread = threading.Thread(
+            target=self._worker,
+            args=(shard, delay),
+            name="repro-shard-%d-w%d" % (shard.index, serial),
+            daemon=True,
+        )
+        with self._stats_lock:
+            shard.threads.append(thread)
+        thread.start()
 
     # -- routing -------------------------------------------------------------
 
@@ -123,31 +191,61 @@ class ShardedScheduler:
 
     # -- submission ----------------------------------------------------------
 
-    def submit(self, payload: dict[str, Any]) -> Future:
+    def submit(
+        self, payload: dict[str, Any], budget: Budget | None = None
+    ) -> Future:
         """Enqueue one payload; always returns a future of a response dict.
 
         Identical in-flight requests share one future (unless coalescing
-        is off); a full shard queue resolves the future immediately with
-        an ``Overloaded`` error payload.
+        is off, or the request carries a *budget* — deadlined requests
+        never coalesce, see the module docstring); a full shard queue
+        resolves the future immediately with an ``Overloaded`` error
+        payload, and a quarantined request resolves immediately with
+        ``PoisonedRequest`` without consuming a slot.
         """
-        if not self.coalesce:
-            future: Future = Future()
-            self._enqueue(None, payload, future)
+        if self._quarantine:
+            fingerprint = request_key(payload)
+            with self._stats_lock:
+                quarantined = fingerprint in self._quarantine
+                if quarantined:
+                    self._poisoned += 1
+            if quarantined:
+                future: Future = Future()
+                future.set_result(_error_dict(PoisonedRequest(
+                    "request quarantined: it repeatedly crashed workers"
+                )))
+                return future
+        if budget is not None and budget.expired():
+            # Dead on arrival: shed without consuming a queue slot.
+            with self._stats_lock:
+                self._deadline_shed += 1
+            future = Future()
+            future.set_result(_error_dict(DeadlineExceeded(
+                "deadline expired before the request was queued"
+            )))
+            return future
+        if not self.coalesce or budget is not None:
+            future = Future()
+            self._enqueue(None, payload, future, budget)
             return future
         key = request_key(payload)
         future, is_leader = self.flight.begin(key)
         if is_leader:
-            self._enqueue(key, payload, future)
+            self._enqueue(key, payload, future, None)
         return future
 
     def _enqueue(
-        self, key: str | None, payload: dict[str, Any], future: Future
+        self,
+        key: str | None,
+        payload: dict[str, Any],
+        future: Future,
+        budget: Budget | None,
     ) -> None:
         shard = self._shards[self.shard_index(payload)]
         with self._idle:
             self._inflight += 1
         try:
-            shard.queue.put_nowait((key, payload, future))
+            shard.queue.put_nowait((key, payload, future, budget))
         except queue.Full:
             with self._idle:
                 self._inflight -= 1
@@ -172,22 +270,131 @@ class ShardedScheduler:
 
     # -- workers -------------------------------------------------------------
 
-    def _worker(self, shard: _Shard) -> None:
+    def _worker(self, shard: _Shard, delay: float = 0.0) -> None:
+        """Thread target: the serve loop wrapped in crash supervision."""
+        if delay > 0.0:
+            time.sleep(delay)
+        try:
+            self._worker_loop(shard)
+        except BaseException:
+            # A request escaped every error belt and killed this worker
+            # (the in-hand request was already retried or quarantined by
+            # _handle_crash).  Log, then hand the shard a replacement.
+            logger.warning(
+                "shard %d worker %s died; restarting",
+                shard.index, threading.current_thread().name,
+                exc_info=True,
+            )
+            self._restart_worker(shard)
+
+    def _worker_loop(self, shard: _Shard) -> None:
         while True:
             item = shard.queue.get()
             if item is _STOP:
                 return
-            key, payload, future = item
+            key, payload, future, budget = item
+            if budget is not None and budget.expired():
+                # Expired while queued: shed without touching compute.
+                with self._stats_lock:
+                    self._deadline_shed += 1
+                self._finish(key, future, _error_dict(DeadlineExceeded(
+                    "deadline expired while the request was queued"
+                )))
+                continue
             try:
-                response = self._submit(payload)
+                fault_point("scheduler.worker")
+                with budget_scope(budget):
+                    response = self._submit(payload)
             except Exception as error:  # submit_dict shouldn't raise; belt
                 response = _error_dict(error)  # and suspenders for workers
+            except BaseException:
+                # Worker death (FaultCrash or a genuine non-Exception).
+                # Settle the in-hand request, then let the crash escape
+                # to the supervision wrapper.
+                self._handle_crash(shard, key, payload, future, budget)
+                raise
+            # A clean completion retires any earlier crash strikes:
+            # only *consecutive* worker kills quarantine a request.
+            # (Fingerprinting costs a canonical JSON dump, so skip it
+            # unless some request actually has strikes outstanding.)
+            fingerprint = None
+            if self._crash_counts:
+                fingerprint = (
+                    key if key is not None else request_key(payload)
+                )
             with self._stats_lock:
                 shard.served += 1
-            self._resolve(key, future, response)
-            with self._idle:
-                self._inflight -= 1
-                self._idle.notify_all()
+                if fingerprint is not None:
+                    self._crash_counts.pop(fingerprint, None)
+                if response.get("error_type") == "DeadlineExceeded":
+                    self._deadline_exceeded += 1
+            self._finish(key, future, response)
+
+    def _finish(
+        self, key: str | None, future: Future, response: dict[str, Any]
+    ) -> None:
+        self._resolve(key, future, response)
+        with self._idle:
+            self._inflight -= 1
+            self._idle.notify_all()
+
+    def _handle_crash(
+        self,
+        shard: _Shard,
+        key: str | None,
+        payload: dict[str, Any],
+        future: Future,
+        budget: Budget | None,
+    ) -> None:
+        """The dying worker settles its in-hand request: retry once per
+        allowed strike, quarantine past the threshold."""
+        fingerprint = key if key is not None else request_key(payload)
+        with self._stats_lock:
+            strikes = self._crash_counts.get(fingerprint, 0) + 1
+            self._crash_counts[fingerprint] = strikes
+            poison = strikes >= self.quarantine_after
+            if poison:
+                self._crash_counts.pop(fingerprint, None)
+                self._quarantine[fingerprint] = strikes
+                while len(self._quarantine) > QUARANTINE_CAPACITY:
+                    self._quarantine.popitem(last=False)
+                self._poisoned += 1
+        if poison:
+            logger.warning(
+                "request crashed %d workers; quarantined (fingerprint %s)",
+                strikes, fingerprint[:64],
+            )
+            self._finish(key, future, _error_dict(PoisonedRequest(
+                "request crashed %d workers and was quarantined" % strikes
+            )))
+            return
+        try:
+            shard.queue.put_nowait((key, payload, future, budget))
+            with self._stats_lock:
+                self._crash_retries += 1
+        except queue.Full:
+            with self._stats_lock:
+                self._overloaded += 1
+            self._finish(key, future, _error_dict(Overloaded(
+                "shard %d queue full while retrying a crashed request"
+                % shard.index
+            )))
+
+    def _restart_worker(self, shard: _Shard) -> None:
+        current = threading.current_thread()
+        with self._stats_lock:
+            self._worker_restarts += 1
+            shard.deaths += 1
+            deaths = shard.deaths
+            if current in shard.threads:
+                shard.threads.remove(current)
+            stopped = self._stopped
+        if stopped:
+            return
+        delay = min(
+            RESTART_BACKOFF_BASE * (2 ** (deaths - 1)), RESTART_BACKOFF_MAX
+        )
+        self._spawn_worker(shard, delay=delay)
 
     # -- lifecycle / introspection -------------------------------------------
 
@@ -221,6 +428,8 @@ class ShardedScheduler:
         non-blocking puts with a deadline (a wedged worker behind a full
         queue must not hang shutdown forever — the workers are daemon
         threads, so giving up on them cannot block process exit).
+        Workers still alive past the deadline are *counted* (the
+        ``workers_leaked`` stat) and logged, not silently abandoned.
         """
         if self._stopped:
             return
@@ -244,6 +453,22 @@ class ShardedScheduler:
                     else max(0.0, deadline - time.monotonic())
                 )
                 thread.join(remaining)
+        leaked = [
+            thread
+            for shard in self._shards
+            for thread in shard.threads
+            if thread.is_alive()
+        ]
+        with self._stats_lock:
+            self._workers_leaked = len(leaked)
+        if leaked:
+            logger.warning(
+                "scheduler stop(): %d worker thread(s) still wedged past "
+                "the %s deadline: %s",
+                len(leaked),
+                "%.1fs" % timeout if timeout is not None else "unbounded",
+                ", ".join(thread.name for thread in leaked),
+            )
 
     def queue_depths(self) -> list[int]:
         return [shard.queue.qsize() for shard in self._shards]
@@ -252,16 +477,30 @@ class ShardedScheduler:
         with self._stats_lock:
             overloaded = self._overloaded
             served = [shard.served for shard in self._shards]
+            worker_restarts = self._worker_restarts
+            workers_leaked = self._workers_leaked
+            deadline_shed = self._deadline_shed
+            deadline_exceeded = self._deadline_exceeded
+            poisoned = self._poisoned
+            crash_retries = self._crash_retries
+            quarantined = len(self._quarantine)
         with self._idle:
             inflight = self._inflight
         return {
             "inflight": inflight,
             "shards": len(self._shards),
-            "workers_per_shard": len(self._shards[0].threads),
+            "workers_per_shard": self._workers_per_shard,
             "queue_depth": self._shards[0].queue.maxsize,
             "queue_depths": self.queue_depths(),
             "served_per_shard": served,
             "overloaded": overloaded,
             "coalesce_enabled": self.coalesce,
             "singleflight": self.flight.stats(),
+            "worker_restarts": worker_restarts,
+            "workers_leaked": workers_leaked,
+            "deadline_shed": deadline_shed,
+            "deadline_exceeded": deadline_exceeded,
+            "poisoned": poisoned,
+            "crash_retries": crash_retries,
+            "quarantined": quarantined,
         }

@@ -38,6 +38,7 @@ import time
 from concurrent.futures import Future
 from typing import Any, AsyncIterator, Callable
 
+from repro.common.faults import fault_point
 from repro.service.api import SCHEMA_VERSION
 from repro.service.engine import Engine
 from repro.service.serve import (
@@ -128,6 +129,7 @@ class TCPServer:
         auth=None,
         quota=None,
         drain_timeout: float = 5.0,
+        default_deadline_ms: float | None = None,
     ) -> None:
         self.engine = engine
         self.host = host
@@ -140,6 +142,7 @@ class TCPServer:
         self.auth = auth
         self.quota = quota
         self.drain_timeout = drain_timeout
+        self.default_deadline_ms = default_deadline_ms
         self._submit = submit if submit is not None else engine.submit_dict
         self.metrics = ServerMetrics()
         self.scheduler: ShardedScheduler | None = None
@@ -175,6 +178,7 @@ class TCPServer:
                 extra_stats=self.server_stats,
                 auth=self.auth,
                 quota=self.quota,
+                default_deadline_ms=self.default_deadline_ms,
             )
             server = await asyncio.start_server(
                 self._handle_connection, self.host, self.port
@@ -245,6 +249,9 @@ class TCPServer:
                     continue
                 if isinstance(response, Future):
                     response = await asyncio.wrap_future(response)
+                # Chaos site: an injected disconnect/latency here models
+                # the response write failing, not the compute.
+                fault_point("tcp.write")
                 writer.write(
                     json.dumps(response, sort_keys=True).encode("utf-8")
                     + b"\n"

@@ -49,7 +49,9 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Generic, Hashable, Sequence, TypeVar
 
+from repro.common.budget import Budget, budget_scope, checkpoint
 from repro.common.errors import InvalidParameterError, ReproError
+from repro.common.faults import fault_point
 from repro.common.interning import STAR
 from repro.core.answers import AnswerSet
 from repro.core.bitset import DENSE_KERNEL, resolve_kernel
@@ -338,6 +340,10 @@ class Engine:
         self, request: SummaryRequest | ExploreRequest | GuidanceRequest
     ):
         """Serve one typed request; returns the matching typed response."""
+        fault_point("engine.compute")
+        # Shed before computing: a request whose budget expired on the
+        # way here (queue wait, parse) never starts the solve.
+        checkpoint()
         with self._requests_lock:
             self._requests += 1
         if isinstance(request, SummaryRequest):
@@ -350,11 +356,21 @@ class Engine:
             "unsupported request type %s" % type(request).__name__
         )
 
-    def submit_dict(self, payload: dict[str, Any]) -> dict[str, Any]:
+    def submit_dict(
+        self, payload: dict[str, Any], budget: Budget | None = None
+    ) -> dict[str, Any]:
         """Wire-in/wire-out: parse, serve, serialize; errors become
-        ``kind="error"`` payloads instead of exceptions."""
+        ``kind="error"`` payloads instead of exceptions.
+
+        *budget* (optional) is installed as the thread's current budget
+        for the duration of the request, so kernel checkpoints can
+        abandon expired work (:class:`DeadlineExceeded` serializes like
+        any other typed error).  Callers that already scoped a budget
+        around this call (the scheduler worker) simply pass None.
+        """
         try:
-            return self.submit(parse_request(payload)).to_dict()
+            with budget_scope(budget):
+                return self.submit(parse_request(payload)).to_dict()
         except (ReproError, TypeError, ValueError) as error:
             return ErrorResponse(
                 error_type=type(error).__name__, message=str(error)

@@ -36,6 +36,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Any, Callable, IO
 
+from repro.common.budget import Budget
 from repro.common.errors import (
     AuthError,
     LineTooLong,
@@ -134,11 +135,16 @@ class Dispatcher:
         authenticated user (or the shared anonymous identity on an open
         server) for the analytical kinds only; an empty bucket becomes
         an ``error_type="QuotaExceeded"`` response.
+    default_deadline_ms:
+        Optional server-side deadline applied to every analytical
+        request that does not carry its own ``deadline_ms`` envelope
+        field (the ``repro-serve --request-timeout`` knob).  ``None``
+        (the default) leaves undeadlined requests unbounded.
 
     The dispatcher also counts the rejections it served (``oversized`` /
     ``undecodable`` / ``malformed`` hostile input, plus ``auth`` and
-    ``quota`` denials); they ride in every ``stats`` response under
-    ``"rejected"``.
+    ``quota`` denials and sync-path ``deadline`` expiries); they ride in
+    every ``stats`` response under ``"rejected"``.
     """
 
     def __init__(
@@ -146,10 +152,11 @@ class Dispatcher:
         engine: Engine,
         *,
         max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
-        submit: Callable[[dict[str, Any]], Any] | None = None,
+        submit: Callable[..., Any] | None = None,
         extra_stats: Callable[[], dict[str, Any]] | None = None,
         auth=None,
         quota=None,
+        default_deadline_ms: float | None = None,
     ) -> None:
         if max_line_bytes < 2:
             raise ValueError(
@@ -161,12 +168,19 @@ class Dispatcher:
         self._extra_stats = extra_stats
         self.auth = auth
         self.quota = quota
+        if default_deadline_ms is not None and default_deadline_ms <= 0:
+            raise ValueError(
+                "default_deadline_ms must be positive, got %r"
+                % (default_deadline_ms,)
+            )
+        self.default_deadline_ms = default_deadline_ms
         self._counts_lock = threading.Lock()
         self.oversized = 0
         self.undecodable = 0
         self.malformed = 0
         self.auth_rejected = 0
         self.quota_rejected = 0
+        self.deadline_exceeded = 0
 
     # -- hostile-input responses (shared with the TCP framing layer) --------
 
@@ -230,14 +244,31 @@ class Dispatcher:
         """Serve one parsed request object (admin inline, analytics via
         the ``submit`` hook).
 
-        The ``auth`` envelope field is consumed here — authenticated
-        (or ignored on an open server) and popped before the payload
-        reaches strict request parsing or the single-flight key, so
-        identical requests from different users still coalesce.
+        The ``auth`` and ``deadline_ms`` envelope fields are consumed
+        here — popped before the payload reaches strict request parsing
+        or the single-flight key, so identical requests from different
+        users (or with different deadlines) still hash identically.
+        ``deadline_ms`` (or the server default) becomes a
+        :class:`~repro.common.budget.Budget` handed to the ``submit``
+        hook; it applies to the analytical kinds only (admin kinds are
+        served inline and ignore it).
         """
         kind = payload.get("kind")
         kind_label = kind if isinstance(kind, str) else "invalid"
         token = payload.pop("auth", None)
+        deadline_ms = payload.pop("deadline_ms", None)
+        if deadline_ms is not None and (
+            isinstance(deadline_ms, bool)
+            or not isinstance(deadline_ms, (int, float))
+            or deadline_ms <= 0
+        ):
+            return DispatchOutcome(
+                self._malformed_error(SchemaError(
+                    "deadline_ms must be a positive number of "
+                    "milliseconds, got %r" % (deadline_ms,)
+                )),
+                kind=kind_label,
+            )
         user = "anonymous"
         if self.auth is not None and kind != "ping":
             try:
@@ -262,7 +293,23 @@ class Dispatcher:
         if admin is not None:
             response, scope = admin
             return DispatchOutcome(response, shutdown=scope, kind=kind_label)
-        return DispatchOutcome(self._submit(payload), kind=kind_label)
+        effective_ms = (
+            deadline_ms if deadline_ms is not None
+            else self.default_deadline_ms
+        )
+        if effective_ms is None:
+            return DispatchOutcome(self._submit(payload), kind=kind_label)
+        budget = Budget.from_deadline_ms(effective_ms)
+        response = self._submit(payload, budget=budget)
+        if (
+            isinstance(response, dict)
+            and response.get("error_type") == "DeadlineExceeded"
+        ):
+            # Sync (stdio) path only; the TCP scheduler counts its own
+            # deadline events in its stats.
+            with self._counts_lock:
+                self.deadline_exceeded += 1
+        return DispatchOutcome(response, kind=kind_label)
 
     # -- admin kinds ---------------------------------------------------------
 
@@ -320,6 +367,38 @@ class Dispatcher:
                 "kind": "datasets",
                 "datasets": self.engine.dataset_names(),
             }, None
+        if kind == "faults":
+            # Remote fault-injection control (chaos tests and
+            # bench_chaos.py): {"kind": "faults"} lists the armed rules;
+            # "clear": true disarms everything; "arm": "<spec>" arms
+            # rules in the REPRO_FAULTS spec syntax, with an optional
+            # integer "seed" re-seeding the deterministic RNG first.
+            # On a token-secured server this kind requires auth like any
+            # other admin kind.
+            from repro.common import faults
+
+            if payload.get("clear"):
+                faults.clear()
+            spec = payload.get("arm")
+            if spec is not None:
+                if not isinstance(spec, str):
+                    raise SchemaError(
+                        "faults 'arm' must be a spec string "
+                        "(site=behavior[:probability[:param[:times]]])"
+                    )
+                seed = payload.get("seed")
+                if seed is not None and (
+                    isinstance(seed, bool) or not isinstance(seed, int)
+                ):
+                    raise SchemaError(
+                        "faults 'seed' must be an integer"
+                    )
+                faults.arm_from_spec(spec, seed=seed)
+            return {
+                "schema_version": SCHEMA_VERSION,
+                "kind": "faults",
+                "armed": faults.describe(),
+            }, None
         if kind == "algorithms":
             return {
                 "schema_version": SCHEMA_VERSION,
@@ -335,6 +414,7 @@ class Dispatcher:
                     "malformed": self.malformed,
                     "auth": self.auth_rejected,
                     "quota": self.quota_rejected,
+                    "deadline": self.deadline_exceeded,
                 }
             response: dict[str, Any] = {
                 "schema_version": SCHEMA_VERSION,

@@ -75,7 +75,10 @@ STATUS_BY_ERROR_TYPE: Mapping[str, int] = {
     "UnknownSessionError": 404,
     "LineTooLong": 413,
     "QuotaExceeded": 429,
+    "InjectedFault": 500,
+    "PoisonedRequest": 500,
     "Overloaded": 503,
+    "DeadlineExceeded": 504,
 }
 
 #: Admin kinds the ``/v2/admin/<kind>`` route refuses to alias (they
@@ -134,6 +137,7 @@ class WebServer:
         session_dir: str | None = None,
         drain_timeout: float = 5.0,
         submit: Callable[[dict[str, Any]], dict[str, Any]] | None = None,
+        default_deadline_ms: float | None = None,
     ) -> None:
         self.engine = engine
         self.host = host
@@ -157,6 +161,7 @@ class WebServer:
             extra_stats=self.server_stats,
             auth=auth,
             quota=quota,
+            default_deadline_ms=default_deadline_ms,
         )
         if session_dir is None:
             import tempfile
@@ -283,6 +288,17 @@ class WebServer:
         scheduler = self.scheduler.stats()
         extra["scheduler_inflight"] = scheduler["inflight"]
         extra["scheduler_overloaded"] = scheduler["overloaded"]
+        extra["scheduler_worker_restarts"] = scheduler["worker_restarts"]
+        extra["scheduler_workers_leaked"] = scheduler["workers_leaked"]
+        extra["scheduler_deadline_shed"] = scheduler["deadline_shed"]
+        extra["scheduler_deadline_exceeded"] = (
+            scheduler["deadline_exceeded"]
+        )
+        extra["scheduler_poisoned"] = scheduler["poisoned"]
+        extra["scheduler_quarantined"] = scheduler["quarantined"]
+        extra["dispatcher_deadline_exceeded"] = (
+            self.dispatcher.deadline_exceeded
+        )
         for index, depth in enumerate(scheduler["queue_depths"]):
             extra['shard_queue_depth{shard="%d"}' % index] = depth
         flight = scheduler["singleflight"]

@@ -88,7 +88,8 @@ class QuotaService:
         bucket holds fewer tokens than the cost.
         """
         cost = self.cost(kind)
-        window = int(self._clock() // self.window_seconds)
+        now = self._clock()
+        window = int(now // self.window_seconds)
         with self._lock:
             bucket = self._buckets.get(user)
             if bucket is None or bucket[0] != window:
@@ -96,11 +97,15 @@ class QuotaService:
                 self._buckets[user] = bucket
             if bucket[1] < cost:
                 self.rejected += 1
+                # The "retry in Xs" clause is machine-readable: it is
+                # the TCP transport's Retry-After (RetryingClient parses
+                # it); the HTTP front door sends the real header too.
                 raise QuotaExceeded(
                     "quota exhausted for user %r: %d tokens per %gs window "
-                    "(request cost %d, %d left); retry next window"
+                    "(request cost %d, %d left); retry in %.1fs"
                     % (user, self.capacity, self.window_seconds, cost,
-                       int(bucket[1]))
+                       int(bucket[1]),
+                       self.window_seconds - (now % self.window_seconds))
                 )
             bucket[1] -= cost
             self.granted += 1

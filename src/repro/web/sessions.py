@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.common.faults import fault_point
 from repro.common.errors import (
     InvalidParameterError,
     SchemaError,
@@ -123,6 +124,9 @@ class SessionStore:
     # -- persistence ---------------------------------------------------------
 
     def save(self, record: SessionRecord) -> None:
+        # Chaos site: an injected error here models a full/failing disk;
+        # placed before the temp file exists so nothing needs cleanup.
+        fault_point("sessions.write")
         path = self._path(record.user, record.name)
         path.parent.mkdir(parents=True, exist_ok=True)
         data = json.dumps(record.to_dict(), sort_keys=True, indent=1)

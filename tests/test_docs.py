@@ -202,6 +202,35 @@ def test_readme_cites_http_bench_numbers_verbatim():
     )
 
 
+def test_bench_chaos_is_a_full_run_and_floors_hold():
+    """The committed BENCH_chaos.json must be a full run that satisfies
+    the chaos harness's own floors: >= 99% of requests answered (success
+    or a correctly-typed wire error) under worker-crash + latency
+    faults, zero hung clients, worker supervision demonstrably firing,
+    and byte-identical transports with faults disarmed."""
+    import sys
+
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    try:
+        from bench_chaos import AVAILABILITY_FLOOR, MIN_WORKER_RESTARTS
+    finally:
+        sys.path.pop(0)
+    document = json.loads((REPO_ROOT / "BENCH_chaos.json").read_text())
+    assert document["smoke"] is False, (
+        "BENCH_chaos.json must be regenerated with a full (non --smoke) run"
+    )
+    drill = document["chaos"]
+    assert drill["availability"] >= AVAILABILITY_FLOOR
+    assert drill["hung_clients"] == 0
+    assert drill["outcomes"]["unavailable"] == 0
+    assert drill["scheduler"]["worker_restarts"] >= MIN_WORKER_RESTARTS
+    assert drill["scheduler"]["workers_leaked"] == 0
+    for phase in ("before", "after"):
+        parity = document["transport_parity"][phase]
+        assert parity["identical"] is True
+        assert parity["golden_file_matched"] is True
+
+
 def test_rounds_vs_groups_floors_hold_in_committed_results():
     """The committed full run must itself satisfy the enforced floors."""
     import sys

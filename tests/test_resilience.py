@@ -1,0 +1,615 @@
+"""Resilience layer: budgets/deadlines, fault injection, retrying client.
+
+Covers the cooperative-cancellation plumbing end to end — the
+:class:`Budget` token itself, the kernel checkpoints it trips, the
+``deadline_ms`` envelope field through the dispatcher, queue-expiry
+shedding in the scheduler — plus the deterministic fault-injection
+module and the client-side story (typed transport errors, retrying
+wrapper).  Worker-crash supervision and quarantine live in
+``test_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from concurrent.futures import Future
+
+import pytest
+
+from repro.common import faults
+from repro.common.budget import (
+    Budget,
+    budget_scope,
+    checkpoint,
+    current_budget,
+)
+from repro.common.errors import (
+    DeadlineExceeded,
+    InjectedFault,
+    InvalidParameterError,
+    TransportError,
+)
+from repro.core.answers import AnswerSet
+from repro.core.semilattice import ClusterPool
+from repro.server import (
+    BackgroundServer,
+    LineClient,
+    RetryingClient,
+    ShardedScheduler,
+    TCPServer,
+)
+from repro.service import Engine
+from repro.service.serve import Dispatcher
+from tests.conftest import paper_like_answers, zero_timings
+
+
+@pytest.fixture(autouse=True)
+def disarm_faults():
+    """No fault rule may leak between tests."""
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def make_engine() -> Engine:
+    engine = Engine()
+    engine.register_dataset("paper", paper_like_answers())
+    return engine
+
+
+SUMMARY = {
+    "schema_version": 2, "kind": "summary", "dataset": "paper",
+    "k": 2, "L": 4, "D": 1,
+}
+
+
+# -- Budget -------------------------------------------------------------------
+
+
+class TestBudget:
+    def test_unbounded_budget_never_expires(self):
+        budget = Budget(None)
+        assert not budget.expired()
+        assert budget.remaining_seconds() is None
+        budget.checkpoint()  # no raise
+
+    def test_from_deadline_ms_expires(self):
+        budget = Budget.from_deadline_ms(5)
+        assert not budget.expired()
+        time.sleep(0.02)
+        assert budget.expired()
+        with pytest.raises(DeadlineExceeded, match="5ms"):
+            budget.checkpoint()
+
+    def test_from_deadline_ms_rejects_nonpositive(self):
+        with pytest.raises(InvalidParameterError):
+            Budget.from_deadline_ms(0)
+        with pytest.raises(InvalidParameterError):
+            Budget.from_deadline_ms(-10)
+
+    def test_cancel_trips_checkpoint_immediately(self):
+        budget = Budget(None)
+        budget.cancel()
+        assert budget.expired()
+        assert budget.cancelled
+        with pytest.raises(DeadlineExceeded, match="cancelled"):
+            budget.checkpoint()
+
+    def test_remaining_seconds_never_negative(self):
+        budget = Budget.from_deadline_ms(1)
+        time.sleep(0.01)
+        assert budget.remaining_seconds() == 0.0
+
+    def test_scope_installs_and_restores(self):
+        outer = Budget(None)
+        inner = Budget(None)
+        assert current_budget() is None
+        with budget_scope(outer):
+            assert current_budget() is outer
+            with budget_scope(inner):
+                assert current_budget() is inner
+            assert current_budget() is outer
+        assert current_budget() is None
+
+    def test_scope_none_is_noop(self):
+        with budget_scope(None):
+            assert current_budget() is None
+        checkpoint()  # nothing installed: no raise
+
+    def test_scope_is_thread_local(self):
+        budget = Budget(None)
+        seen = []
+        with budget_scope(budget):
+            thread = threading.Thread(
+                target=lambda: seen.append(current_budget())
+            )
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+    def test_module_checkpoint_trips_on_expired_scope(self):
+        budget = Budget.from_deadline_ms(1)
+        time.sleep(0.01)
+        with budget_scope(budget):
+            with pytest.raises(DeadlineExceeded):
+                checkpoint()
+
+
+# -- fault injection ----------------------------------------------------------
+
+
+class TestFaults:
+    def test_disarmed_site_is_noop(self):
+        faults.fault_point("engine.compute")  # nothing armed
+
+    def test_unknown_site_or_behavior_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            faults.arm("not.a.site", "crash")
+        with pytest.raises(InvalidParameterError):
+            faults.arm("engine.compute", "explode")
+
+    def test_error_behavior_raises_injected_fault(self):
+        faults.arm("engine.compute", "error")
+        with pytest.raises(InjectedFault):
+            faults.fault_point("engine.compute")
+        # Other sites stay clean.
+        faults.fault_point("scheduler.worker")
+
+    def test_crash_behavior_is_not_an_exception(self):
+        faults.arm("scheduler.worker", "crash")
+        with pytest.raises(faults.FaultCrash):
+            faults.fault_point("scheduler.worker")
+        assert not issubclass(faults.FaultCrash, Exception)
+
+    def test_disconnect_behavior(self):
+        faults.arm("tcp.write", "disconnect")
+        with pytest.raises(ConnectionResetError):
+            faults.fault_point("tcp.write")
+
+    def test_latency_behavior_sleeps(self):
+        faults.arm("engine.compute", "latency", param=30)
+        start = time.perf_counter()
+        faults.fault_point("engine.compute")
+        assert time.perf_counter() - start >= 0.025
+
+    def test_times_bounds_firings(self):
+        rule = faults.arm("engine.compute", "error", times=2)
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                faults.fault_point("engine.compute")
+        faults.fault_point("engine.compute")  # budget spent: no raise
+        assert rule.fired == 2
+
+    def test_probability_is_seed_deterministic(self):
+        def run(seed: int) -> list[bool]:
+            faults.clear()
+            faults.set_seed(seed)
+            faults.arm("engine.compute", "error", probability=0.5)
+            fired = []
+            for _ in range(32):
+                try:
+                    faults.fault_point("engine.compute")
+                    fired.append(False)
+                except InjectedFault:
+                    fired.append(True)
+            return fired
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+        assert any(run(7)) and not all(run(7))
+
+    def test_arm_from_spec_round_trip(self):
+        rules = faults.arm_from_spec(
+            "scheduler.worker=crash:0.25;engine.compute=latency:1:50:3",
+            seed=11,
+        )
+        assert [(r.site, r.behavior) for r in rules] == [
+            ("scheduler.worker", "crash"), ("engine.compute", "latency"),
+        ]
+        assert rules[1].param == 50.0 and rules[1].times == 3
+        described = faults.describe()
+        assert {d["site"] for d in described} == {
+            "scheduler.worker", "engine.compute",
+        }
+
+    def test_arm_from_spec_rejects_garbage(self):
+        with pytest.raises(InvalidParameterError):
+            faults.arm_from_spec("no-equals-sign")
+        with pytest.raises(InvalidParameterError):
+            faults.arm_from_spec("engine.compute=error:not-a-number")
+
+    def test_clear_single_site(self):
+        faults.arm("engine.compute", "error")
+        faults.arm("tcp.write", "disconnect")
+        faults.clear("engine.compute")
+        faults.fault_point("engine.compute")  # disarmed
+        with pytest.raises(ConnectionResetError):
+            faults.fault_point("tcp.write")
+
+
+# -- deadlines through the dispatcher ----------------------------------------
+
+
+class TestDeadlines:
+    def test_huge_deadline_response_matches_undeadlined(self):
+        # Fresh engines for each request: both runs are cache-cold, so
+        # the responses must be identical field for field.
+        plain = Dispatcher(make_engine()).dispatch_payload(
+            dict(SUMMARY)
+        ).response
+        deadlined = Dispatcher(make_engine()).dispatch_payload(
+            {**SUMMARY, "deadline_ms": 60_000}
+        ).response
+        assert zero_timings(deadlined) == zero_timings(plain)
+
+    def test_invalid_deadline_ms_is_schema_error(self):
+        dispatcher = Dispatcher(make_engine())
+        for bad in (0, -5, "fast", True, [50]):
+            response = dispatcher.dispatch_payload(
+                {**SUMMARY, "deadline_ms": bad}
+            ).response
+            assert response["error_type"] == "SchemaError"
+            assert "deadline_ms" in response["message"]
+
+    def test_expired_deadline_returns_deadline_exceeded(self):
+        engine = make_engine()
+        dispatcher = Dispatcher(engine)
+        # 0.001ms expires before the engine's entry checkpoint runs.
+        response = dispatcher.dispatch_payload(
+            {**SUMMARY, "deadline_ms": 0.001}
+        ).response
+        assert response["kind"] == "error"
+        assert response["error_type"] == "DeadlineExceeded"
+        assert dispatcher.deadline_exceeded == 1
+        stats = dispatcher.dispatch_payload({"kind": "stats"}).response
+        assert stats["rejected"]["deadline"] == 1
+
+    def test_default_deadline_applies_without_envelope_field(self):
+        dispatcher = Dispatcher(
+            make_engine(), default_deadline_ms=0.001
+        )
+        response = dispatcher.dispatch_payload(dict(SUMMARY)).response
+        assert response["error_type"] == "DeadlineExceeded"
+
+    def test_envelope_field_overrides_default(self):
+        dispatcher = Dispatcher(
+            make_engine(), default_deadline_ms=0.001
+        )
+        response = dispatcher.dispatch_payload(
+            {**SUMMARY, "deadline_ms": 60_000}
+        ).response
+        assert response["kind"] == "summary_response"
+
+    def test_admin_kinds_ignore_default_deadline(self):
+        dispatcher = Dispatcher(
+            make_engine(), default_deadline_ms=0.001
+        )
+        response = dispatcher.dispatch_payload({"kind": "ping"}).response
+        assert response["kind"] == "pong"
+        stats = dispatcher.dispatch_payload({"kind": "stats"}).response
+        assert stats["kind"] == "stats"
+
+    def test_rejects_nonpositive_default(self):
+        with pytest.raises(ValueError):
+            Dispatcher(make_engine(), default_deadline_ms=0)
+
+
+# -- deadlines through the scheduler ------------------------------------------
+
+
+class TestSchedulerDeadlines:
+    def test_expired_at_submit_is_shed_without_compute(self):
+        calls = []
+
+        def submit(payload):
+            calls.append(payload)
+            return {"kind": "ok"}
+
+        scheduler = ShardedScheduler(submit, shards=1)
+        try:
+            budget = Budget.from_deadline_ms(0.001)
+            while not budget.expired():
+                time.sleep(0.001)
+            future = scheduler.submit({"kind": "summary"}, budget=budget)
+            response = future.result(timeout=5)
+            assert response["error_type"] == "DeadlineExceeded"
+            assert calls == []
+            assert scheduler.stats()["deadline_shed"] == 1
+        finally:
+            scheduler.stop()
+
+    def test_expired_while_queued_is_shed_at_dequeue(self):
+        release = threading.Event()
+
+        def submit(payload):
+            if payload.get("slow"):
+                release.wait(5)
+            return {"kind": "ok"}
+
+        scheduler = ShardedScheduler(submit, shards=1)
+        try:
+            blocker = scheduler.submit({"kind": "summary", "slow": True})
+            time.sleep(0.05)  # let the worker pick the blocker up
+            deadlined = scheduler.submit(
+                {"kind": "summary", "x": 1},
+                budget=Budget.from_deadline_ms(20),
+            )
+            time.sleep(0.05)  # deadline passes while queued
+            release.set()
+            assert blocker.result(timeout=5) == {"kind": "ok"}
+            response = deadlined.result(timeout=5)
+            assert response["error_type"] == "DeadlineExceeded"
+            assert "queued" in response["message"]
+            assert scheduler.stats()["deadline_shed"] == 1
+        finally:
+            scheduler.stop()
+
+    def test_deadlined_requests_bypass_coalescing(self):
+        served = []
+        lock = threading.Lock()
+
+        def submit(payload):
+            with lock:
+                served.append(payload)
+            return {"kind": "ok"}
+
+        scheduler = ShardedScheduler(submit, shards=1)
+        try:
+            payload = {"kind": "summary", "dataset": "d"}
+            futures = [
+                scheduler.submit(
+                    dict(payload), budget=Budget.from_deadline_ms(60_000)
+                )
+                for _ in range(3)
+            ]
+            assert len({id(f) for f in futures}) == 3
+            for future in futures:
+                assert future.result(timeout=5) == {"kind": "ok"}
+            assert len(served) == 3
+        finally:
+            scheduler.stop()
+
+    def test_compute_observing_deadline_is_counted(self):
+        def submit(payload):
+            # Engine-side abort: the kernel checkpoint tripped.
+            return {
+                "kind": "error", "error_type": "DeadlineExceeded",
+                "message": "deadline", "schema_version": 2,
+            }
+
+        scheduler = ShardedScheduler(submit, shards=1)
+        try:
+            future = scheduler.submit(
+                {"kind": "summary"}, budget=Budget.from_deadline_ms(60_000)
+            )
+            assert future.result(timeout=5)["error_type"] == (
+                "DeadlineExceeded"
+            )
+            assert scheduler.stats()["deadline_exceeded"] == 1
+        finally:
+            scheduler.stop()
+
+
+# -- cooperative cancellation inside the kernels ------------------------------
+
+
+class TestKernelCheckpoints:
+    def test_pool_build_aborts_on_expired_budget(self):
+        answers = AnswerSet(
+            list(itertools.product(range(4), repeat=6)),
+            [float(i) for i in range(4 ** 6)],
+        )
+        budget = Budget(None)
+        budget.cancel()
+        with budget_scope(budget):
+            with pytest.raises(DeadlineExceeded):
+                ClusterPool(answers, L=answers.n)
+
+    def test_merge_loop_aborts_on_cancel(self):
+        engine = make_engine()
+        budget = Budget(None)
+        budget.cancel()
+        with budget_scope(budget):
+            response = engine.submit_dict(dict(SUMMARY))
+        assert response["error_type"] == "DeadlineExceeded"
+
+    def test_cold_million_row_summary_deadline_overshoot_bounded(self):
+        """ISSUE acceptance: deadline_ms=50 against a cold n=10^6 dataset
+        answers DeadlineExceeded within 10x the deadline."""
+        n = 1_000_000
+        elements = list(itertools.product(range(10), repeat=6))
+        assert len(elements) == n
+        # Values descending in enumeration order: the constructor's sort
+        # is O(n) on presorted input, keeping test setup fast.
+        values = [float(n - i) for i in range(n)]
+        engine = Engine()
+        engine.register_dataset("million", AnswerSet(elements, values))
+        dispatcher = Dispatcher(engine)
+        request = {
+            "schema_version": 2, "kind": "summary", "dataset": "million",
+            "k": 8, "L": n, "D": 2, "deadline_ms": 50,
+        }
+        start = time.perf_counter()
+        response = dispatcher.dispatch_payload(request).response
+        elapsed = time.perf_counter() - start
+        assert response["kind"] == "error"
+        assert response["error_type"] == "DeadlineExceeded"
+        assert elapsed <= 0.5, (
+            "overshoot %.3fs exceeds 10x the 50ms deadline" % elapsed
+        )
+        # The aborted build must not poison the cache: nothing cached.
+        assert engine.stats().pools.size == 0
+
+
+# -- LineClient framing + RetryingClient --------------------------------------
+
+
+class TestClientResilience:
+    def test_recv_timeout_closes_and_raises_typed_error(self):
+        engine = make_engine()
+        with BackgroundServer(TCPServer(engine)) as handle:
+            client = LineClient(handle.host, handle.port, timeout=0.2)
+            # A request the server will never answer: no newline sent.
+            client.send_raw(b'{"kind": "ping"}')  # unterminated
+            with pytest.raises(TransportError, match="receive timeout"):
+                client.recv()
+            # The connection is poisoned for every later call.
+            with pytest.raises(TransportError, match="already failed"):
+                client.recv()
+            with pytest.raises(TransportError, match="already failed"):
+                client.send({"kind": "ping"})
+
+    def test_fresh_connection_recovers_after_timeout(self):
+        engine = make_engine()
+        with BackgroundServer(TCPServer(engine)) as handle:
+            broken = LineClient(handle.host, handle.port, timeout=0.2)
+            broken.send_raw(b"{")
+            with pytest.raises(TransportError):
+                broken.recv()
+            with LineClient(handle.host, handle.port) as fresh:
+                assert fresh.request({"kind": "ping"})["kind"] == "pong"
+
+    def test_retrying_client_retries_transport_failure(self):
+        engine = make_engine()
+        with BackgroundServer(TCPServer(engine)) as handle:
+            import random
+
+            client = RetryingClient(
+                handle.host, handle.port,
+                attempts=3, base_delay=0.01, rng=random.Random(0),
+            )
+            with client:
+                # Poison the underlying connection (as a receive timeout
+                # would), then request: the wrapper must reconnect.
+                client._connected()._mark_broken("a receive timeout")
+                assert client.request({"kind": "ping"})["kind"] == "pong"
+            assert client.reconnects >= 1
+
+    def test_retrying_client_retries_overloaded_then_returns_last(self):
+        import random
+
+        responses = iter([
+            {"kind": "error", "error_type": "Overloaded", "message": "full"},
+            {"kind": "error", "error_type": "Overloaded", "message": "full"},
+            {"kind": "pong"},
+        ])
+        client = RetryingClient.__new__(RetryingClient)
+        client.attempts = 4
+        client.base_delay = 0.0
+        client.max_delay = 0.0
+        client.retry_quota = False
+        client._rng = random.Random(0)
+        client.retries = 0
+        client.reconnects = 0
+        client._client = type(
+            "Fake", (), {"request": lambda self, payload: next(responses)}
+        )()
+        assert client.request({"kind": "ping"}) == {"kind": "pong"}
+        assert client.retries == 2
+
+    def test_retrying_client_gives_up_with_last_error_response(self):
+        import random
+
+        overloaded = {
+            "kind": "error", "error_type": "Overloaded", "message": "full",
+        }
+        client = RetryingClient.__new__(RetryingClient)
+        client.attempts = 2
+        client.base_delay = 0.0
+        client.max_delay = 0.0
+        client.retry_quota = False
+        client._rng = random.Random(0)
+        client.retries = 0
+        client.reconnects = 0
+        client._client = type(
+            "Fake", (), {"request": lambda self, payload: dict(overloaded)}
+        )()
+        assert client.request({"kind": "ping"}) == overloaded
+
+    def test_retrying_client_does_not_retry_caller_errors(self):
+        calls = []
+
+        def fake_request(self, payload):
+            calls.append(payload)
+            return {
+                "kind": "error", "error_type": "SchemaError", "message": "no",
+            }
+
+        import random
+
+        client = RetryingClient.__new__(RetryingClient)
+        client.attempts = 4
+        client.base_delay = 0.0
+        client.max_delay = 0.0
+        client.retry_quota = False
+        client._rng = random.Random(0)
+        client.retries = 0
+        client.reconnects = 0
+        client._client = type("Fake", (), {"request": fake_request})()
+        response = client.request({"kind": "summary"})
+        assert response["error_type"] == "SchemaError"
+        assert len(calls) == 1
+
+    def test_retrying_client_honors_quota_hint(self):
+        import random
+
+        sleeps = []
+        responses = iter([
+            {
+                "kind": "error", "error_type": "QuotaExceeded",
+                "message": "quota exhausted for user 'u': 1 tokens per 60s "
+                "window (request cost 1, 0 left); retry in 0.03s",
+            },
+            {"kind": "pong"},
+        ])
+        client = RetryingClient.__new__(RetryingClient)
+        client.attempts = 3
+        client.base_delay = 10.0  # would sleep forever without the hint
+        client.max_delay = 10.0
+        client.retry_quota = True
+        client._rng = random.Random(0)
+        client.retries = 0
+        client.reconnects = 0
+        client._client = type(
+            "Fake", (), {"request": lambda self, payload: next(responses)}
+        )()
+        original_sleep = time.sleep
+        try:
+            time.sleep = lambda s: sleeps.append(s)
+            assert client.request({"kind": "ping"}) == {"kind": "pong"}
+        finally:
+            time.sleep = original_sleep
+        assert sleeps == [pytest.approx(0.03)]
+
+    def test_attempt_budget_validation(self):
+        with pytest.raises(ValueError):
+            RetryingClient("h", 1, attempts=0)
+
+
+# -- deadline over the wire ---------------------------------------------------
+
+
+class TestDeadlineOverTCP:
+    def test_deadline_ms_round_trips_and_stats_count(self):
+        engine = make_engine()
+        server = TCPServer(engine, shards=1)
+        with BackgroundServer(server) as handle:
+            with LineClient(handle.host, handle.port) as client:
+                ok = client.request(
+                    {**SUMMARY, "deadline_ms": 60_000}
+                )
+                assert ok["kind"] == "summary_response"
+                budget = Budget.from_deadline_ms(0.001)
+                while not budget.expired():
+                    time.sleep(0.001)
+                dead = client.request({**SUMMARY, "deadline_ms": 0.001})
+                assert dead["error_type"] == "DeadlineExceeded"
+                stats = client.request({"kind": "stats"})
+                scheduler = stats["server"]["scheduler"]
+                assert (
+                    scheduler["deadline_shed"]
+                    + scheduler["deadline_exceeded"]
+                ) >= 1
