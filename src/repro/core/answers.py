@@ -194,6 +194,53 @@ class AnswerSet:
 
     # -- constructors --------------------------------------------------------
 
+    def extended(
+        self,
+        rows: Iterable[Sequence[Any]],
+        values: Sequence[float],
+    ) -> tuple["AnswerSet", list[int]]:
+        """A new AnswerSet with *rows* appended — ``(bigger, delta)``.
+
+        *rows* are raw attribute tuples when the set has a codec (they are
+        interned through it — interning is append-only, so every existing
+        code keeps its meaning and this set is untouched) or already-encoded
+        int tuples otherwise.  The returned *delta* lists the rank positions
+        the appended elements occupy in the new set, ascending: the
+        constructor re-sorts by ``(-value, element)``, so an appended row
+        can land anywhere in the ranking, and every existing element's rank
+        shifts up by the number of new rows inserted before it.  *delta* is
+        exactly what mask-splice maintenance needs
+        (:meth:`repro.core.semilattice.ClusterPool.extended`).
+
+        Duplicate elements — within *rows* or against the existing set —
+        are rejected like everywhere else (group-by outputs are distinct);
+        an update stream that re-aggregates a group must replace the
+        dataset instead of appending.
+        """
+        rows = [tuple(row) for row in rows]
+        if len(rows) != len(values):
+            raise SchemaError(
+                "got %d rows but %d values" % (len(rows), len(values))
+            )
+        if not rows:
+            raise SchemaError("extended() needs at least one row")
+        if self.codec is not None:
+            encoded = self.codec.encode_many(rows)
+        else:
+            encoded = rows
+        bigger = AnswerSet(
+            self.elements + encoded,
+            self.values + [float(value) for value in values],
+            self.codec,
+        )
+        fresh = set(encoded)
+        delta = [
+            index
+            for index, element in enumerate(bigger.elements)
+            if element in fresh
+        ]
+        return bigger, delta
+
     @classmethod
     def from_rows(
         cls,

@@ -127,6 +127,26 @@ def bitset_of(indices: Iterable[int]) -> int:
     return int.from_bytes(buf, "little")
 
 
+def splice_mask(mask: int, positions: Sequence[int]) -> int:
+    """Insert cleared bits into *mask* at *positions* (ascending).
+
+    Each position is in the coordinates of the *final* universe — the rank
+    an appended element occupies after the
+    :meth:`~repro.core.answers.AnswerSet.extended` re-sort — so processing
+    them in ascending order keeps every later position valid as bits shift
+    up.  This is how incremental pool maintenance relocates an existing
+    coverage mask into the grown universe: splice zero bits where the new
+    elements landed, then OR in the new elements the pattern covers.
+
+    >>> bin(splice_mask(0b111, [1, 3]))
+    '0b10101'
+    """
+    for position in positions:
+        low = mask & ((1 << position) - 1)
+        mask = ((mask >> position) << (position + 1)) | low
+    return mask
+
+
 def iter_bits(mask: int) -> Iterator[int]:
     """Yield the indices of set bits in ascending order."""
     while mask:

@@ -57,9 +57,14 @@ from repro.common.budget import checkpoint as _budget_checkpoint
 from repro.common.errors import InvalidParameterError
 from repro.common.interning import STAR
 from repro.core.answers import AnswerSet
-from repro.core.bitset import DENSE_KERNEL, bitset_of, resolve_kernel
+from repro.core.bitset import (
+    DENSE_KERNEL,
+    bitset_of,
+    resolve_kernel,
+    splice_mask,
+)
 from repro.core.cluster import Cluster, Pattern, covers, generalizations
-from repro.core.dense import blocks_of, mask_indices
+from repro.core.dense import MaskExtension, blocks_of, mask_indices
 
 MappingStrategy = Literal["eager", "naive", "lazy"]
 
@@ -208,6 +213,141 @@ class ClusterPool:
             return frozenset(range(self.answers.n))
         lists.sort(key=len)
         return frozenset(lists[0].intersection(*lists[1:]))
+
+    # -- incremental maintenance ---------------------------------------------
+
+    def extended(
+        self, new_answers: AnswerSet, delta: Iterable[int]
+    ) -> "ClusterPool":
+        """The pool for *new_answers* built from this one, not from scratch.
+
+        *new_answers* and *delta* come from
+        :meth:`repro.core.answers.AnswerSet.extended`: the grown answer set
+        and the final-coordinate rank positions its appended elements
+        occupy.  The maintained pool is observably identical to
+        ``ClusterPool(new_answers, L, ...)`` with the same options —
+        same patterns, bit-identical masks, identical coverage sets and
+        value sums (property-tested across all three kernels) — but does
+        only incremental work:
+
+        * patterns retained from this pool keep their masks, *spliced*
+          into the new universe (zero bits inserted where new elements
+          landed) with the newly covered elements OR'd in;
+        * only the appended rows are re-mapped eagerly (each enumerates
+          its ``2^m`` generalizations, exactly like one ``_map_eager``
+          step restricted to the delta);
+        * only patterns that are genuinely new to the pool (a new element
+          entered the top-L) pay a full coverage scan — and if those
+          dominate, the method falls back to a plain rebuild, which is
+          then the cheaper path anyway.
+
+        Lazy pools rebuild their posting lists (that is their entire
+        initialization, O(n*m)) and splice whatever masks they had
+        already materialized.
+        """
+        positions = sorted(delta)
+        if new_answers.n != self.answers.n + len(positions):
+            raise InvalidParameterError(
+                "delta of %d positions cannot grow n=%d to n=%d"
+                % (len(positions), self.answers.n, new_answers.n)
+            )
+        new_patterns: set[Pattern] = set()
+        for count, index in enumerate(new_answers.top(self.L)):
+            if not count % 4096:
+                _budget_checkpoint()
+            new_patterns.update(
+                generalizations(new_answers.elements[index])
+            )
+        fresh = new_patterns - self._patterns
+        if len(fresh) * 2 > len(new_patterns):
+            # The top-L churned so hard that most of the pool needs a
+            # from-scratch scan; a full rebuild is the faster maintenance.
+            return ClusterPool(
+                new_answers,
+                self.L,
+                strategy=self.strategy,
+                fallback_capacity=self.fallback_capacity,
+                mask_only=self.mask_only,
+                kernel=self.kernel,
+            )
+        clone = self._clone_for(new_answers, new_patterns)
+        retained = new_patterns & self._patterns
+        # One eager-mapping step restricted to the appended rows: each new
+        # element registers with the retained patterns it generates.
+        added: dict[Pattern, list[int]] = {}
+        for position in positions:
+            element = new_answers.elements[position]
+            for pattern in generalizations(element):
+                if pattern in retained:
+                    added.setdefault(pattern, []).append(position)
+        if self.kernel == DENSE_KERNEL:
+            extension = MaskExtension(
+                positions, self.answers.n, new_answers.n
+            )
+            relocate = extension.extend
+        else:
+            def relocate(mask, added_bits):
+                mask = splice_mask(mask, positions)
+                for index in added_bits:
+                    mask |= 1 << index
+                return mask
+        if self.strategy == "lazy":
+            clone._build_postings()
+            sources = {
+                pattern: self._masks[pattern]
+                for pattern in retained
+                if pattern in self._masks
+            }
+        else:
+            sources = {
+                pattern: self._masks[pattern] for pattern in retained
+            }
+        for count, (pattern, mask) in enumerate(sources.items()):
+            if not count % 1024:
+                _budget_checkpoint()
+            clone._masks[pattern] = relocate(
+                mask, added.get(pattern, ())
+            )
+        # Patterns new to the pool may cover *old* elements too, so they
+        # need the one full scan of the maintenance path.
+        for pattern in fresh:
+            _budget_checkpoint()
+            ids = [
+                index
+                for index, element in enumerate(new_answers.elements)
+                if covers(pattern, element)
+            ]
+            clone._masks[pattern] = clone._pack(ids)
+        return clone
+
+    def _clone_for(
+        self, new_answers: AnswerSet, new_patterns: set[Pattern]
+    ) -> "ClusterPool":
+        """An empty shell pool over *new_answers* with this pool's options.
+
+        Coverage frozensets, cluster objects, and the fallback LRU are
+        deliberately not carried: they re-derive on demand from the masks,
+        so dropping them never changes an observable answer.
+        """
+        clone = ClusterPool.__new__(ClusterPool)
+        clone.answers = new_answers
+        clone.L = self.L
+        clone.strategy = self.strategy
+        clone.fallback_capacity = self.fallback_capacity
+        clone.mask_only = self.mask_only
+        clone.kernel = self.kernel
+        if clone.kernel == DENSE_KERNEL:
+            n = new_answers.n
+            clone._pack = lambda ids: blocks_of(ids, n)
+        else:
+            clone._pack = bitset_of
+        clone._patterns = new_patterns
+        clone._coverage = {}
+        clone._masks = {}
+        clone._postings = None
+        clone._cluster_cache = {}
+        clone._fallback = OrderedDict()
+        return clone
 
     # -- public API ---------------------------------------------------------
 

@@ -1,0 +1,24 @@
+"""Declarative scenario harness: spec -> trace -> real-server run -> report.
+
+See :mod:`repro.scenarios.spec` for the declarative surface,
+:mod:`repro.scenarios.trace` for deterministic workload compilation,
+:mod:`repro.scenarios.runner` for execution (stdio/TCP/HTTP) with a
+single-threaded differential replay, :mod:`repro.scenarios.report` for
+floor evaluation, and :mod:`repro.scenarios.matrix` for the committed
+scenario matrix behind ``BENCH_scenarios.json``.
+"""
+
+from repro.scenarios.report import evaluate_floors, summarize
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import AppendSpec, DatasetSpec, ScenarioSpec
+from repro.scenarios.trace import compile_trace
+
+__all__ = [
+    "AppendSpec",
+    "DatasetSpec",
+    "ScenarioSpec",
+    "compile_trace",
+    "evaluate_floors",
+    "run_scenario",
+    "summarize",
+]

@@ -1,0 +1,123 @@
+"""The committed scenario matrix: what ``BENCH_scenarios.json`` runs.
+
+Six scenarios covering all three session shapes, all three transports,
+all three dataset sources, and — in ``synthetic-append`` — the live
+update stream that forces incremental pool maintenance between epochs.
+Floors are correctness- and cache-shaped (never latency), so the
+committed report is hardware-independent; ``tests/test_docs.py``
+re-checks them against the committed JSON.
+
+``smoke_matrix()`` is the CI-sized subset: two scenarios (one revisit,
+one append) at tiny n, exercising the same code paths end to end.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.spec import AppendSpec, DatasetSpec, ScenarioSpec
+
+#: Floors shared by every scenario: the run is only meaningful if the
+#: concurrent responses match the reference replay and nothing errored.
+_BASE_FLOORS = {
+    "differential_identical": True,
+    "max_error_rate": 0.0,
+}
+
+
+def full_matrix() -> list[ScenarioSpec]:
+    """The six committed scenarios (full-size run)."""
+    return [
+        ScenarioSpec(
+            name="synthetic-drill-down",
+            dataset=DatasetSpec("synthetic", {"n": 400, "m": 6, "seed": 11}),
+            shape="drill-down-heavy",
+            clients=4, steps=8, seed=101, transport="stdio",
+            floors={**_BASE_FLOORS, "min_requests": 24},
+        ),
+        ScenarioSpec(
+            name="synthetic-revisit",
+            dataset=DatasetSpec("synthetic", {"n": 256, "m": 6, "seed": 12}),
+            shape="revisit-heavy",
+            clients=4, steps=8, seed=102, transport="tcp",
+            floors={
+                **_BASE_FLOORS,
+                "min_requests": 24,
+                # The shared catalog revisits one store constantly.
+                "min_store_hit_rate": 0.5,
+                "min_pool_hit_rate": 0.5,
+            },
+        ),
+        ScenarioSpec(
+            name="synthetic-cold-churn",
+            dataset=DatasetSpec("synthetic", {"n": 512, "m": 6, "seed": 13}),
+            shape="cold-churn",
+            clients=4, steps=8, seed=103, transport="http",
+            floors={
+                **_BASE_FLOORS,
+                "min_requests": 24,
+                # Every request churns (L, k_range): stores must miss.
+                "max_store_hit_rate": 0.15,
+            },
+        ),
+        ScenarioSpec(
+            name="movielens-drill-down",
+            dataset=DatasetSpec("movielens", {"m": 4, "seed": 42}),
+            shape="drill-down-heavy",
+            clients=3, steps=6, seed=104, transport="http",
+            floors={**_BASE_FLOORS, "min_requests": 16},
+        ),
+        ScenarioSpec(
+            name="tpcds-cold-churn",
+            dataset=DatasetSpec(
+                "tpcds", {"n_groups": 1500, "m": 6, "seed": 7}
+            ),
+            shape="cold-churn",
+            clients=3, steps=6, seed=105, transport="tcp",
+            floors={
+                **_BASE_FLOORS,
+                "min_requests": 16,
+                "max_store_hit_rate": 0.15,
+            },
+        ),
+        ScenarioSpec(
+            name="synthetic-append",
+            dataset=DatasetSpec("synthetic", {"n": 200, "m": 5, "seed": 14}),
+            shape="revisit-heavy",
+            clients=4, steps=6, seed=106, transport="tcp",
+            append=AppendSpec(batches=2, rows_per_batch=12),
+            floors={
+                **_BASE_FLOORS,
+                "min_requests": 48,
+                "append_identical": True,
+            },
+        ),
+    ]
+
+
+def smoke_matrix() -> list[ScenarioSpec]:
+    """CI-sized subset: same code paths, tiny datasets, two scenarios
+    (one of them the append scenario)."""
+    return [
+        ScenarioSpec(
+            name="smoke-revisit",
+            dataset=DatasetSpec("synthetic", {"n": 48, "m": 4, "seed": 21}),
+            shape="revisit-heavy",
+            clients=2, steps=4, seed=201, transport="tcp",
+            floors={
+                **_BASE_FLOORS,
+                "min_requests": 8,
+                "min_store_hit_rate": 0.3,
+            },
+        ),
+        ScenarioSpec(
+            name="smoke-append",
+            dataset=DatasetSpec("synthetic", {"n": 40, "m": 4, "seed": 22}),
+            shape="revisit-heavy",
+            clients=2, steps=3, seed=202, transport="tcp",
+            append=AppendSpec(batches=2, rows_per_batch=5),
+            floors={
+                **_BASE_FLOORS,
+                "min_requests": 12,
+                "append_identical": True,
+            },
+        ),
+    ]

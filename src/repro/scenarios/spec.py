@@ -1,0 +1,217 @@
+"""Declarative scenario specs: what a workload *is*, free of how it runs.
+
+A :class:`ScenarioSpec` names a dataset (synthetic / MovieLens / TPC-DS,
+with generator parameters), a session shape (how one client's requests
+evolve over a session), a kind mixture (summary/explore/guidance ratios),
+a client count, a transport, a seed — and optionally an append stream
+(rows arriving between session epochs) and the floors the scenario's
+committed report must satisfy.  Everything downstream is derived
+deterministically from the spec: :func:`repro.scenarios.trace.compile_trace`
+expands it to the exact request lists each client will send, and the
+runner executes those against a real server.
+
+Specs round-trip through plain dicts (``to_dict``/``from_dict``) so the
+scenario matrix can live in committed JSON and the docs.
+
+>>> from repro.scenarios.spec import DatasetSpec, ScenarioSpec
+>>> spec = ScenarioSpec(
+...     name="toy", dataset=DatasetSpec("synthetic", {"n": 64}),
+...     shape="revisit-heavy", clients=2, steps=3, seed=7,
+... )
+>>> ScenarioSpec.from_dict(spec.to_dict()) == spec
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.common.errors import InvalidParameterError
+
+#: The session shapes the trace compiler understands.
+SHAPES = ("drill-down-heavy", "revisit-heavy", "cold-churn")
+
+#: Dataset sources and the loader behind each.
+DATASET_SOURCES = ("synthetic", "movielens", "tpcds")
+
+#: Transports the runner can execute a trace against.
+TRANSPORTS = ("stdio", "tcp", "http")
+
+#: Default request-kind mixture: mostly summaries, a fair share of
+#: explores, occasional guidance — the interactive-analyst blend.
+DEFAULT_MIXTURE: Mapping[str, float] = {
+    "summary": 0.5, "explore": 0.4, "guidance": 0.1,
+}
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named dataset generator plus its parameters.
+
+    ``source`` picks the loader (``synthetic`` →
+    :func:`repro.datasets.loader.synthetic_answer_set`, ``movielens`` →
+    :func:`repro.datasets.loader.movielens_answer_set`, ``tpcds`` →
+    :func:`repro.datasets.tpcds.tpcds_answer_set`); ``params`` are passed
+    through, so the spec pins the exact content (all three generators are
+    seed-deterministic).
+    """
+
+    source: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.source not in DATASET_SOURCES:
+            raise InvalidParameterError(
+                "unknown dataset source %r; expected one of %r"
+                % (self.source, DATASET_SOURCES)
+            )
+
+    def build(self):
+        """Materialize the :class:`~repro.core.answers.AnswerSet`."""
+        if self.source == "synthetic":
+            from repro.datasets.loader import synthetic_answer_set
+
+            return synthetic_answer_set(**self.params)
+        if self.source == "movielens":
+            from repro.datasets.loader import movielens_answer_set
+
+            return movielens_answer_set(**self.params)
+        from repro.datasets.tpcds import tpcds_answer_set
+
+        return tpcds_answer_set(**self.params)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"source": self.source, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "DatasetSpec":
+        return cls(raw["source"], dict(raw.get("params", {})))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatasetSpec):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    __hash__ = None
+
+
+@dataclass(frozen=True)
+class AppendSpec:
+    """An update stream: *batches* appends of *rows_per_batch* rows each,
+    applied between session epochs (the trace gets ``batches + 1``
+    epochs).  Rows are generated deterministically from the scenario
+    seed, guaranteed distinct from every existing group tuple."""
+
+    batches: int = 1
+    rows_per_batch: int = 8
+
+    def __post_init__(self) -> None:
+        if self.batches < 1 or self.rows_per_batch < 1:
+            raise InvalidParameterError(
+                "append stream needs batches >= 1 and rows_per_batch >= 1"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"batches": self.batches, "rows_per_batch": self.rows_per_batch}
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "AppendSpec":
+        return cls(raw["batches"], raw["rows_per_batch"])
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative scenario; see the module docstring.
+
+    ``steps`` is requests per client per epoch; total request volume is
+    ``clients * steps * (append.batches + 1 if append else 1)``.
+    ``floors`` is an open dict the report scorer understands (see
+    :mod:`repro.scenarios.report`): e.g. ``{"max_error_rate": 0.0,
+    "min_pool_hit_rate": 0.5, "differential_identical": True}``.
+    """
+
+    name: str
+    dataset: DatasetSpec
+    shape: str
+    clients: int
+    steps: int
+    seed: int
+    transport: str = "tcp"
+    mixture: dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_MIXTURE)
+    )
+    append: AppendSpec | None = None
+    floors: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.shape not in SHAPES:
+            raise InvalidParameterError(
+                "unknown session shape %r; expected one of %r"
+                % (self.shape, SHAPES)
+            )
+        if self.transport not in TRANSPORTS:
+            raise InvalidParameterError(
+                "unknown transport %r; expected one of %r"
+                % (self.transport, TRANSPORTS)
+            )
+        if self.clients < 1 or self.steps < 1:
+            raise InvalidParameterError(
+                "scenario needs clients >= 1 and steps >= 1"
+            )
+        if not self.mixture or any(
+            weight < 0 for weight in self.mixture.values()
+        ) or sum(self.mixture.values()) <= 0:
+            raise InvalidParameterError(
+                "mixture must contain non-negative weights summing > 0"
+            )
+        unknown = set(self.mixture) - {"summary", "explore", "guidance"}
+        if unknown:
+            raise InvalidParameterError(
+                "mixture has unknown kinds: %s" % sorted(unknown)
+            )
+
+    @property
+    def epochs(self) -> int:
+        return (self.append.batches + 1) if self.append else 1
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "name": self.name,
+            "dataset": self.dataset.to_dict(),
+            "shape": self.shape,
+            "clients": self.clients,
+            "steps": self.steps,
+            "seed": self.seed,
+            "transport": self.transport,
+            "mixture": dict(self.mixture),
+            "floors": dict(self.floors),
+        }
+        if self.append is not None:
+            payload["append"] = self.append.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "ScenarioSpec":
+        return cls(
+            name=raw["name"],
+            dataset=DatasetSpec.from_dict(raw["dataset"]),
+            shape=raw["shape"],
+            clients=raw["clients"],
+            steps=raw["steps"],
+            seed=raw["seed"],
+            transport=raw.get("transport", "tcp"),
+            mixture=dict(raw.get("mixture", DEFAULT_MIXTURE)),
+            append=(
+                AppendSpec.from_dict(raw["append"])
+                if raw.get("append") else None
+            ),
+            floors=dict(raw.get("floors", {})),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ScenarioSpec):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    __hash__ = None

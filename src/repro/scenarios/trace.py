@@ -1,0 +1,351 @@
+"""Trace compilation: expand a :class:`~repro.scenarios.spec.ScenarioSpec`
+into the exact requests every client will send.
+
+The compiler is pure and deterministic — same spec, same
+:class:`~repro.core.answers.AnswerSet`, same trace — which is what makes
+the runner's differential check meaningful: the concurrent run and the
+single-threaded reference replay execute the *identical* request lists,
+so any response divergence is the server's fault, not the workload's.
+
+A trace is a list of epochs.  Each epoch holds one request list per
+client; epochs after the first may be preceded by an
+:class:`AppendEvent` (rows appended to the live dataset), which is how
+the append scenarios force incremental pool maintenance between bursts
+of traffic.
+
+Session shapes
+--------------
+
+``drill-down-heavy``
+    Each client opens with a summary, then drills through a shared
+    precomputed store: explores walking k across a fixed ``k_range`` and
+    D across fixed ``d_values`` (the Section 6.2 interaction pattern).
+    Exercises store build + retrieval.
+``revisit-heavy``
+    All clients cycle a small shared catalog of requests with per-client
+    offsets, so the same request recurs both across clients (coalescing)
+    and across time (cache hits).
+``cold-churn``
+    Every request carries distinct parameters (churning L and k_range),
+    so stores rarely help — the cold-path stress shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any, Mapping
+
+from repro.core.answers import AnswerSet
+from repro.scenarios.spec import ScenarioSpec
+from repro.service.api import SCHEMA_VERSION
+
+#: d_values shared by the drill-down store (clamped to the dataset arity).
+_DRILL_D_VALUES = (0, 1, 2)
+
+
+def _pick_kind(rng: Random, mixture: Mapping[str, float]) -> str:
+    """Weighted deterministic choice over the mixture's kinds."""
+    kinds = sorted(mixture)
+    total = sum(mixture[kind] for kind in kinds)
+    point = rng.random() * total
+    for kind in kinds:
+        point -= mixture[kind]
+        if point <= 0:
+            return kind
+    return kinds[-1]
+
+
+def _client_rng(spec: ScenarioSpec, client: int, epoch: int) -> Random:
+    return Random(spec.seed * 104729 + client * 499 + epoch * 31)
+
+
+@dataclass(frozen=True)
+class AppendEvent:
+    """One append batch: raw rows + values, applied before an epoch."""
+
+    batch: int
+    rows: tuple[tuple[Any, ...], ...]
+    values: tuple[float, ...]
+
+    def payload(self, dataset: str) -> dict[str, Any]:
+        """The ``append_rows`` wire request for this batch."""
+        return {
+            "kind": "append_rows",
+            "dataset": dataset,
+            "rows": [list(row) for row in self.rows],
+            "values": list(self.values),
+        }
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """One traffic burst: ``requests[c]`` is client *c*'s ordered list."""
+
+    index: int
+    requests: tuple[tuple[dict[str, Any], ...], ...]
+    append: AppendEvent | None = None
+
+
+@dataclass(frozen=True)
+class Trace:
+    """The fully expanded workload for one scenario."""
+
+    spec: ScenarioSpec
+    dataset: str
+    epochs: tuple[Epoch, ...] = field(default_factory=tuple)
+
+    @property
+    def total_requests(self) -> int:
+        return sum(
+            len(client_requests)
+            for epoch in self.epochs
+            for client_requests in epoch.requests
+        )
+
+    def flat_requests(self) -> list[tuple[int, int, dict[str, Any]]]:
+        """All requests as ``(epoch, client, payload)`` in replay order:
+        epoch-major, then client, then position — the order the reference
+        replay uses."""
+        out: list[tuple[int, int, dict[str, Any]]] = []
+        for epoch in self.epochs:
+            for client, client_requests in enumerate(epoch.requests):
+                for payload in client_requests:
+                    out.append((epoch.index, client, payload))
+        return out
+
+
+# -- request builders --------------------------------------------------------
+
+
+def _summary(dataset: str, k: int, L: int, D: int) -> dict[str, Any]:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "summary", "dataset": dataset,
+        "k": k, "L": L, "D": D, "algorithm": "hybrid",
+    }
+
+
+def _explore(
+    dataset: str, k: int, L: int, D: int,
+    k_range: tuple[int, int], d_values: tuple[int, ...],
+) -> dict[str, Any]:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "explore", "dataset": dataset,
+        "k": k, "L": L, "D": D,
+        "k_range": list(k_range), "d_values": list(d_values),
+    }
+
+
+def _guidance(
+    dataset: str, L: int,
+    k_range: tuple[int, int], d_values: tuple[int, ...],
+) -> dict[str, Any]:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "guidance", "dataset": dataset, "L": L,
+        "k_range": list(k_range), "d_values": list(d_values),
+    }
+
+
+# -- shape generators --------------------------------------------------------
+
+
+def _drill_down_requests(
+    spec: ScenarioSpec, dataset: str, n: int, m: int,
+    client: int, epoch: int,
+) -> list[dict[str, Any]]:
+    rng = _client_rng(spec, client, epoch)
+    k_lo = 2
+    k_hi = max(k_lo, min(8, n))
+    k_range = (k_lo, k_hi)
+    d_values = tuple(d for d in _DRILL_D_VALUES if d < m) or (0,)
+    L = k_lo  # L <= every k in the range, so the store serves all of them
+    requests = [_summary(dataset, k=k_hi, L=L, D=0)]
+    k, d_index = k_lo, 0
+    while len(requests) < spec.steps:
+        kind = _pick_kind(rng, spec.mixture)
+        if kind == "explore":
+            requests.append(_explore(
+                dataset, k=k, L=L, D=d_values[d_index],
+                k_range=k_range, d_values=d_values,
+            ))
+            k += 1
+            if k > k_hi:
+                k = k_lo
+                d_index = (d_index + 1) % len(d_values)
+        elif kind == "guidance":
+            requests.append(_guidance(
+                dataset, L=L, k_range=k_range, d_values=d_values,
+            ))
+        else:
+            requests.append(_summary(
+                dataset,
+                k=rng.randint(k_lo, k_hi),
+                L=L,
+                D=rng.choice(d_values),
+            ))
+    return requests[: spec.steps]
+
+
+def _revisit_catalog(
+    spec: ScenarioSpec, dataset: str, n: int, m: int
+) -> list[dict[str, Any]]:
+    """The small shared request catalog every client cycles through."""
+    rng = Random(spec.seed * 7919)
+    k_lo = 2
+    k_hi = max(k_lo, min(6, n))
+    k_range = (k_lo, k_hi)
+    d_values = tuple(d for d in _DRILL_D_VALUES if d < m) or (0,)
+    catalog: list[dict[str, Any]] = []
+    for kind in ("summary", "explore", "guidance", "explore"):
+        if kind == "summary":
+            catalog.append(_summary(
+                dataset, k=k_hi, L=k_lo, D=rng.choice(d_values)
+            ))
+        elif kind == "explore":
+            catalog.append(_explore(
+                dataset,
+                k=rng.randint(k_lo, k_hi), L=k_lo,
+                D=rng.choice(d_values),
+                k_range=k_range, d_values=d_values,
+            ))
+        else:
+            catalog.append(_guidance(
+                dataset, L=k_lo, k_range=k_range, d_values=d_values,
+            ))
+    return catalog
+
+
+def _revisit_requests(
+    catalog: list[dict[str, Any]], spec: ScenarioSpec,
+    client: int, epoch: int,
+) -> list[dict[str, Any]]:
+    return [
+        dict(catalog[(client + epoch + position) % len(catalog)])
+        for position in range(spec.steps)
+    ]
+
+
+def _cold_churn_requests(
+    spec: ScenarioSpec, dataset: str, n: int, m: int,
+    client: int, epoch: int,
+) -> list[dict[str, Any]]:
+    rng = _client_rng(spec, client, epoch)
+    requests: list[dict[str, Any]] = []
+    d_choices = tuple(d for d in _DRILL_D_VALUES if d < m) or (0,)
+    for position in range(spec.steps):
+        # A churn index unique per (client, epoch, position) spreads L and
+        # k_range so no two requests in the scenario share a store.
+        churn = (
+            (epoch * spec.clients + client) * spec.steps + position
+        )
+        kind = _pick_kind(rng, spec.mixture)
+        L = 1 + churn % max(1, min(n - 1, 64))
+        k_lo = L
+        k_hi = min(n, k_lo + 2 + churn % 3)
+        if kind == "explore":
+            requests.append(_explore(
+                dataset,
+                k=rng.randint(k_lo, k_hi), L=L,
+                D=rng.choice(d_choices),
+                k_range=(k_lo, k_hi), d_values=d_choices,
+            ))
+        elif kind == "guidance":
+            requests.append(_guidance(
+                dataset, L=L, k_range=(k_lo, k_hi), d_values=d_choices,
+            ))
+        else:
+            requests.append(_summary(
+                dataset, k=k_hi, L=L, D=rng.choice(d_choices)
+            ))
+    return requests
+
+
+# -- append-event generation -------------------------------------------------
+
+
+def _append_events(
+    spec: ScenarioSpec, answers: AnswerSet
+) -> list[AppendEvent]:
+    """Deterministic append batches, guaranteed distinct from existing rows.
+
+    Attribute 0 of every appended row carries a fresh token never present
+    in the dataset (so the whole tuple is new — duplicate elements are a
+    :class:`~repro.common.errors.SchemaError`); remaining attributes are
+    sampled from the live domain so appended rows generalize into the
+    same patterns real rows do.  Values are dyadic (quarters) within the
+    existing value range, keeping cross-kernel float sums bit-exact.
+    """
+    assert spec.append is not None
+    rng = Random(spec.seed * 15485863 + 17)
+    low = min(answers.values)
+    high = max(answers.values)
+    events: list[AppendEvent] = []
+    codec = answers.codec
+    for batch in range(spec.append.batches):
+        rows: list[tuple[Any, ...]] = []
+        values: list[float] = []
+        for i in range(spec.append.rows_per_batch):
+            fresh = "__new_b%d_r%d" % (batch, i)
+            if codec is not None and codec.arity > 1:
+                rest = tuple(
+                    rng.choice(codec.interner(attr).domain())
+                    for attr in range(1, codec.arity)
+                )
+            elif codec is not None:
+                rest = ()
+            else:
+                rest = tuple(
+                    "%s_a%d" % (fresh, attr)
+                    for attr in range(1, answers.m)
+                )
+            rows.append((fresh,) + rest)
+            values.append(round(rng.uniform(low, high) * 4) / 4)
+        events.append(AppendEvent(batch, tuple(rows), tuple(values)))
+    return events
+
+
+# -- compiler ----------------------------------------------------------------
+
+
+def compile_trace(spec: ScenarioSpec, answers: AnswerSet) -> Trace:
+    """Expand *spec* against *answers* into the full request trace.
+
+    The dataset is registered under ``spec.name``; every generated
+    request targets it.  ``answers`` is the epoch-0 dataset — append
+    events extend it server-side, but request parameters are bounded by
+    the base ``n`` so the trace stays valid in every epoch.
+    """
+    dataset = spec.name
+    n, m = answers.n, answers.m
+    appends = _append_events(spec, answers) if spec.append else []
+    catalog = (
+        _revisit_catalog(spec, dataset, n, m)
+        if spec.shape == "revisit-heavy" else None
+    )
+    epochs: list[Epoch] = []
+    for epoch_index in range(spec.epochs):
+        per_client: list[tuple[dict[str, Any], ...]] = []
+        for client in range(spec.clients):
+            if spec.shape == "drill-down-heavy":
+                requests = _drill_down_requests(
+                    spec, dataset, n, m, client, epoch_index
+                )
+            elif spec.shape == "revisit-heavy":
+                assert catalog is not None
+                requests = _revisit_requests(
+                    catalog, spec, client, epoch_index
+                )
+            else:
+                requests = _cold_churn_requests(
+                    spec, dataset, n, m, client, epoch_index
+                )
+            per_client.append(tuple(requests))
+        epochs.append(Epoch(
+            index=epoch_index,
+            requests=tuple(per_client),
+            append=appends[epoch_index - 1] if epoch_index > 0 else None,
+        ))
+    return Trace(spec=spec, dataset=dataset, epochs=tuple(epochs))

@@ -144,7 +144,10 @@ class ShardedScheduler:
         self._overloaded = 0
         self._inflight = 0  # accepted (queued or in-service) leaders
         self._idle = threading.Condition(threading.Lock())
-        self._stats_lock = threading.Lock()
+        # A condition (not a bare lock) so supervision events — worker
+        # restarts, crash retries, quarantines — can be *waited on*
+        # instead of sleep-polled (see wait_stat).
+        self._stats_lock = threading.Condition(threading.Lock())
         self._stopped = False
         self._worker_restarts = 0
         self._workers_leaked = 0
@@ -359,6 +362,7 @@ class ShardedScheduler:
                 while len(self._quarantine) > QUARANTINE_CAPACITY:
                     self._quarantine.popitem(last=False)
                 self._poisoned += 1
+                self._stats_lock.notify_all()
         if poison:
             logger.warning(
                 "request crashed %d workers; quarantined (fingerprint %s)",
@@ -372,6 +376,7 @@ class ShardedScheduler:
             shard.queue.put_nowait((key, payload, future, budget))
             with self._stats_lock:
                 self._crash_retries += 1
+                self._stats_lock.notify_all()
         except queue.Full:
             with self._stats_lock:
                 self._overloaded += 1
@@ -389,12 +394,42 @@ class ShardedScheduler:
             if current in shard.threads:
                 shard.threads.remove(current)
             stopped = self._stopped
+            self._stats_lock.notify_all()
         if stopped:
             return
         delay = min(
             RESTART_BACKOFF_BASE * (2 ** (deaths - 1)), RESTART_BACKOFF_MAX
         )
         self._spawn_worker(shard, delay=delay)
+
+    #: Supervision counters that wait_stat can gate on.
+    _WAITABLE_STATS = {
+        "worker_restarts": "_worker_restarts",
+        "crash_retries": "_crash_retries",
+        "poisoned": "_poisoned",
+    }
+
+    def wait_stat(
+        self, name: str, minimum: int = 1, timeout: float = 10.0
+    ) -> bool:
+        """Event-driven gate: block until ``stats()[name] >= minimum``.
+
+        Supervision events (worker restarts, crash retries, quarantines)
+        happen on worker threads at their own pace; tests and
+        orchestration wait on the counter's condition variable instead
+        of sleep-polling :meth:`stats`.  Returns ``False`` on timeout.
+        """
+        try:
+            attr = self._WAITABLE_STATS[name]
+        except KeyError:
+            raise ValueError(
+                "wait_stat supports %s, got %r"
+                % (sorted(self._WAITABLE_STATS), name)
+            ) from None
+        with self._stats_lock:
+            return self._stats_lock.wait_for(
+                lambda: getattr(self, attr) >= minimum, timeout
+            )
 
     # -- lifecycle / introspection -------------------------------------------
 

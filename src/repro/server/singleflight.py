@@ -49,7 +49,7 @@ class SingleFlight:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = threading.Condition(threading.Lock())
         self._inflight: dict[str, Future] = {}
         self.leaders = 0
         self.coalesced = 0
@@ -59,11 +59,27 @@ class SingleFlight:
             future = self._inflight.get(key)
             if future is not None:
                 self.coalesced += 1
+                self._lock.notify_all()
                 return future, False
             future = Future()
             self._inflight[key] = future
             self.leaders += 1
+            self._lock.notify_all()
             return future, True
+
+    def wait_coalesced(self, minimum: int, timeout: float = 10.0) -> bool:
+        """Event-driven gate: block until at least *minimum* duplicates
+        have coalesced onto in-flight leaders.
+
+        Tests and orchestration use this instead of sleep-polling
+        :meth:`stats` — the counter's own condition variable wakes the
+        waiter the moment the threshold is crossed.  Returns ``False``
+        on timeout.
+        """
+        with self._lock:
+            return self._lock.wait_for(
+                lambda: self.coalesced >= minimum, timeout
+            )
 
     def finish(self, key: str, future: Future, result: Any) -> None:
         """Resolve the leader's future and retire the key."""

@@ -11,15 +11,25 @@ rebuilding them.
 
 Cache keys pin down everything that changes the cached object's content:
 
-* pools are keyed by ``(dataset, L, mapping, mask_only, mask_repr)`` —
-  the answer set, the top-L slice the pool generalizes, the
-  coverage-mapping strategy, whether frozenset coverage is materialized,
-  and the mask representation (``"int"`` for the bitset/python kernels,
-  ``"dense"`` for packed uint64-block pools);
-* stores are keyed by ``(dataset, L, mapping, mask_only, k_range,
-  d_values, kernel, argmax)`` — everything the pool key pins plus the
-  precompute sweep's parameter grid and the merge-engine substrate the
-  sweep ran on.
+* pools are keyed by ``(dataset, version, L, mapping, mask_only,
+  mask_repr)`` — the answer set *at a content version* (bumped by
+  replace and append, so stale state is unreachable by key), the top-L
+  slice the pool generalizes, the coverage-mapping strategy, whether
+  frozenset coverage is materialized, and the mask representation
+  (``"int"`` for the bitset/python kernels, ``"dense"`` for packed
+  uint64-block pools);
+* stores are keyed by ``(dataset, version, L, mapping, mask_only,
+  k_range, d_values, kernel, argmax)`` — everything the pool key pins
+  plus the precompute sweep's parameter grid and the merge-engine
+  substrate the sweep ran on.
+
+Appends (:meth:`Engine.append_rows`) do better than invalidation: each
+cached pool of the old version is *carried over* — incrementally extended
+via :meth:`~repro.core.semilattice.ClusterPool.extended` and re-inserted
+under the new version's key — so in-flight sessions stay warm across an
+update stream.  Stores are not carried (a precompute sweep's solutions
+can change arbitrarily when values enter the top-L) and simply rebuild
+on next use.
 
 Two requests that agree on a key therefore share one build; anything that
 could change the bytes of the result is part of the key.  Both caches are
@@ -186,6 +196,29 @@ class _LRUCache(Generic[T]):
                 with self._lock:
                     self._building.pop(key, None)
 
+    def snapshot_items(self) -> list[tuple[Hashable, T]]:
+        """A point-in-time ``(key, value)`` list (incremental maintenance
+        iterates cached pools through this; the cache stays locked only
+        for the copy)."""
+        with self._lock:
+            return [
+                (key, entry.value) for key, entry in self._entries.items()
+            ]
+
+    def put(self, key: Hashable, value: T, build_seconds: float = 0.0) -> None:
+        """Insert *value* under *key* directly (no build function).
+
+        Used by append maintenance to seed the next dataset version's
+        entries from incrementally-extended state; normal request traffic
+        goes through :meth:`get_or_build`.
+        """
+        with self._lock:
+            self._entries[key] = _Entry(value, build_seconds)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -213,11 +246,11 @@ class Engine:
     ----------
     max_pools:
         LRU bound on cached :class:`ClusterPool`s, keyed by
-        ``(dataset, L, mapping, mask_only, mask_repr)``.
+        ``(dataset, version, L, mapping, mask_only, mask_repr)``.
     max_stores:
         LRU bound on cached :class:`SolutionStore`s, keyed by
-        ``(dataset, L, mapping, mask_only, k_range, d_values, kernel,
-        argmax)``.
+        ``(dataset, version, L, mapping, mask_only, k_range, d_values,
+        kernel, argmax)``.
     mask_only:
         Build every pool in the low-memory mask-only mode (see
         :class:`~repro.core.semilattice.ClusterPool`); summaries are
@@ -233,7 +266,12 @@ class Engine:
     ) -> None:
         self.mask_only = bool(mask_only)
         self._datasets: dict[str, AnswerSet] = {}
+        self._versions: dict[str, int] = {}
         self._datasets_lock = threading.Lock()
+        # Appends are serialized per engine: each one builds the next
+        # dataset version and carries cached pools over to it, which must
+        # not interleave with another append's carry-over.
+        self._append_lock = threading.Lock()
         self._pools: _LRUCache[ClusterPool] = _LRUCache(max_pools)
         self._stores: _LRUCache[SolutionStore] = _LRUCache(max_stores)
         self._requests = 0
@@ -244,19 +282,38 @@ class Engine:
     def register_dataset(
         self, name: str, answers: AnswerSet, replace: bool = False
     ) -> None:
-        """Make *answers* addressable by requests as *name*."""
+        """Make *answers* addressable by requests as *name*.
+
+        Re-registering with ``replace=True`` bumps the dataset's version,
+        so every cached pool/store built against the old content is keyed
+        away from new requests (and ages out of the LRUs) instead of being
+        served stale.
+        """
         with self._datasets_lock:
-            if not replace and name in self._datasets:
-                raise InvalidParameterError(
-                    "dataset %r is already registered; pass replace=True "
-                    "to overwrite" % name
-                )
+            if name in self._datasets:
+                if not replace:
+                    raise InvalidParameterError(
+                        "dataset %r is already registered; pass "
+                        "replace=True to overwrite" % name
+                    )
+                self._versions[name] += 1
+            else:
+                self._versions[name] = 0
             self._datasets[name] = answers
 
     def dataset(self, name: str) -> AnswerSet:
+        return self._dataset_state(name)[0]
+
+    def dataset_version(self, name: str) -> int:
+        """The dataset's content version (bumped by replace and append)."""
+        return self._dataset_state(name)[1]
+
+    def _dataset_state(self, name: str) -> tuple[AnswerSet, int]:
+        """The dataset and its version, read atomically — cache keys must
+        pair the version with the exact content it describes."""
         with self._datasets_lock:
             try:
-                return self._datasets[name]
+                return self._datasets[name], self._versions[name]
             except KeyError:
                 raise InvalidParameterError(
                     "unknown dataset %r; registered: %s"
@@ -266,6 +323,48 @@ class Engine:
     def dataset_names(self) -> list[str]:
         with self._datasets_lock:
             return sorted(self._datasets)
+
+    def append_rows(
+        self,
+        name: str,
+        rows: Sequence[Sequence[Any]],
+        values: Sequence[float],
+    ) -> dict[str, Any]:
+        """Append *rows* to dataset *name* with incremental maintenance.
+
+        Builds the extended :class:`AnswerSet` (codes and ranks re-derive
+        deterministically), carries every cached pool of the old version
+        over to the new one via
+        :meth:`~repro.core.semilattice.ClusterPool.extended` (bit-identical
+        to a rebuild, property-tested), bumps the dataset version so
+        stores and any pool this pass missed are unreachable by key, and
+        only then publishes the new answer set.  Requests racing the
+        append keep resolving the old ``(content, version)`` pair until
+        the atomic publish, so they never see a half-updated dataset.
+        """
+        with self._append_lock:
+            old_answers, old_version = self._dataset_state(name)
+            new_answers, delta = old_answers.extended(rows, values)
+            version = old_version + 1
+            maintained = 0
+            for key, pool in self._pools.snapshot_items():
+                k_dataset, k_version = key[0], key[1]
+                if k_dataset != name or k_version != old_version:
+                    continue
+                self._pools.put(
+                    (k_dataset, version) + key[2:],
+                    pool.extended(new_answers, delta),
+                )
+                maintained += 1
+            with self._datasets_lock:
+                self._datasets[name] = new_answers
+                self._versions[name] = version
+        return {
+            "appended": len(delta),
+            "n": new_answers.n,
+            "version": version,
+            "pools_maintained": maintained,
+        }
 
     # -- cached initialization ------------------------------------------------
 
@@ -287,12 +386,13 @@ class Engine:
         packed-block pool.  The representation is part of the cache key,
         so kernels never alias each other's pools.
         """
-        answers = self.dataset(dataset)
+        answers, version = self._dataset_state(dataset)
         masked = self.mask_only if mask_only is None else bool(mask_only)
         resolved = resolve_kernel(kernel, n=answers.n)
         dense = resolved == DENSE_KERNEL
         return self._pools.get_or_build(
-            (dataset, L, mapping, masked, "dense" if dense else "int"),
+            (dataset, version, L, mapping, masked,
+             "dense" if dense else "int"),
             lambda: ClusterPool(
                 answers, L, strategy=mapping, mask_only=masked,
                 kernel=DENSE_KERNEL if dense else None,
@@ -319,14 +419,15 @@ class Engine:
         """
         k_range = tuple(k_range)
         d_key = tuple(sorted(set(d_values)))
-        kernel = resolve_kernel(kernel, n=self.dataset(dataset).n)
+        answers, version = self._dataset_state(dataset)
+        kernel = resolve_kernel(kernel, n=answers.n)
         argmax_key = "auto" if argmax is None else argmax
         masked = self.mask_only
         pool, pool_seconds, _pool_hit = self.checkout_pool(
             dataset, L, mapping, kernel=kernel
         )
         store, store_seconds, store_hit = self._stores.get_or_build(
-            (dataset, L, mapping, masked, k_range, d_key, kernel,
+            (dataset, version, L, mapping, masked, k_range, d_key, kernel,
              argmax_key),
             lambda: SolutionStore(
                 pool, k_range, d_key, kernel=kernel, argmax=argmax

@@ -13,6 +13,10 @@ drive a cold server end to end:
 ``{"kind": "load_csv", "path": ..., "name"?: ..., "sql"?: ...}``
     Load a CSV (optionally through the restricted SQL template) and
     register it as a dataset.
+``{"kind": "append_rows", "dataset": ..., "rows": [[...], ...], "values": [...]}``
+    Append rows to a live dataset -> ``{"kind": "rows_appended", ...}``;
+    cached pools are maintained incrementally and the dataset version is
+    bumped so stale cached state is unreachable.
 ``{"kind": "datasets"}`` / ``{"kind": "algorithms"}`` / ``{"kind": "stats"}``
     Introspection: registered datasets, the algorithm registry with
     metadata, engine cache counters (plus transport counters and — on the
@@ -360,6 +364,48 @@ class Dispatcher:
                 "dataset": relation.name,
                 "n": answers.n,
                 "m": answers.m,
+            }, None
+        if kind == "append_rows":
+            # Live update stream: append rows to a registered dataset.
+            # The engine maintains cached pools incrementally (mask
+            # splice, bit-identical to a rebuild) and bumps the dataset
+            # version so stale stores are unreachable; the response
+            # reports both.  Auth-gated like every non-ping kind when the
+            # server is token-secured.
+            dataset = payload.get("dataset")
+            if not isinstance(dataset, str):
+                raise SchemaError("append_rows needs a string 'dataset'")
+            rows = payload.get("rows")
+            if (
+                not isinstance(rows, list)
+                or not rows
+                or not all(isinstance(row, list) for row in rows)
+            ):
+                raise SchemaError(
+                    "append_rows needs a non-empty list of row lists "
+                    "in 'rows'"
+                )
+            values = payload.get("values")
+            if (
+                not isinstance(values, list)
+                or len(values) != len(rows)
+                or not all(
+                    isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                    for value in values
+                )
+            ):
+                raise SchemaError(
+                    "append_rows needs numeric 'values', one per row"
+                )
+            result = self.engine.append_rows(
+                dataset, [tuple(row) for row in rows], values
+            )
+            return {
+                "schema_version": SCHEMA_VERSION,
+                "kind": "rows_appended",
+                "dataset": dataset,
+                **result,
             }, None
         if kind == "datasets":
             return {

@@ -530,11 +530,12 @@ class _Handler(BaseHTTPRequestHandler):
                     token, body, *route.args
                 )
         except _BodyTooLarge:
-            oversized = web.dispatcher.oversized_error()
-            oversized["message"] = (
-                "request body exceeds max_body_bytes=%d" % web.max_body_bytes
+            # Exactly the dispatcher's oversized payload — the error body
+            # must be byte-identical across stdio/TCP/HTTP (the dispatcher
+            # speaks in line terms; max_line_bytes IS max_body_bytes here).
+            status, payload, content_type = (
+                413, web.dispatcher.oversized_error(), None
             )
-            status, payload, content_type = 413, oversized, None
             close_connection = True  # unread body: cannot reuse the socket
         except ReproError as error:
             status, payload, content_type = (

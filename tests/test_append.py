@@ -1,0 +1,410 @@
+"""Incremental append maintenance: extended sets/pools ≡ from-scratch.
+
+The append scenario's core guarantee: after any sequence of row appends,
+the incrementally maintained state — :meth:`AnswerSet.extended`'s grown
+set plus :meth:`ClusterPool.extended`'s spliced pool — is *bit-identical*
+to rebuilding from scratch over the concatenated rows, across all three
+kernels (python/bitset share int masks; dense on both the numpy and the
+stdlib-array backend), all three mapping strategies, and both coverage
+modes.  On top sit the service-layer contracts: dataset versions key
+caches so stale pools/stores are unreachable, cached pools are carried
+over (not dropped) by an append, and the ``append_rows`` wire kind
+round-trips with typed errors for hostile input.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.answers import AnswerSet
+from repro.core.bitset import bitset_of, splice_mask
+from repro.core.bottom_up import bottom_up
+from repro.core.dense import MaskExtension, blocks_of, numpy_disabled
+from repro.core.semilattice import ClusterPool
+from repro.service import Engine
+from repro.service.serve import Dispatcher
+
+pytestmark = pytest.mark.tier1
+
+
+# -- mask splicing primitives -------------------------------------------------
+
+
+class TestSpliceMask:
+    def test_insert_into_middle_relocates_higher_bits(self):
+        # universe [a, b, c] -> [a, NEW, b, NEW, c]
+        assert splice_mask(0b111, [1, 3]) == 0b10101
+
+    def test_positions_are_final_coordinates(self):
+        # one element at old rank 0; two new rows land at ranks 0 and 1.
+        assert splice_mask(0b1, [0, 1]) == 0b100
+
+    def test_empty_positions_is_identity(self):
+        assert splice_mask(0b1011, []) == 0b1011
+
+    def test_matches_recomputation_exhaustively(self):
+        # Every 6-bit mask, every insertion pair: splice == recompute.
+        for positions in ([2], [0, 4], [3, 4], [0, 7]):
+            for old_mask in range(64):
+                old_ids = [i for i in range(6) if (old_mask >> i) & 1]
+                new_of_old = _relocation(6, positions)
+                expected = bitset_of([new_of_old[i] for i in old_ids])
+                assert splice_mask(old_mask, positions) == expected
+
+
+def _relocation(old_n: int, positions: list[int]) -> list[int]:
+    """new index of each old element after inserting at *positions*."""
+    new_n = old_n + len(positions)
+    reserved = set(positions)
+    return [i for i in range(new_n) if i not in reserved]
+
+
+class TestMaskExtension:
+    @pytest.mark.parametrize("use_numpy", [True, False])
+    def test_extends_like_int_splice(self, use_numpy):
+        positions, old_n = [1, 5, 8], 7
+        new_n = old_n + len(positions)
+        for old_mask in (0, 0b1, 0b1010110, 0b1111111):
+            old_ids = [i for i in range(old_n) if (old_mask >> i) & 1]
+            if use_numpy:
+                blocks = blocks_of(old_ids, old_n)
+            else:
+                with numpy_disabled():
+                    blocks = blocks_of(old_ids, old_n)
+            extension = MaskExtension(positions, old_n, new_n)
+            extended = extension.extend(blocks, added=[5])
+            expected = splice_mask(old_mask, positions) | (1 << 5)
+            assert extended._as_int() == expected
+            assert extended.nbits == new_n
+
+    def test_rejects_inconsistent_geometry(self):
+        with pytest.raises(ValueError):
+            MaskExtension([1], 5, 8)
+        with pytest.raises(ValueError):
+            MaskExtension([1], 5, 6).extend(blocks_of([0], 4))
+
+
+# -- AnswerSet.extended -------------------------------------------------------
+
+
+class TestAnswerSetExtended:
+    def test_delta_is_final_rank_positions(self):
+        answers = AnswerSet.from_rows(
+            [("a",), ("b",), ("c",)], [9.0, 5.0, 1.0]
+        )
+        bigger, delta = answers.extended([("d",), ("e",)], [7.0, 0.5])
+        assert [bigger.values[i] for i in delta] == [7.0, 0.5]
+        assert bigger.values == [9.0, 7.0, 5.0, 1.0, 0.5]
+        assert bigger.n == 5
+
+    def test_original_set_is_untouched_and_codec_shared(self):
+        answers = AnswerSet.from_rows([("a",), ("b",)], [2.0, 1.0])
+        bigger, _ = answers.extended([("z",)], [3.0])
+        assert answers.n == 2
+        assert bigger.codec is answers.codec
+        assert bigger.decode(bigger.elements[0]) == ("z",)
+
+    def test_duplicate_append_is_rejected(self):
+        answers = AnswerSet.from_rows([("a",), ("b",)], [2.0, 1.0])
+        from repro.common.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            answers.extended([("a",)], [5.0])
+        with pytest.raises(SchemaError):
+            answers.extended([("c",), ("c",)], [5.0, 4.0])
+        with pytest.raises(SchemaError):
+            answers.extended([], [])
+        with pytest.raises(SchemaError):
+            answers.extended([("c",)], [1.0, 2.0])
+
+    def test_codecless_sets_extend_with_encoded_tuples(self):
+        answers = AnswerSet([(0, 1), (1, 0)], [2.0, 1.0])
+        bigger, delta = answers.extended([(2, 2)], [9.0])
+        assert bigger.elements[delta[0]] == (2, 2)
+
+
+# -- pool after k appends ≡ pool rebuilt from scratch -------------------------
+
+
+@st.composite
+def append_runs(draw):
+    """A base instance plus 1-3 append batches of distinct rows.
+
+    Values are dyadic rationals (q/4) so every partial sum is exact and
+    the cross-kernel comparison can demand identical floats.
+    """
+    m = draw(st.integers(min_value=2, max_value=3))
+    domain = draw(st.integers(min_value=2, max_value=4))
+    element_strategy = st.tuples(
+        *[st.integers(min_value=0, max_value=domain - 1)] * m
+    )
+    universe = draw(
+        st.lists(element_strategy, min_size=6, max_size=20, unique=True)
+    )
+    values = [
+        q / 4.0
+        for q in draw(
+            st.lists(
+                st.integers(min_value=0, max_value=40),
+                min_size=len(universe),
+                max_size=len(universe),
+            )
+        )
+    ]
+    base_n = draw(st.integers(min_value=4, max_value=max(4, len(universe) - 2)))
+    base_n = min(base_n, len(universe) - 1)
+    batches = []
+    cursor = base_n
+    while cursor < len(universe):
+        size = draw(st.integers(min_value=1, max_value=len(universe) - cursor))
+        batches.append(
+            (universe[cursor:cursor + size], values[cursor:cursor + size])
+        )
+        cursor += size
+    L = draw(st.integers(min_value=1, max_value=min(base_n, 6)))
+    strategy = draw(st.sampled_from(["eager", "naive", "lazy"]))
+    mask_only = draw(st.booleans())
+    return (universe[:base_n], values[:base_n], batches, L, strategy,
+            mask_only)
+
+
+def _assert_pools_identical(maintained, rebuilt, dense):
+    assert list(maintained.patterns()) == list(rebuilt.patterns())
+    for pattern in rebuilt.patterns():
+        left, right = maintained.mask(pattern), rebuilt.mask(pattern)
+        if dense:
+            assert left._as_int() == right._as_int(), pattern
+            assert left.nbits == right.nbits
+        else:
+            assert left == right, pattern
+        assert maintained.coverage(pattern) == rebuilt.coverage(pattern)
+        assert (
+            maintained.cluster(pattern).value_sum
+            == rebuilt.cluster(pattern).value_sum
+        ), pattern
+
+
+@settings(max_examples=60, deadline=None)
+@given(append_runs())
+def test_pool_after_appends_equals_rebuild_int_masks(run):
+    """python/bitset kernels (shared int-mask pools): maintenance ≡ rebuild."""
+    elements, values, batches, L, strategy, mask_only = run
+    answers = AnswerSet(elements, values)
+    pool = ClusterPool(answers, L, strategy=strategy, mask_only=mask_only)
+    for rows, row_values in batches:
+        answers, delta = answers.extended(rows, row_values)
+        pool = pool.extended(answers, delta)
+        rebuilt = ClusterPool(
+            answers, L, strategy=strategy, mask_only=mask_only
+        )
+        _assert_pools_identical(pool, rebuilt, dense=False)
+
+
+@settings(max_examples=40, deadline=None)
+@given(append_runs())
+def test_pool_after_appends_equals_rebuild_dense_numpy(run):
+    elements, values, batches, L, strategy, mask_only = run
+    answers = AnswerSet(elements, values)
+    pool = ClusterPool(
+        answers, L, strategy=strategy, mask_only=mask_only, kernel="dense"
+    )
+    for rows, row_values in batches:
+        answers, delta = answers.extended(rows, row_values)
+        pool = pool.extended(answers, delta)
+        rebuilt = ClusterPool(
+            answers, L, strategy=strategy, mask_only=mask_only,
+            kernel="dense",
+        )
+        _assert_pools_identical(pool, rebuilt, dense=True)
+
+
+@settings(max_examples=25, deadline=None)
+@given(append_runs())
+def test_pool_after_appends_equals_rebuild_dense_fallback(run):
+    elements, values, batches, L, strategy, mask_only = run
+    with numpy_disabled():
+        answers = AnswerSet(elements, values)
+        pool = ClusterPool(
+            answers, L, strategy=strategy, mask_only=mask_only,
+            kernel="dense",
+        )
+        for rows, row_values in batches:
+            answers, delta = answers.extended(rows, row_values)
+            pool = pool.extended(answers, delta)
+            rebuilt = ClusterPool(
+                answers, L, strategy=strategy, mask_only=mask_only,
+                kernel="dense",
+            )
+            _assert_pools_identical(pool, rebuilt, dense=True)
+
+
+@settings(max_examples=30, deadline=None)
+@given(append_runs(), st.integers(min_value=1, max_value=4),
+       st.integers(min_value=0, max_value=2))
+def test_solutions_identical_on_maintained_pools(run, k, D):
+    """Solve-level equivalence: bottom-up on the maintained pool returns
+    the same clusters/objective as on a rebuilt pool, int and dense."""
+    elements, values, batches, L, strategy, mask_only = run
+    answers = AnswerSet(elements, values)
+    int_pool = ClusterPool(answers, L, strategy=strategy, mask_only=mask_only)
+    dense_pool = ClusterPool(
+        answers, L, strategy=strategy, mask_only=mask_only, kernel="dense"
+    )
+    for rows, row_values in batches:
+        answers, delta = answers.extended(rows, row_values)
+        int_pool = int_pool.extended(answers, delta)
+        dense_pool = dense_pool.extended(answers, delta)
+    rebuilt = ClusterPool(answers, L, strategy=strategy, mask_only=mask_only)
+    expected = bottom_up(rebuilt, k, D)
+    for pool, kernel in ((int_pool, "bitset"), (int_pool, "python"),
+                         (dense_pool, "dense")):
+        solution = bottom_up(pool, k, D, kernel=kernel)
+        assert solution.avg == expected.avg
+        assert {c.pattern for c in solution.clusters} == {
+            c.pattern for c in expected.clusters
+        }
+
+
+def test_full_rebuild_fallback_when_top_l_churns():
+    """An append dominated by new top-L rows trips the rebuild heuristic;
+    the result must still equal a from-scratch pool."""
+    answers = AnswerSet.from_rows(
+        [("a", "x"), ("b", "y"), ("c", "z")], [3.0, 2.0, 1.0]
+    )
+    pool = ClusterPool(answers, L=2)
+    rows = [("p", "q"), ("r", "s"), ("t", "u"), ("v", "w")]
+    answers2, delta = answers.extended(rows, [99.0, 98.0, 97.0, 96.0])
+    maintained = pool.extended(answers2, delta)
+    rebuilt = ClusterPool(answers2, L=2)
+    _assert_pools_identical(maintained, rebuilt, dense=False)
+
+
+def test_extended_rejects_inconsistent_delta():
+    from repro.common.errors import InvalidParameterError
+
+    answers = AnswerSet.from_rows([("a",), ("b",)], [2.0, 1.0])
+    pool = ClusterPool(answers, L=1)
+    bigger, _delta = answers.extended([("c",)], [3.0])
+    with pytest.raises(InvalidParameterError):
+        pool.extended(bigger, [0, 1])
+
+
+# -- service layer: versioned caches + the append_rows wire kind --------------
+
+
+def _paper_engine() -> tuple[Engine, AnswerSet]:
+    answers = AnswerSet.from_rows(
+        [("a", "x"), ("a", "y"), ("b", "x"), ("b", "y"), ("c", "x")],
+        [9.0, 7.0, 5.0, 3.0, 1.0],
+    )
+    engine = Engine()
+    engine.register_dataset("toy", answers)
+    return engine, answers
+
+
+SUMMARY = {
+    "schema_version": 2, "kind": "summary", "dataset": "toy",
+    "k": 2, "L": 3, "D": 1,
+}
+
+
+class TestEngineAppend:
+    def test_append_bumps_version_and_carries_pools(self):
+        engine, _ = _paper_engine()
+        dispatcher = Dispatcher(engine)
+        assert engine.dataset_version("toy") == 0
+        cold = dispatcher.dispatch_payload(dict(SUMMARY)).response
+        assert cold["cache_hit"] is False
+        result = engine.append_rows("toy", [("c", "y")], [8.0])
+        assert result["version"] == 1
+        assert result["appended"] == 1
+        assert result["pools_maintained"] == 1
+        assert engine.dataset_version("toy") == 1
+        # The carried-over pool serves the new version's requests warm.
+        warm = dispatcher.dispatch_payload(dict(SUMMARY)).response
+        assert warm["cache_hit"] is True
+
+    def test_post_append_answers_match_fresh_engine(self):
+        engine, _ = _paper_engine()
+        dispatcher = Dispatcher(engine)
+        dispatcher.dispatch_payload(dict(SUMMARY))
+        engine.append_rows("toy", [("c", "y"), ("d", "x")], [8.0, 2.0])
+        maintained = dispatcher.dispatch_payload(dict(SUMMARY)).response
+        fresh = Engine()
+        fresh.register_dataset(
+            "toy",
+            AnswerSet.from_rows(
+                [("a", "x"), ("a", "y"), ("b", "x"), ("b", "y"),
+                 ("c", "x"), ("c", "y"), ("d", "x")],
+                [9.0, 7.0, 5.0, 3.0, 1.0, 8.0, 2.0],
+            ),
+        )
+        reference = Dispatcher(fresh).dispatch_payload(
+            dict(SUMMARY)
+        ).response
+        for key in ("objective", "clusters", "covered_count",
+                    "solution_size"):
+            assert maintained[key] == reference[key], key
+
+    def test_stores_of_old_version_are_unreachable(self):
+        engine, _ = _paper_engine()
+        explore = {
+            "schema_version": 2, "kind": "explore", "dataset": "toy",
+            "k": 2, "L": 3, "D": 1, "k_range": [1, 3], "d_values": [0, 1],
+        }
+        dispatcher = Dispatcher(engine)
+        first = dispatcher.dispatch_payload(dict(explore)).response
+        assert first["cache_hit"] is False
+        engine.append_rows("toy", [("z", "z")], [0.25])
+        # Same request, new version: the store must rebuild, not hit.
+        second = dispatcher.dispatch_payload(dict(explore)).response
+        assert second["cache_hit"] is False
+
+    def test_replace_registration_bumps_version(self):
+        engine, answers = _paper_engine()
+        assert engine.dataset_version("toy") == 0
+        engine.register_dataset("toy", answers, replace=True)
+        assert engine.dataset_version("toy") == 1
+
+    def test_wire_kind_round_trip_and_errors(self):
+        engine, _ = _paper_engine()
+        dispatcher = Dispatcher(engine)
+        ok = dispatcher.dispatch_payload({
+            "kind": "append_rows", "dataset": "toy",
+            "rows": [["c", "y"]], "values": [8.0],
+        }).response
+        assert ok["kind"] == "rows_appended"
+        assert ok["n"] == 6 and ok["version"] == 1
+        for bad, error_type in (
+            ({"kind": "append_rows", "dataset": 7}, "SchemaError"),
+            ({"kind": "append_rows", "dataset": "toy"}, "SchemaError"),
+            ({"kind": "append_rows", "dataset": "toy", "rows": [],
+              "values": []}, "SchemaError"),
+            ({"kind": "append_rows", "dataset": "toy",
+              "rows": [["q", "q"]], "values": ["x"]}, "SchemaError"),
+            ({"kind": "append_rows", "dataset": "toy",
+              "rows": [["a", "x"]], "values": [1.0]}, "SchemaError"),
+            ({"kind": "append_rows", "dataset": "missing",
+              "rows": [["a", "x"]], "values": [1.0]},
+             "InvalidParameterError"),
+        ):
+            response = dispatcher.dispatch_payload(dict(bad)).response
+            assert response["error_type"] == error_type, bad
+
+    def test_append_requires_auth_on_secured_server(self):
+        from repro.web import AuthService
+
+        engine, _ = _paper_engine()
+        dispatcher = Dispatcher(engine, auth=AuthService({"tok": "op"}))
+        denied = dispatcher.dispatch_payload({
+            "kind": "append_rows", "dataset": "toy",
+            "rows": [["c", "y"]], "values": [8.0],
+        }).response
+        assert denied["error_type"] == "AuthError"
+        allowed = dispatcher.dispatch_payload({
+            "kind": "append_rows", "dataset": "toy",
+            "rows": [["c", "y"]], "values": [8.0], "auth": "tok",
+        }).response
+        assert allowed["kind"] == "rows_appended"

@@ -231,6 +231,85 @@ def test_bench_chaos_is_a_full_run_and_floors_hold():
         assert parity["golden_file_matched"] is True
 
 
+def test_bench_scenarios_is_a_full_run_and_floors_hold():
+    """The committed BENCH_scenarios.json must be a full run of the
+    declarative scenario matrix satisfying the harness's own floors: all
+    three session shapes, at least two dataset sources, an append
+    scenario with bit-identical incremental pool maintenance on all
+    three kernels, and every per-scenario floor (differential identity,
+    error rate, cache rates) re-evaluated here from the committed
+    document."""
+    import sys
+
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    try:
+        from bench_scenarios import (
+            APPEND_SCENARIO_REQUIRED,
+            DATASET_SOURCES_FLOOR,
+            SCENARIO_COUNT_FLOOR,
+            SHAPES_REQUIRED,
+        )
+    finally:
+        sys.path.pop(0)
+    from repro.scenarios.report import evaluate_floors
+
+    document = json.loads(
+        (REPO_ROOT / "BENCH_scenarios.json").read_text()
+    )
+    assert document["smoke"] is False, (
+        "BENCH_scenarios.json must be regenerated with a full "
+        "(non --smoke) run"
+    )
+    assert document["all_floors_hold"] is True
+    assert document["scenario_count"] >= SCENARIO_COUNT_FLOOR
+    assert set(document["shapes"]) >= set(SHAPES_REQUIRED)
+    assert len(document["dataset_sources"]) >= DATASET_SOURCES_FLOOR
+    if APPEND_SCENARIO_REQUIRED:
+        assert document["has_append_scenario"] is True
+    for scenario in document["scenarios"]:
+        # The committed floor verdicts must reproduce from the data.
+        assert scenario["floor_violations"] == [], scenario["name"]
+        assert evaluate_floors(scenario) == [], scenario["name"]
+        assert scenario["differential"]["identical"] is True, (
+            scenario["name"]
+        )
+        assert scenario["errors"]["total"] == 0, scenario["name"]
+    append_scenarios = [
+        s for s in document["scenarios"] if s["spec"].get("append")
+    ]
+    assert append_scenarios, "matrix must include an append scenario"
+    for scenario in append_scenarios:
+        check = scenario["append_check"]
+        assert check["identical"] is True, scenario["name"]
+        assert set(check["kernels"]) == {"python", "bitset", "dense"}
+        assert all(check["kernels"].values()), scenario["name"]
+
+
+def test_readme_cites_scenario_bench_numbers_verbatim():
+    readme = (REPO_ROOT / "README.md").read_text()
+    document = json.loads(
+        (REPO_ROOT / "BENCH_scenarios.json").read_text()
+    )
+    by_name = {s["name"]: s for s in document["scenarios"]}
+    revisit = by_name["synthetic-revisit"]
+    append = by_name["synthetic-append"]
+    cited = [
+        "%d scenarios" % document["scenario_count"],
+        "%.0f%%" % (revisit["cache"]["stores"]["hit_rate"] * 100.0),
+        "%d rows" % append["append_check"]["rows_appended"],
+        "%d requests" % sum(
+            s["requests"] for s in document["scenarios"]
+        ),
+    ]
+    missing = [number for number in cited if number not in readme]
+    assert not missing, (
+        "README scenario section is out of date with "
+        "BENCH_scenarios.json; missing: %s (regenerate with "
+        "`PYTHONPATH=src python benchmarks/bench_scenarios.py` and "
+        "update the text)" % missing
+    )
+
+
 def test_rounds_vs_groups_floors_hold_in_committed_results():
     """The committed full run must itself satisfy the enforced floors."""
     import sys

@@ -45,6 +45,8 @@ from repro.service import Engine
 from repro.service.serve import Dispatcher
 from tests.conftest import paper_like_answers, zero_timings
 
+pytestmark = pytest.mark.chaos
+
 
 @pytest.fixture(autouse=True)
 def disarm_faults():

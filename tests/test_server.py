@@ -344,12 +344,10 @@ class TestTCPServer:
         for thread in threads:
             thread.start()
         assert first_call.wait(10)  # the leader is inside compute
-        # Wait until the three followers have coalesced onto the leader.
+        # Event-gated wait for the three followers to coalesce onto the
+        # leader (the flight notifies its condition on every begin()).
         flight = handle.server.scheduler.flight
-        deadline = time.monotonic() + 10
-        while flight.stats()["coalesced"] < 3:
-            assert time.monotonic() < deadline
-            time.sleep(0.01)
+        assert flight.wait_coalesced(3, timeout=10)
         release.set()
         for thread in threads:
             thread.join(30)
@@ -453,10 +451,14 @@ class TestTCPServer:
     def test_bind_failure_does_not_leak_worker_threads(self, tcp_server):
         handle = tcp_server()  # occupies a port
         failed = TCPServer(make_engine(), port=handle.port, shards=2)
+        background = BackgroundServer(failed)
         with pytest.raises(RuntimeError) as info:
-            BackgroundServer(failed).start()
+            background.start()
         assert isinstance(info.value.__cause__, OSError)
-        time.sleep(0.05)  # let the failed run()'s finally finish
+        # Deterministic gate: join the failed run()'s thread instead of
+        # sleeping and hoping its finally-cleanup has finished.
+        background._thread.join(timeout=10)
+        assert not background._thread.is_alive()
         leaked = [
             thread for thread in threading.enumerate()
             if thread.name.startswith("repro-shard") and thread.is_alive()

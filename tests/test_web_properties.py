@@ -1,0 +1,195 @@
+"""Property tests for the web tier's two stateful services.
+
+Hypothesis drives :class:`repro.web.quota.QuotaService` (windowed
+token-bucket arithmetic, with an injected clock so windows advance
+without sleeping) and :class:`repro.web.sessions.SessionService.step`
+(merge-override semantics: overrides merge into the base, ``None``
+deletes, errors leave the session untouched) against independent
+reference models.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import QuotaExceeded
+from repro.web.quota import QuotaService
+from repro.web.sessions import SessionService, SessionStore
+
+pytestmark = pytest.mark.tier1
+
+
+# -- quota: windowed refill arithmetic ---------------------------------------
+
+
+class _FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+# Quarter-second ticks keep times exact in binary floating point, so the
+# model's window arithmetic (t // window) cannot drift from the service's.
+_deltas = st.lists(
+    st.integers(min_value=0, max_value=200).map(lambda q: q / 4.0),
+    min_size=1, max_size=40,
+)
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    window=st.integers(min_value=1, max_value=30),
+    deltas=_deltas,
+)
+@settings(max_examples=120, deadline=None)
+def test_quota_charges_match_windowed_bucket_model(capacity, window, deltas):
+    clock = _FakeClock()
+    service = QuotaService(capacity, float(window), clock=clock)
+    tokens = capacity
+    current_window = 0
+    granted = rejected = 0
+    for delta in deltas:
+        clock.now += delta
+        window_index = int(clock.now // window)
+        if window_index != current_window:
+            # Windowed reset: the bucket snaps back to full.
+            current_window = window_index
+            tokens = capacity
+        assert service.remaining("alice") == tokens
+        if tokens >= 1:
+            remaining = service.charge("alice", "summary")
+            tokens -= 1
+            granted += 1
+            assert remaining == tokens
+        else:
+            with pytest.raises(QuotaExceeded):
+                service.charge("alice", "summary")
+            rejected += 1
+            assert service.remaining("alice") == tokens
+    stats = service.stats()
+    assert stats["granted"] == granted
+    assert stats["rejected"] == rejected
+
+
+@given(
+    capacity=st.integers(min_value=2, max_value=12),
+    cost=st.integers(min_value=1, max_value=4),
+    charges=st.integers(min_value=1, max_value=20),
+)
+@settings(max_examples=60, deadline=None)
+def test_quota_kind_costs_deplete_by_cost(capacity, cost, charges):
+    clock = _FakeClock()
+    service = QuotaService(
+        capacity, 60.0, costs={"summary": cost}, clock=clock
+    )
+    tokens = capacity
+    for _ in range(charges):
+        if tokens >= cost:
+            assert service.charge("bob", "summary") == tokens - cost
+            tokens -= cost
+        else:
+            with pytest.raises(QuotaExceeded):
+                service.charge("bob", "summary")
+    # A different kind still costs the default 1 token.
+    if tokens >= 1:
+        assert service.charge("bob", "explore") == tokens - 1
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=5),
+    window=st.integers(min_value=1, max_value=10),
+    users=st.lists(
+        st.sampled_from(["u0", "u1", "u2"]), min_size=1, max_size=30
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_quota_buckets_are_per_user(capacity, window, users):
+    clock = _FakeClock()
+    service = QuotaService(capacity, float(window), clock=clock)
+    model: dict[str, int] = {}
+    for user in users:
+        tokens = model.get(user, capacity)
+        if tokens >= 1:
+            service.charge(user)
+            model[user] = tokens - 1
+        else:
+            with pytest.raises(QuotaExceeded):
+                service.charge(user)
+    for user, tokens in model.items():
+        assert service.remaining(user) == tokens
+
+
+# -- sessions: merge-override semantics --------------------------------------
+
+
+class _ScriptedDispatcher:
+    """Stands in for the real dispatcher: records every dispatched
+    request verbatim and fails exactly when the merged request carries
+    ``fail=1`` (so Hypothesis controls which steps error)."""
+
+    def __init__(self) -> None:
+        self.requests: list[dict] = []
+
+    def dispatch_payload(self, payload: dict) -> SimpleNamespace:
+        self.requests.append(dict(payload))
+        if payload.get("fail"):
+            return SimpleNamespace(response={
+                "kind": "error", "error_type": "InvalidParameterError",
+                "message": "scripted failure",
+            })
+        return SimpleNamespace(response={"kind": "summary_response"})
+
+
+_override_dicts = st.dictionaries(
+    keys=st.sampled_from(["k", "L", "D", "mapping", "fail"]),
+    values=st.one_of(st.none(), st.integers(min_value=0, max_value=5)),
+    max_size=4,
+)
+
+
+@given(
+    base_extras=st.dictionaries(
+        keys=st.sampled_from(["k", "L", "D"]),
+        values=st.integers(min_value=0, max_value=5),
+        max_size=3,
+    ),
+    steps=st.lists(_override_dicts, min_size=1, max_size=12),
+)
+@settings(max_examples=80, deadline=None)
+def test_session_step_merge_override_matches_model(base_extras, steps):
+    dispatcher = _ScriptedDispatcher()
+    with tempfile.TemporaryDirectory(prefix="repro-prop-sessions-") as root:
+        service = SessionService(SessionStore(root), dispatcher)
+        base = {"kind": "summary", "dataset": "d", **base_extras}
+        service.create("carol", "drill", base)
+        model = dict(base)
+        successes = 0
+        for overrides in steps:
+            merged = dict(model)
+            for key, value in overrides.items():
+                if value is None:
+                    merged.pop(key, None)
+                else:
+                    merged[key] = value
+            response = service.step("carol", "drill", overrides)
+            # The dispatched request is exactly the merge result.
+            assert dispatcher.requests[-1] == merged
+            if merged.get("fail"):
+                # Error responses leave the session untouched.
+                assert response["kind"] == "error"
+                assert service.get("carol", "drill").base == model
+            else:
+                model = merged
+                successes += 1
+                assert service.get("carol", "drill").base == model
+        record = service.get("carol", "drill")
+        assert len(record.steps) == successes
+        # The persisted record survives a cold reload bit-for-bit.
+        reloaded = SessionService(SessionStore(root), dispatcher)
+        assert reloaded.get("carol", "drill").base == model
