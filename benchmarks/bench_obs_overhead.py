@@ -1,0 +1,244 @@
+"""Tracing-overhead harness: armed vs disarmed on the duplicate-heavy trace.
+
+Boots the real :class:`repro.server.tcp.TCPServer` twice per repetition
+— once with telemetry disarmed (the production default) and once with
+tracing armed (every analytic request builds a span tree and lands in
+the ring buffer) — and replays :mod:`bench_server_load`'s closed-loop
+multi-client trace against both.  The claim under test is the tentpole's
+overhead budget: arming end-to-end tracing may cost at most
+:data:`OVERHEAD_P50_CEILING` (5%) in p50 latency on this CPU-bound
+workload.  Each mode's p50 is the best across repetitions (noise on a
+shared machine only ever inflates a run, so best-of is the honest
+estimator for a ratio of medians).
+
+Disarmed-path fidelity is checked first: the golden wire requests must
+produce byte-identical stdio/TCP responses (including the committed
+golden file), proving the telemetry hooks are invisible when off.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py [--smoke]
+        [--out PATH] [--clients N] [--rounds N] [--reps N]
+
+CI runs ``--smoke`` (tiny sizes, no ceiling enforced): it proves both
+legs boot, trace, and shut down cleanly end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))  # for tests.conftest (shared helpers)
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_server_load import (  # noqa: E402
+    check_transport_parity,
+    make_engine,
+    make_trace,
+    _percentile,
+)
+from repro.obs import Telemetry  # noqa: E402
+from repro.server import BackgroundServer, LineClient, TCPServer  # noqa: E402
+
+#: Full-mode ceiling on p50(armed) / p50(disarmed): arming end-to-end
+#: tracing may cost at most 5% median latency on the duplicate-heavy
+#: load trace.  ``tests/test_docs.py`` re-checks the committed ratio.
+OVERHEAD_P50_CEILING = 1.05
+
+
+def run_leg(
+    label: str,
+    smoke: bool,
+    *,
+    clients: int,
+    rounds: int,
+    telemetry: Telemetry | None,
+) -> dict:
+    """One closed-loop fleet against one (fresh, cold) server."""
+    engine = make_engine(smoke)
+    trace = make_trace(smoke)
+    server = TCPServer(
+        engine, port=0,
+        shards=4, workers_per_shard=1,
+        queue_depth=max(64, clients * len(trace)),
+        telemetry=telemetry,
+    )
+    handle = BackgroundServer(server).start()
+    latencies: list[float] = []
+    errors: list[dict] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients + 1)
+
+    def client_loop() -> None:
+        with LineClient(handle.host, handle.port) as client:
+            barrier.wait(timeout=60)
+            local: list[float] = []
+            for _ in range(rounds):
+                for request in trace:
+                    start = time.perf_counter()
+                    response = client.request(request)
+                    local.append(time.perf_counter() - start)
+                    if response["kind"] == "error":
+                        with lock:
+                            errors.append(response)
+            with lock:
+                latencies.extend(local)
+
+    threads = [threading.Thread(target=client_loop) for _ in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=60)
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.join(600)
+    wall_seconds = time.perf_counter() - wall_start
+    with LineClient(handle.host, handle.port) as admin:
+        traces = admin.request({"kind": "trace"})
+        ack = admin.request({"kind": "shutdown", "scope": "server"})
+    if ack.get("kind") != "shutdown_ack":
+        raise SystemExit("server did not acknowledge shutdown: %r" % ack)
+    if not handle.stop(timeout=30):
+        raise SystemExit(
+            "leg %r failed to shut down cleanly within 30s" % label
+        )
+    if errors:
+        raise SystemExit(
+            "leg %r produced %d error responses; first: %r"
+            % (label, len(errors), errors[0])
+        )
+    total = clients * rounds * len(trace)
+    if len(latencies) != total:
+        raise SystemExit(
+            "leg %r lost responses: %d of %d"
+            % (label, len(latencies), total)
+        )
+    armed = telemetry is not None
+    if armed and traces["recorded"] != total:
+        raise SystemExit(
+            "armed leg recorded %d traces for %d requests"
+            % (traces["recorded"], total)
+        )
+    if not armed and traces["armed"] is not False:
+        raise SystemExit("disarmed leg reports an armed trace buffer")
+    return {
+        "label": label,
+        "armed": armed,
+        "total_requests": total,
+        "wall_seconds": wall_seconds,
+        "throughput_rps": total / wall_seconds,
+        "traces_recorded": traces["recorded"],
+        "latency": {
+            "p50_seconds": _percentile(latencies, 0.50),
+            "p95_seconds": _percentile(latencies, 0.95),
+            "p99_seconds": _percentile(latencies, 0.99),
+            "mean_seconds": sum(latencies) / len(latencies),
+            "max_seconds": max(latencies),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_obs.json",
+        help="output JSON path (default: BENCH_obs.json at repo root)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny sizes, one repetition, no overhead ceiling (CI mode)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=None,
+        help="closed-loop clients (default: 8 full, 2 smoke)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=None,
+        help="trace repetitions per client (default: 2 full, 1 smoke)",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=None,
+        help="armed/disarmed pairs to run; each mode keeps its best p50 "
+        "(default: 3 full, 1 smoke)",
+    )
+    args = parser.parse_args(argv)
+    clients = args.clients or (2 if args.smoke else 8)
+    rounds = args.rounds or (1 if args.smoke else 2)
+    reps = args.reps or (1 if args.smoke else 3)
+
+    print("checking disarmed stdio/TCP golden parity ...", flush=True)
+    parity = check_transport_parity()
+
+    legs: dict[str, list[dict]] = {"disarmed": [], "armed": []}
+    for rep in range(reps):
+        for mode in ("disarmed", "armed"):
+            telemetry = (
+                Telemetry(tracing=True) if mode == "armed" else None
+            )
+            leg = run_leg(
+                "%s-rep%d" % (mode, rep), args.smoke,
+                clients=clients, rounds=rounds, telemetry=telemetry,
+            )
+            print(
+                "  %-14s p50 %6.1f ms  p95 %6.1f ms  %8.1f req/s"
+                % (
+                    leg["label"],
+                    leg["latency"]["p50_seconds"] * 1e3,
+                    leg["latency"]["p95_seconds"] * 1e3,
+                    leg["throughput_rps"],
+                )
+            )
+            legs[mode].append(leg)
+
+    best = {
+        mode: min(runs, key=lambda leg: leg["latency"]["p50_seconds"])
+        for mode, runs in legs.items()
+    }
+    disarmed_p50 = best["disarmed"]["latency"]["p50_seconds"]
+    armed_p50 = best["armed"]["latency"]["p50_seconds"]
+    ratio = armed_p50 / disarmed_p50 if disarmed_p50 else 1.0
+    print(
+        "  p50 ratio armed/disarmed: %.3fx  (ceiling %.2fx, full mode)"
+        % (ratio, OVERHEAD_P50_CEILING)
+    )
+    if not args.smoke and ratio > OVERHEAD_P50_CEILING:
+        raise SystemExit(
+            "tracing overhead regression: p50 ratio %.3fx exceeds the "
+            "%.2fx ceiling (disarmed %.2f ms, armed %.2f ms)"
+            % (ratio, OVERHEAD_P50_CEILING,
+               disarmed_p50 * 1e3, armed_p50 * 1e3)
+        )
+
+    document = {
+        "schema": 1,
+        "benchmark": "BENCH_obs",
+        "smoke": args.smoke,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "trace": {
+            "clients": clients,
+            "rounds": rounds,
+            "reps": reps,
+            "distinct_requests": len(make_trace(args.smoke)),
+            "n_per_dataset": 512 if args.smoke else 4096,
+        },
+        "transport_parity": parity,
+        "legs": legs,
+        "best": best,
+        "p50_ratio": ratio,
+        "p50_ceiling": OVERHEAD_P50_CEILING,
+    }
+    args.out.write_text(json.dumps(document, indent=2) + "\n")
+    print("wrote %s" % args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -336,7 +336,34 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="TCP mode: disable single-flight coalescing of identical "
         "in-flight requests (baseline/debugging)",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="arm end-to-end request tracing: every analytical request "
+        "builds a span tree (queue wait, compute, engine phases) kept in "
+        "a bounded in-memory ring buffer served by the 'trace' admin "
+        "kind / GET /v2/admin/trace; requests may opt into an inline "
+        "copy with the 'trace': true envelope field.  Off by default "
+        "(zero overhead beyond one flag check)",
+    )
+    parser.add_argument(
+        "--log-json", metavar="FILE", nargs="?", const="-",
+        help="emit one structured JSON log line per completed request "
+        "plus lifecycle events (worker restarts, quarantines, drains) to "
+        "FILE (append mode), or to stderr when the flag is bare or FILE "
+        "is '-'.  Implies --trace",
+    )
+    parser.add_argument(
+        "--trace-buffer", type=int, metavar="N",
+        help="ring-buffer capacity for the N most recent and N slowest "
+        "retained traces (default %d)" % _default_trace_buffer(),
+    )
     return parser
+
+
+def _default_trace_buffer() -> int:
+    from repro.obs import registry
+
+    return registry.DEFAULT_TRACE_BUFFER
 
 
 def _parse_host_port(value: str, flag: str = "--tcp") -> tuple[str, int]:
@@ -382,6 +409,27 @@ def serve_main(argv: list[str] | None = None) -> int:
                     % args.request_timeout
                 )
             deadline_ms = args.request_timeout * 1000.0
+        telemetry = None
+        if args.trace or args.log_json is not None \
+                or args.trace_buffer is not None:
+            from repro.obs import StructuredLogger, Telemetry, open_log_sink
+
+            if args.trace_buffer is not None and args.trace_buffer <= 0:
+                raise ReproError(
+                    "--trace-buffer must be positive, got %d"
+                    % args.trace_buffer
+                )
+            logger = None
+            if args.log_json is not None:
+                logger = StructuredLogger(open_log_sink(args.log_json))
+            telemetry = Telemetry(
+                tracing=True,
+                trace_buffer=(
+                    args.trace_buffer if args.trace_buffer is not None
+                    else _default_trace_buffer()
+                ),
+                logger=logger,
+            )
         for csv_path in args.csv:
             dataset, answers = _answers_from_csv(csv_path, None, None)
             engine.register_dataset(dataset, answers)
@@ -414,6 +462,7 @@ def serve_main(argv: list[str] | None = None) -> int:
                 quota=quota,
                 drain_timeout=args.drain_timeout,
                 default_deadline_ms=deadline_ms,
+                telemetry=telemetry,
             )
             background = BackgroundServer(tcp_server)
         web = WebServer(
@@ -432,6 +481,7 @@ def serve_main(argv: list[str] | None = None) -> int:
             ),
             drain_timeout=args.drain_timeout,
             default_deadline_ms=deadline_ms,
+            telemetry=telemetry,
         )
 
         def _announce_web(running: WebServer) -> None:
@@ -477,6 +527,7 @@ def serve_main(argv: list[str] | None = None) -> int:
             quota=quota,
             drain_timeout=args.drain_timeout,
             default_deadline_ms=deadline_ms,
+            telemetry=telemetry,
         )
 
         def _announce(running: TCPServer) -> None:
@@ -504,7 +555,7 @@ def serve_main(argv: list[str] | None = None) -> int:
 
     dispatcher = Dispatcher(
         engine, max_line_bytes=args.max_line_bytes, auth=auth, quota=quota,
-        default_deadline_ms=deadline_ms,
+        default_deadline_ms=deadline_ms, telemetry=telemetry,
     )
     serve(sys.stdin, sys.stdout, dispatcher=dispatcher)
     return 0

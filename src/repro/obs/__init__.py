@@ -1,0 +1,49 @@
+"""Observability for the serving stack: tracing, structured logs, registry.
+
+Three modules, one story (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.tracing` — per-request trace trees over a thread-local
+  span stack (``span("scheduler.queue")``, ``span("engine.pool_build")``,
+  …), deterministic trace ids, and the bounded slowest/most-recent ring
+  buffer.
+* :mod:`repro.obs.logging` — JSON-lines structured logging: one
+  completion record per request plus lifecycle events.
+* :mod:`repro.obs.registry` — :class:`Telemetry` (the armed flag, id
+  generator, buffer, logger) and :class:`TelemetryRegistry` (every
+  metrics source unified behind ``/metrics`` and the ``stats`` /
+  ``trace`` admin kinds).
+
+Everything here is off by default: a server built without a
+:class:`Telemetry` (or with one that is disarmed) takes a single flag
+check per request and produces byte-identical wire output.
+"""
+
+from repro.obs.logging import StructuredLogger, open_log_sink
+from repro.obs.registry import Telemetry, TelemetryRegistry
+from repro.obs.tracing import (
+    RequestTrace,
+    Span,
+    TraceBuffer,
+    TraceIdGenerator,
+    annotate,
+    current_trace,
+    record_span,
+    span,
+    trace_scope,
+)
+
+__all__ = [
+    "RequestTrace",
+    "Span",
+    "StructuredLogger",
+    "Telemetry",
+    "TelemetryRegistry",
+    "TraceBuffer",
+    "TraceIdGenerator",
+    "annotate",
+    "current_trace",
+    "open_log_sink",
+    "record_span",
+    "span",
+    "trace_scope",
+]

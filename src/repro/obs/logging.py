@@ -1,0 +1,109 @@
+"""Structured JSON-lines logging for the serving stack.
+
+One line per event, one JSON object per line — the format every log
+pipeline (jq, Loki, BigQuery) ingests without a parser.  Two event
+families:
+
+* **request** — exactly one completion record per analytic request:
+  trace_id, user, kind, status, duration, the span tree, and any
+  shed/retry/fault annotations.  Emitted by the dispatcher when the
+  request's future resolves.
+* **lifecycle** — server events worth a forensic timeline: worker
+  restart, shard quarantine, drain start/finish.  Emitted by the
+  scheduler supervisor and the transport shutdown paths.
+
+Armed via ``repro-serve --log-json [FILE]`` (bare flag logs to stderr).
+Every record carries ``ts`` (wall clock, seconds) and ``event``.
+
+>>> import io
+>>> sink = io.StringIO()
+>>> logger = StructuredLogger(sink)
+>>> logger.event("worker_restart", shard=2, restarts=1)
+>>> record = __import__("json").loads(sink.getvalue())
+>>> record["event"], record["shard"]
+('worker_restart', 2)
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+import threading
+import time
+from typing import Any, IO, Optional
+
+__all__ = ["StructuredLogger", "open_log_sink"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce a value to something json.dumps accepts, falling back to str."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+class StructuredLogger:
+    """Thread-safe JSON-lines writer.
+
+    Serialization happens outside the lock; only the single
+    ``write`` + ``flush`` pair is serialized, so concurrent shard
+    workers never interleave partial lines.
+    """
+
+    def __init__(self, stream: IO[str]) -> None:
+        self._stream = stream
+        self._lock = threading.Lock()
+        self._emitted = 0
+
+    @property
+    def emitted(self) -> int:
+        return self._emitted
+
+    def _emit(self, record: dict[str, Any]) -> None:
+        line = json.dumps(_jsonable(record), sort_keys=True)
+        with self._lock:
+            self._emitted += 1
+            try:
+                self._stream.write(line + "\n")
+                self._stream.flush()
+            except ValueError:
+                # Sink closed under us (shutdown race); logging must never
+                # take down the request path.
+                pass
+
+    def request(self, trace: dict[str, Any]) -> None:
+        """Emit the one completion record for a finished request trace."""
+        record = {
+            "event": "request",
+            "ts": trace.get("wall_time", time.time()),
+            "trace_id": trace.get("trace_id"),
+            "user": trace.get("user"),
+            "kind": trace.get("kind"),
+            "status": trace.get("status"),
+            "duration_seconds": trace.get("duration_seconds"),
+            "annotations": trace.get("annotations", {}),
+            "spans": trace.get("spans", []),
+        }
+        self._emit(record)
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Emit a lifecycle event (worker_restart, quarantine, drain…)."""
+        record = {"event": name, "ts": time.time()}
+        record.update(fields)
+        self._emit(record)
+
+
+def open_log_sink(target: Optional[str]) -> IO[str]:
+    """Resolve a ``--log-json`` argument to a text stream.
+
+    ``None`` / ``"-"`` → stderr (the bare-flag default); anything else
+    is an append-mode file path, line-buffered so ``tail -f`` works.
+    """
+    if target is None or target == "-":
+        return sys.stderr
+    return io.open(target, "a", encoding="utf-8", buffering=1)

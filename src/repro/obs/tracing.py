@@ -1,0 +1,385 @@
+"""Per-request trace trees: a thread-local span stack over monotonic time.
+
+Every request that enters an *armed* server becomes a
+:class:`RequestTrace` — a ``trace_id`` plus a tree of named
+:class:`Span`\\ s with monotonic timings — created at the transport edge
+(the HTTP front door honors ``X-Request-Id``; otherwise ids derive from
+a seeded counter so tests stay reproducible) and threaded through the
+dispatcher, the sharded scheduler (queue-wait vs compute split), the
+engine (cache hit/miss, pool/store build), and the merge kernel's
+``phase_seconds`` counters, which ride as span attributes.
+
+The design mirrors :mod:`repro.common.budget`: the trace travels with
+the request object across threads, and whichever thread is doing the
+work installs it as *current* via :func:`trace_scope` so deep layers can
+open spans with :func:`span` without threading a parameter through every
+call signature.  With no trace installed — the disarmed default — both
+:func:`span` and :func:`record_span` are a single thread-local attribute
+read, so production code paths carry no measurable cost and no
+behavioral drift (wire bytes stay golden-identical).
+
+Span naming convention (dotted ``layer.phase``, see
+``docs/OBSERVABILITY.md``):
+
+``scheduler.queue``      time between enqueue and dequeue on a shard
+``scheduler.worker``     the worker's compute window (fault sites included)
+``engine.request``       parse + solve + serialize inside the engine
+``engine.pool_build``    cluster-pool initialization (attr: cache_hit)
+``engine.store_build``   precompute-sweep construction (attr: cache_hit)
+``engine.solve``         the algorithm run (attrs: argmax_* counters)
+``engine.serialize``     response DTO construction
+
+Usage::
+
+    >>> trace = RequestTrace("trace-0000-000001", kind="summary")
+    >>> with trace_scope(trace):
+    ...     with span("engine.request"):
+    ...         with span("engine.solve", kernel="bitset"):
+    ...             pass
+    >>> trace.finish("ok")
+    >>> tree = trace.to_dict()
+    >>> [s["name"] for s in tree["spans"]]
+    ['engine.request']
+    >>> [s["name"] for s in tree["spans"][0]["children"]]
+    ['engine.solve']
+    >>> tree["spans"][0]["children"][0]["attributes"]["kernel"]
+    'bitset'
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+__all__ = [
+    "RequestTrace",
+    "Span",
+    "TraceBuffer",
+    "TraceIdGenerator",
+    "current_trace",
+    "record_span",
+    "span",
+    "trace_scope",
+]
+
+
+class Span:
+    """One timed node of a trace tree (monotonic start/end + attributes)."""
+
+    __slots__ = ("name", "start", "end", "attributes", "children")
+
+    def __init__(self, name: str, start: float) -> None:
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.attributes: dict[str, Any] = {}
+        self.children: list["Span"] = []
+
+    @property
+    def seconds(self) -> float:
+        end = self.end if self.end is not None else time.perf_counter()
+        return max(0.0, end - self.start)
+
+    def to_dict(self, origin: float) -> dict[str, Any]:
+        """JSON shape, offsets relative to the trace's *origin* instant."""
+        return {
+            "name": self.name,
+            "start_seconds": max(0.0, self.start - origin),
+            "duration_seconds": self.seconds,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict(origin) for child in self.children],
+        }
+
+
+class RequestTrace:
+    """The trace of one request: an id, a span tree, and annotations.
+
+    Spans are appended by whichever thread currently holds the trace
+    (transport thread at the edge, shard worker during compute) — the
+    handoff is sequential, but a lock guards mutation anyway so a late
+    annotation from a supervision path can never corrupt the tree.
+    """
+
+    __slots__ = (
+        "trace_id", "kind", "user", "started", "wall_time", "status",
+        "annotations", "_root_spans", "_lock", "_finished_seconds",
+    )
+
+    def __init__(
+        self,
+        trace_id: str,
+        kind: str = "unknown",
+        user: str = "anonymous",
+    ) -> None:
+        self.trace_id = trace_id
+        self.kind = kind
+        self.user = user
+        self.started = time.perf_counter()
+        self.wall_time = time.time()
+        self.status: Optional[str] = None
+        self.annotations: dict[str, Any] = {}
+        self._root_spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._finished_seconds: Optional[float] = None
+
+    # -- span recording ------------------------------------------------------
+
+    def attach(self, spans: "list[Span]") -> None:
+        with self._lock:
+            self._root_spans.extend(spans)
+
+    def add_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        parent: Optional[Span] = None,
+        **attributes: Any,
+    ) -> Span:
+        """Record a span from explicit monotonic instants (the scheduler
+        uses this for queue-wait: the span *ends* where measurement
+        resumed, on a different thread than it started)."""
+        node = Span(name, start)
+        node.end = end
+        node.attributes.update(attributes)
+        with self._lock:
+            if parent is not None:
+                parent.children.append(node)
+            else:
+                self._root_spans.append(node)
+        return node
+
+    def annotate(self, key: str, value: Any) -> None:
+        """Attach one request-level fact (shed/retry/coalesce/fault)."""
+        with self._lock:
+            self.annotations[key] = value
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def finish(self, status: str) -> None:
+        """Freeze the trace: record terminal status and total duration."""
+        with self._lock:
+            if self._finished_seconds is None:
+                self._finished_seconds = time.perf_counter() - self.started
+                self.status = status
+
+    @property
+    def duration_seconds(self) -> float:
+        if self._finished_seconds is not None:
+            return self._finished_seconds
+        return time.perf_counter() - self.started
+
+    def to_dict(self) -> dict[str, Any]:
+        with self._lock:
+            spans = [node.to_dict(self.started) for node in self._root_spans]
+            return {
+                "trace_id": self.trace_id,
+                "kind": self.kind,
+                "user": self.user,
+                "status": self.status,
+                "wall_time": self.wall_time,
+                "duration_seconds": self.duration_seconds,
+                "annotations": dict(self.annotations),
+                "spans": spans,
+            }
+
+    # -- convenience lookups (tests, scenario rollups) -----------------------
+
+    def find_span(self, name: str) -> Optional[Span]:
+        """Depth-first search for the first span called *name*."""
+        with self._lock:
+            stack = list(reversed(self._root_spans))
+        while stack:
+            node = stack.pop()
+            if node.name == name:
+                return node
+            stack.extend(reversed(node.children))
+        return None
+
+
+# -- thread-local current trace ------------------------------------------------
+
+_local = threading.local()
+
+
+class _Installed:
+    """The per-thread view of a trace: the trace plus this thread's open
+    span stack (spans opened here nest here; the tree is shared)."""
+
+    __slots__ = ("trace", "stack")
+
+    def __init__(self, trace: RequestTrace) -> None:
+        self.trace = trace
+        self.stack: list[Span] = []
+
+
+def current_trace() -> Optional[RequestTrace]:
+    """The trace installed on this thread, if any."""
+    installed = getattr(_local, "installed", None)
+    return installed.trace if installed is not None else None
+
+
+@contextmanager
+def trace_scope(trace: Optional[RequestTrace]) -> Iterator[None]:
+    """Install *trace* as this thread's current trace for the scope.
+
+    ``trace_scope(None)`` is a supported no-op (mirroring
+    :func:`repro.common.budget.budget_scope`) so call sites need no
+    conditional.  Scopes nest; the previous trace is restored on exit.
+    """
+    if trace is None:
+        yield
+        return
+    previous = getattr(_local, "installed", None)
+    _local.installed = _Installed(trace)
+    try:
+        yield
+    finally:
+        _local.installed = previous
+
+
+@contextmanager
+def span(name: str, **attributes: Any) -> Iterator[Optional[Span]]:
+    """Open a timed span under this thread's current trace.
+
+    With no trace installed this is one thread-local read and a
+    ``yield None`` — cheap enough for per-request hot paths.  The span
+    nests under whatever span this thread currently has open.
+    """
+    installed = getattr(_local, "installed", None)
+    if installed is None:
+        yield None
+        return
+    node = Span(name, time.perf_counter())
+    if attributes:
+        node.attributes.update(attributes)
+    stack = installed.stack
+    if stack:
+        with installed.trace._lock:
+            stack[-1].children.append(node)
+    else:
+        with installed.trace._lock:
+            installed.trace._root_spans.append(node)
+    stack.append(node)
+    try:
+        yield node
+    finally:
+        node.end = time.perf_counter()
+        stack.pop()
+
+
+def record_span(name: str, seconds: float, **attributes: Any) -> None:
+    """Record an already-elapsed phase as a span ending *now*.
+
+    The engine uses this to surface work whose timing it already
+    measured (cache-aware pool/store builds) without restructuring the
+    build path.  No-op when no trace is installed.
+    """
+    installed = getattr(_local, "installed", None)
+    if installed is None:
+        return
+    end = time.perf_counter()
+    node = Span(name, end - max(0.0, seconds))
+    node.end = end
+    node.attributes.update(attributes)
+    stack = installed.stack
+    with installed.trace._lock:
+        if stack:
+            stack[-1].children.append(node)
+        else:
+            installed.trace._root_spans.append(node)
+
+
+def annotate(key: str, value: Any) -> None:
+    """Annotate this thread's current trace; no-op when none installed."""
+    installed = getattr(_local, "installed", None)
+    if installed is not None:
+        installed.trace.annotate(key, value)
+
+
+# -- trace ids -----------------------------------------------------------------
+
+
+class TraceIdGenerator:
+    """Deterministic request ids from a seeded counter.
+
+    Distributed tracing normally wants random ids; this repo wants
+    *reproducible* ones — the same test run produces the same ids — so
+    the id is ``trace-<seed:04x>-<counter:06d>``.  Transport edges that
+    receive a caller-supplied id (HTTP ``X-Request-Id``) bypass the
+    generator entirely.
+
+    >>> generator = TraceIdGenerator(seed=0)
+    >>> generator.next_id()
+    'trace-0000-000001'
+    >>> generator.next_id()
+    'trace-0000-000002'
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._counter = itertools.count(1)
+
+    def next_id(self) -> str:
+        return "trace-%04x-%06d" % (self.seed & 0xFFFF, next(self._counter))
+
+
+# -- the ring buffer -----------------------------------------------------------
+
+
+class TraceBuffer:
+    """Bounded retention of finished traces: N most recent + N slowest.
+
+    ``record`` is O(log N) under one lock (a deque for recency, a
+    min-heap for the slowest set), so a hot server pays a few hundred
+    nanoseconds per request to keep an always-on flight recorder.  The
+    ``trace`` admin kind and ``/v2/admin/trace`` serve :meth:`snapshot`.
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1, got %d" % capacity)
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._recent: deque[dict[str, Any]] = deque(maxlen=capacity)
+        #: (duration, tiebreak, trace_dict) min-heap of the slowest N.
+        self._slowest: list[tuple[float, int, dict[str, Any]]] = []
+        self._tiebreak = itertools.count()
+        self._recorded = 0
+
+    def record(self, trace: dict[str, Any]) -> None:
+        duration = float(trace.get("duration_seconds", 0.0))
+        with self._lock:
+            self._recorded += 1
+            self._recent.append(trace)
+            entry = (duration, next(self._tiebreak), trace)
+            if len(self._slowest) < self.capacity:
+                heapq.heappush(self._slowest, entry)
+            elif duration > self._slowest[0][0]:
+                heapq.heapreplace(self._slowest, entry)
+
+    def snapshot(self) -> dict[str, Any]:
+        """``recent`` oldest-to-newest, ``slowest`` slowest-first."""
+        with self._lock:
+            recent = list(self._recent)
+            slowest = [
+                entry[2]
+                for entry in sorted(
+                    self._slowest, key=lambda e: (-e[0], e[1])
+                )
+            ]
+            return {
+                "capacity": self.capacity,
+                "recorded": self._recorded,
+                "recent": recent,
+                "slowest": slowest,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._recent)

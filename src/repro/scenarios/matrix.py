@@ -56,6 +56,11 @@ def full_matrix() -> list[ScenarioSpec]:
                 "min_requests": 24,
                 # Every request churns (L, k_range): stores must miss.
                 "max_store_hit_rate": 0.15,
+                # Cold rebuilds dominate wall time: no kind may spend
+                # 95%+ of its traced time outside compute (a generous,
+                # hardware-independent ceiling — it catches a layer
+                # regression, not a slow machine).
+                "max_p95_overhead": 0.95,
             },
         ),
         ScenarioSpec(

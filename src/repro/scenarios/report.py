@@ -23,6 +23,12 @@ fail loudly):
     Lower bound on the cluster-pool cache hit rate.
 ``min_requests: int``
     Sanity floor on workload volume (guards against silently tiny runs).
+``max_p95_overhead: float``
+    Ceiling on every kind's p95 *overhead fraction* — the share of a
+    traced request's wall time spent anywhere but compute (queue wait,
+    dispatch, transport).  A fraction, not a latency, so it stays
+    hardware-independent; see ``spans`` in the report (built by
+    :func:`repro.scenarios.runner.span_rollup`).
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ _KNOWN_FLOORS = frozenset({
     "max_store_hit_rate",
     "min_pool_hit_rate",
     "min_requests",
+    "max_p95_overhead",
 })
 
 
@@ -104,6 +111,16 @@ def evaluate_floors(report: dict[str, Any]) -> list[str]:
                 "only %d requests, floor is %d"
                 % (report["requests"], floors["min_requests"])
             )
+    if "max_p95_overhead" in floors:
+        for kind, bucket in sorted(report.get("spans", {}).items()):
+            overhead = float(bucket.get("overhead_p95", 0.0))
+            if overhead > floors["max_p95_overhead"]:
+                violations.append(
+                    "kind %r p95 overhead fraction %.4f exceeds "
+                    "ceiling %.4f" % (
+                        kind, overhead, floors["max_p95_overhead"]
+                    )
+                )
     return violations
 
 

@@ -35,6 +35,7 @@ import time
 from typing import Any
 
 from repro.core.answers import AnswerSet
+from repro.obs import Telemetry
 from repro.scenarios.spec import ScenarioSpec
 from repro.scenarios.trace import AppendEvent, Trace, compile_trace
 from repro.server.metrics import LatencyHistogram
@@ -115,11 +116,13 @@ def _apply_append_inline(engine, dataset: str, event: AppendEvent) -> None:
 # -- transports ---------------------------------------------------------------
 
 
-def _run_stdio(trace: Trace, engine) -> tuple[_Recorder, dict[str, Any]]:
+def _run_stdio(
+    trace: Trace, engine, telemetry: Telemetry
+) -> tuple[_Recorder, dict[str, Any]]:
     """Sequential in-process execution through the shared dispatcher."""
     from repro.service.serve import Dispatcher
 
-    dispatcher = Dispatcher(engine)
+    dispatcher = Dispatcher(engine, telemetry=telemetry)
     recorder = _Recorder(trace.spec.clients)
     for epoch in trace.epochs:
         if epoch.append is not None:
@@ -231,12 +234,16 @@ def _drive_epochs(
     return fetch_stats()
 
 
-def _run_tcp(trace: Trace, engine) -> tuple[_Recorder, dict[str, Any]]:
+def _run_tcp(
+    trace: Trace, engine, telemetry: Telemetry
+) -> tuple[_Recorder, dict[str, Any]]:
     from repro.server.client import LineClient
     from repro.server.tcp import BackgroundServer, TCPServer
 
     recorder = _Recorder(trace.spec.clients)
-    with BackgroundServer(TCPServer(engine, shards=2)) as server:
+    with BackgroundServer(
+        TCPServer(engine, shards=2, telemetry=telemetry)
+    ) as server:
         admin = LineClient(server.host, server.port, timeout=120.0)
 
         def make_send(client: int):
@@ -265,13 +272,17 @@ def _run_tcp(trace: Trace, engine) -> tuple[_Recorder, dict[str, Any]]:
     return recorder, stats
 
 
-def _run_http(trace: Trace, engine) -> tuple[_Recorder, dict[str, Any]]:
+def _run_http(
+    trace: Trace, engine, telemetry: Telemetry
+) -> tuple[_Recorder, dict[str, Any]]:
     import http.client
 
     from repro.web.http import BackgroundWebServer, WebServer
 
     recorder = _Recorder(trace.spec.clients)
-    server = BackgroundWebServer(WebServer(engine, port=0)).start()
+    server = BackgroundWebServer(
+        WebServer(engine, port=0, telemetry=telemetry)
+    ).start()
     try:
         def open_connection() -> http.client.HTTPConnection:
             return http.client.HTTPConnection(
@@ -443,6 +454,66 @@ def check_append_identity(
     }
 
 
+# -- span rollups -------------------------------------------------------------
+
+
+def _sum_named_spans(spans: list[dict[str, Any]], name: str) -> float:
+    """Total duration of every span called *name* anywhere in the tree."""
+    total = 0.0
+    for node in spans:
+        if node.get("name") == name:
+            total += float(node.get("duration_seconds", 0.0))
+        total += _sum_named_spans(node.get("children", []), name)
+    return total
+
+
+def span_rollup(traces: list[dict[str, Any]]) -> dict[str, Any]:
+    """Per-kind queue-wait vs compute split from finished trace trees.
+
+    For each request kind: how much traced time sat in shard queues
+    (``scheduler.queue``) vs actually computing (``scheduler.worker``, or
+    ``engine.request`` on the schedulerless stdio transport), plus the
+    p95 of the per-trace *overhead fraction* — the share of a request's
+    wall time spent anywhere but compute.  The fraction is
+    machine-independent, so ``max_p95_overhead`` floors stay meaningful
+    across hardware and localize a latency regression to a layer.
+
+    Coalesced followers never compute (their time *is* the leader's
+    compute window), so they count toward the split totals but are
+    excluded from the overhead distribution — otherwise every coalesce
+    hit would read as 100% overhead.
+    """
+    buckets: dict[str, dict[str, Any]] = {}
+    overheads: dict[str, list[float]] = {}
+    for tree in traces:
+        kind = tree.get("kind", "unknown")
+        spans = tree.get("spans", [])
+        queue = _sum_named_spans(spans, "scheduler.queue")
+        compute = _sum_named_spans(spans, "scheduler.worker")
+        if compute == 0.0:
+            compute = _sum_named_spans(spans, "engine.request")
+        duration = float(tree.get("duration_seconds", 0.0))
+        bucket = buckets.setdefault(kind, {
+            "traces": 0, "queue_seconds": 0.0, "compute_seconds": 0.0,
+        })
+        bucket["traces"] += 1
+        bucket["queue_seconds"] += queue
+        bucket["compute_seconds"] += compute
+        coalesced = bool(tree.get("annotations", {}).get("coalesced"))
+        if duration > 0.0 and not coalesced:
+            overheads.setdefault(kind, []).append(
+                max(0.0, duration - min(compute, duration)) / duration
+            )
+    for kind, bucket in buckets.items():
+        values = sorted(overheads.get(kind, []))
+        if values:
+            index = min(len(values) - 1, int(0.95 * len(values)))
+            bucket["overhead_p95"] = values[index]
+        else:
+            bucket["overhead_p95"] = 0.0
+    return dict(sorted(buckets.items()))
+
+
 # -- scoring -----------------------------------------------------------------
 
 
@@ -452,6 +523,7 @@ def _score(
     stats: dict[str, Any],
     differential: dict[str, Any],
     append_check: dict[str, Any] | None,
+    spans: dict[str, Any],
 ) -> dict[str, Any]:
     histograms: dict[str, LatencyHistogram] = {}
     responses = 0
@@ -500,6 +572,7 @@ def _score(
         },
         "differential": differential,
         "append_check": append_check,
+        "spans": spans,
     }
     return report
 
@@ -513,7 +586,15 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
 
     engine = Engine()
     engine.register_dataset(trace.dataset, answers)
-    recorder, stats = _TRANSPORT_RUNNERS[spec.transport](trace, engine)
+    # Arm tracing for the live run (capacity >= the whole workload so the
+    # rollup sees every request); responses stay byte-identical, so the
+    # differential against the untraced reference replay still holds.
+    telemetry = Telemetry(
+        tracing=True, trace_buffer=max(32, trace.total_requests)
+    )
+    recorder, stats = _TRANSPORT_RUNNERS[spec.transport](
+        trace, engine, telemetry
+    )
 
     reference = _reference_replay(trace, answers)
     differential = _differential(trace, recorder, reference)
@@ -527,4 +608,7 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
         append_check = check_append_identity(
             answers, events, L=max(2, min(4, answers.n))
         )
-    return _score(trace, recorder, stats, differential, append_check)
+    spans = span_rollup(telemetry.traces()["recent"])
+    return _score(
+        trace, recorder, stats, differential, append_check, spans
+    )

@@ -19,6 +19,7 @@ under a lock.
 from __future__ import annotations
 
 import bisect
+import re
 import threading
 from typing import Any, Mapping
 
@@ -38,7 +39,7 @@ BUCKET_BOUNDS: tuple[float, ...] = (
 TRACKED_KINDS = frozenset({
     "summary", "explore", "guidance",
     "ping", "load_csv", "datasets", "algorithms", "stats", "shutdown",
-    "faults",
+    "faults", "trace",
     "session", "healthz", "metrics",
     "invalid",
 })
@@ -65,6 +66,23 @@ class LatencyHistogram:
             if seconds > self._max:
                 self._max = seconds
 
+    @staticmethod
+    def _quantile_from(
+        counts: list[int], count: int, maximum: float, q: float
+    ) -> float:
+        """Quantile from an already-snapshotted bucket state."""
+        if count == 0:
+            return 0.0
+        rank = q * count
+        cumulative = 0
+        for index, bucket in enumerate(counts):
+            cumulative += bucket
+            if cumulative >= rank:
+                if index < len(BUCKET_BOUNDS):
+                    return BUCKET_BOUNDS[index]
+                return maximum
+        return maximum
+
     def quantile(self, q: float) -> float:
         """Upper bound of the bucket holding the *q*-quantile observation.
 
@@ -72,18 +90,8 @@ class LatencyHistogram:
         terminal bucket (so p99 of a one-sample histogram is that sample's
         bucket bound, never infinity).
         """
-        with self._lock:
-            if self._count == 0:
-                return 0.0
-            rank = q * self._count
-            cumulative = 0
-            for index, count in enumerate(self._counts):
-                cumulative += count
-                if cumulative >= rank:
-                    if index < len(BUCKET_BOUNDS):
-                        return BUCKET_BOUNDS[index]
-                    return self._max
-            return self._max
+        counts, count, _total, maximum = self.export()
+        return self._quantile_from(counts, count, maximum, q)
 
     def export(self) -> tuple[list[int], int, float, float]:
         """Consistent snapshot for exposition: per-bucket counts (the
@@ -93,17 +101,18 @@ class LatencyHistogram:
             return list(self._counts), self._count, self._sum, self._max
 
     def summary(self) -> dict[str, float]:
-        with self._lock:
-            count = self._count
-            mean = self._sum / count if count else 0.0
-            maximum = self._max
+        # One lock acquisition for every field: quantiles computed from
+        # the same snapshot as count/mean/max, so a concurrent observe
+        # can never tear the summary (p50 > p95 was possible when each
+        # quantile re-read live state).
+        counts, count, total, maximum = self.export()
         return {
             "count": count,
-            "mean_seconds": mean,
+            "mean_seconds": total / count if count else 0.0,
             "max_seconds": maximum,
-            "p50_seconds": self.quantile(0.50),
-            "p95_seconds": self.quantile(0.95),
-            "p99_seconds": self.quantile(0.99),
+            "p50_seconds": self._quantile_from(counts, count, maximum, 0.50),
+            "p95_seconds": self._quantile_from(counts, count, maximum, 0.95),
+            "p99_seconds": self._quantile_from(counts, count, maximum, 0.99),
         }
 
 
@@ -160,6 +169,69 @@ def _sanitize_metric_name(name: str) -> str:
     return "".join(c if c in _METRIC_NAME_OK else "_" for c in name)
 
 
+def _escape_label(value: str) -> str:
+    """Escape a label *value* per the Prometheus text exposition format:
+    backslash, double quote, and line feed must be escaped or the
+    exposition is unparseable (and a hostile value could inject whole
+    fake sample lines)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def label_suffix(**labels: Any) -> str:
+    """Build an escaped ``{name="value",...}`` suffix for an extra-gauge
+    key, so callers never hand-format label values.
+
+    >>> label_suffix(shard=3)
+    '{shard="3"}'
+    """
+    return "{%s}" % ",".join(
+        '%s="%s"' % (_sanitize_metric_name(name), _escape_label(value))
+        for name, value in sorted(labels.items())
+    )
+
+
+#: A whole suffix body that is already well-escaped: comma-joined
+#: ``name="value"`` pairs whose values contain no raw quote, backslash,
+#: or newline (only ``\\``-escape sequences).  :func:`label_suffix`
+#: output and the historical digit-only ``shard="0"`` keys both match,
+#: so they are emitted verbatim and the scrape contract is unchanged.
+_WELL_ESCAPED_SUFFIX = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\.)*"'
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\.)*")*$'
+)
+
+#: One ``name="raw value"`` pair inside a legacy string label suffix.
+#: The value is everything up to a quote that closes the pair (followed
+#: by ``,`` or the end), so common raw values round-trip even when they
+#: contain quotes or newlines; raw values containing the exact sequence
+#: ``",`` need the structured :func:`label_suffix` path.
+_LABEL_PAIR = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="(.*?)"(?=,|$)', re.DOTALL
+)
+
+
+def _reescape_label_suffix(labels: str) -> str:
+    """Render a caller-supplied ``{...}`` suffix body safely escaped.
+
+    Already well-escaped suffixes (the :func:`label_suffix` path, plain
+    legacy keys) pass through verbatim; anything else is treated as raw
+    label values and escaped pair by pair, so a hostile value can never
+    inject fake sample lines into the exposition."""
+    if _WELL_ESCAPED_SUFFIX.match(labels):
+        return labels
+    pairs = _LABEL_PAIR.findall(labels)
+    if not pairs:
+        return labels  # not label-shaped; emit verbatim (legacy behavior)
+    return ",".join(
+        '%s="%s"' % (name, _escape_label(value)) for name, value in pairs
+    )
+
+
 def _format_value(value: float) -> str:
     # Integral values print without an exponent or trailing zeros; repr
     # keeps full float precision for the rest.
@@ -197,23 +269,24 @@ def prometheus_text(
         metric = "%s_request_latency_seconds" % namespace
         lines.append("# TYPE %s histogram" % metric)
         for kind in sorted(histograms):
+            label = _escape_label(kind)
             counts, count, total, _maximum = histograms[kind].export()
             cumulative = 0
             for bound, bucket in zip(BUCKET_BOUNDS, counts):
                 cumulative += bucket
                 lines.append(
                     '%s_bucket{kind="%s",le="%s"} %d'
-                    % (metric, kind, _format_value(bound), cumulative)
+                    % (metric, label, _format_value(bound), cumulative)
                 )
             cumulative += counts[-1]
             lines.append(
                 '%s_bucket{kind="%s",le="+Inf"} %d'
-                % (metric, kind, cumulative)
+                % (metric, label, cumulative)
             )
             lines.append(
-                '%s_sum{kind="%s"} %s' % (metric, kind, _format_value(total))
+                '%s_sum{kind="%s"} %s' % (metric, label, _format_value(total))
             )
-            lines.append('%s_count{kind="%s"} %d' % (metric, kind, count))
+            lines.append('%s_count{kind="%s"} %d' % (metric, label, count))
     typed: set[str] = set()
     for key in sorted(extra or {}):
         name, brace, labels = key.partition("{")
@@ -221,6 +294,10 @@ def prometheus_text(
         if base not in typed:  # one TYPE line per family, not per label
             typed.add(base)
             lines.append("# TYPE %s gauge" % base)
+        if brace:
+            # Caller-supplied {label="..."} suffix: label values arrive
+            # raw, so escape them here before they hit the exposition.
+            labels = _reescape_label_suffix(labels.rstrip("}")) + "}"
         lines.append(
             "%s%s%s %s" % (base, brace, labels, _format_value(extra[key]))
         )

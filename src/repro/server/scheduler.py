@@ -53,6 +53,7 @@ from typing import Any, Callable
 from repro.common.budget import Budget, budget_scope
 from repro.common.errors import DeadlineExceeded, Overloaded, PoisonedRequest
 from repro.common.faults import fault_point
+from repro.obs.tracing import RequestTrace, span, trace_scope
 from repro.service.api import ErrorResponse
 from repro.server.singleflight import SingleFlight, request_key
 
@@ -109,6 +110,11 @@ class ShardedScheduler:
     quarantine_after:
         Worker deaths the same request may cause before it is
         quarantined and answered with ``PoisonedRequest``.
+    telemetry:
+        Optional :class:`repro.obs.Telemetry`; supervision events
+        (worker restarts, quarantines) become structured lifecycle log
+        records when it carries a logger.  Request *traces* arrive via
+        :meth:`submit`'s ``trace`` argument, not through this.
     """
 
     def __init__(
@@ -120,6 +126,7 @@ class ShardedScheduler:
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         coalesce: bool = True,
         quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
+        telemetry=None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1, got %d" % shards)
@@ -138,7 +145,10 @@ class ShardedScheduler:
         self._submit = submit
         self.coalesce = bool(coalesce)
         self.quarantine_after = quarantine_after
+        self.telemetry = telemetry
         self.flight = SingleFlight()
+        #: flight key -> the leader's trace_id, for follower linkage.
+        self._flight_traces: dict[str, str] = {}
         self._shards = [_Shard(i, queue_depth) for i in range(shards)]
         self._workers_per_shard = workers_per_shard
         self._overloaded = 0
@@ -195,7 +205,10 @@ class ShardedScheduler:
     # -- submission ----------------------------------------------------------
 
     def submit(
-        self, payload: dict[str, Any], budget: Budget | None = None
+        self,
+        payload: dict[str, Any],
+        budget: Budget | None = None,
+        trace: RequestTrace | None = None,
     ) -> Future:
         """Enqueue one payload; always returns a future of a response dict.
 
@@ -205,6 +218,12 @@ class ShardedScheduler:
         resolves the future immediately with an ``Overloaded`` error
         payload, and a quarantined request resolves immediately with
         ``PoisonedRequest`` without consuming a slot.
+
+        *trace* (optional) rides with the request: the dequeuing worker
+        records a ``scheduler.queue`` span for its queue wait and a
+        ``scheduler.worker`` span around compute, coalesced followers
+        are annotated with their leader's trace_id, and shed/quarantine
+        outcomes are annotated instead of silently absorbed.
         """
         if self._quarantine:
             fingerprint = request_key(payload)
@@ -213,6 +232,8 @@ class ShardedScheduler:
                 if quarantined:
                     self._poisoned += 1
             if quarantined:
+                if trace is not None:
+                    trace.annotate("poisoned", True)
                 future: Future = Future()
                 future.set_result(_error_dict(PoisonedRequest(
                     "request quarantined: it repeatedly crashed workers"
@@ -222,6 +243,8 @@ class ShardedScheduler:
             # Dead on arrival: shed without consuming a queue slot.
             with self._stats_lock:
                 self._deadline_shed += 1
+            if trace is not None:
+                trace.annotate("deadline_shed", "pre-queue")
             future = Future()
             future.set_result(_error_dict(DeadlineExceeded(
                 "deadline expired before the request was queued"
@@ -229,12 +252,23 @@ class ShardedScheduler:
             return future
         if not self.coalesce or budget is not None:
             future = Future()
-            self._enqueue(None, payload, future, budget)
+            self._enqueue(None, payload, future, budget, trace)
             return future
         key = request_key(payload)
         future, is_leader = self.flight.begin(key)
         if is_leader:
-            self._enqueue(key, payload, future, None)
+            if trace is not None:
+                with self._stats_lock:
+                    self._flight_traces[key] = trace.trace_id
+            self._enqueue(key, payload, future, None, trace)
+        elif trace is not None:
+            # Follower: no queue slot, no compute — link it to the
+            # leader whose result it will share.
+            trace.annotate("coalesced", True)
+            with self._stats_lock:
+                leader_id = self._flight_traces.get(key)
+            if leader_id is not None:
+                trace.annotate("leader_trace_id", leader_id)
         return future
 
     def _enqueue(
@@ -243,18 +277,23 @@ class ShardedScheduler:
         payload: dict[str, Any],
         future: Future,
         budget: Budget | None,
+        trace: RequestTrace | None = None,
     ) -> None:
         shard = self._shards[self.shard_index(payload)]
         with self._idle:
             self._inflight += 1
         try:
-            shard.queue.put_nowait((key, payload, future, budget))
+            shard.queue.put_nowait(
+                (key, payload, future, budget, trace, time.perf_counter())
+            )
         except queue.Full:
             with self._idle:
                 self._inflight -= 1
                 self._idle.notify_all()
             with self._stats_lock:
                 self._overloaded += 1
+            if trace is not None:
+                trace.annotate("overloaded", shard.index)
             self._resolve(key, future, _error_dict(Overloaded(
                 "shard %d queue full (depth %d); retry later"
                 % (shard.index, shard.queue.maxsize)
@@ -264,6 +303,9 @@ class ShardedScheduler:
         self, key: str | None, future: Future, response: dict[str, Any]
     ) -> None:
         if key is not None:
+            if self._flight_traces:
+                with self._stats_lock:
+                    self._flight_traces.pop(key, None)
             # Retires the key before resolving, so followers that joined
             # while we computed get this response and later arrivals
             # start a fresh flight.
@@ -295,26 +337,44 @@ class ShardedScheduler:
             item = shard.queue.get()
             if item is _STOP:
                 return
-            key, payload, future, budget = item
+            key, payload, future, budget, trace, enqueued_at = item
             if budget is not None and budget.expired():
                 # Expired while queued: shed without touching compute.
                 with self._stats_lock:
                     self._deadline_shed += 1
+                if trace is not None:
+                    trace.annotate("deadline_shed", "queued")
                 self._finish(key, future, _error_dict(DeadlineExceeded(
                     "deadline expired while the request was queued"
                 )))
                 continue
+            if trace is not None:
+                # The queue-wait half of the queue/compute split: started
+                # at enqueue on the transport thread, ends here at
+                # dequeue — recorded from explicit instants because the
+                # two ends live on different threads.
+                trace.add_span(
+                    "scheduler.queue", enqueued_at, time.perf_counter(),
+                    shard=shard.index,
+                )
             try:
-                fault_point("scheduler.worker")
-                with budget_scope(budget):
-                    response = self._submit(payload)
+                with trace_scope(trace):
+                    with span(
+                        "scheduler.worker", shard=shard.index,
+                        worker=threading.current_thread().name,
+                    ):
+                        fault_point("scheduler.worker")
+                        with budget_scope(budget):
+                            response = self._submit(payload)
             except Exception as error:  # submit_dict shouldn't raise; belt
                 response = _error_dict(error)  # and suspenders for workers
             except BaseException:
                 # Worker death (FaultCrash or a genuine non-Exception).
                 # Settle the in-hand request, then let the crash escape
                 # to the supervision wrapper.
-                self._handle_crash(shard, key, payload, future, budget)
+                self._handle_crash(
+                    shard, key, payload, future, budget, trace
+                )
                 raise
             # A clean completion retires any earlier crash strikes:
             # only *consecutive* worker kills quarantine a request.
@@ -348,6 +408,7 @@ class ShardedScheduler:
         payload: dict[str, Any],
         future: Future,
         budget: Budget | None,
+        trace: RequestTrace | None = None,
     ) -> None:
         """The dying worker settles its in-hand request: retry once per
         allowed strike, quarantine past the threshold."""
@@ -368,12 +429,25 @@ class ShardedScheduler:
                 "request crashed %d workers; quarantined (fingerprint %s)",
                 strikes, fingerprint[:64],
             )
+            if trace is not None:
+                trace.annotate("quarantined", strikes)
+            if self.telemetry is not None:
+                self.telemetry.event(
+                    "quarantine",
+                    shard=shard.index,
+                    strikes=strikes,
+                    fingerprint=fingerprint[:64],
+                )
             self._finish(key, future, _error_dict(PoisonedRequest(
                 "request crashed %d workers and was quarantined" % strikes
             )))
             return
+        if trace is not None:
+            trace.annotate("crash_retries", strikes)
         try:
-            shard.queue.put_nowait((key, payload, future, budget))
+            shard.queue.put_nowait(
+                (key, payload, future, budget, trace, time.perf_counter())
+            )
             with self._stats_lock:
                 self._crash_retries += 1
                 self._stats_lock.notify_all()
@@ -400,6 +474,14 @@ class ShardedScheduler:
         delay = min(
             RESTART_BACKOFF_BASE * (2 ** (deaths - 1)), RESTART_BACKOFF_MAX
         )
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "worker_restart",
+                shard=shard.index,
+                deaths=deaths,
+                backoff_seconds=delay,
+                worker=current.name,
+            )
         self._spawn_worker(shard, delay=delay)
 
     #: Supervision counters that wait_stat can gate on.

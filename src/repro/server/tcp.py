@@ -39,6 +39,7 @@ from concurrent.futures import Future
 from typing import Any, AsyncIterator, Callable
 
 from repro.common.faults import fault_point
+from repro.obs import Telemetry, TelemetryRegistry
 from repro.service.api import SCHEMA_VERSION
 from repro.service.engine import Engine
 from repro.service.serve import (
@@ -130,6 +131,7 @@ class TCPServer:
         quota=None,
         drain_timeout: float = 5.0,
         default_deadline_ms: float | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.engine = engine
         self.host = host
@@ -143,8 +145,12 @@ class TCPServer:
         self.quota = quota
         self.drain_timeout = drain_timeout
         self.default_deadline_ms = default_deadline_ms
+        self.telemetry = telemetry
         self._submit = submit if submit is not None else engine.submit_dict
         self.metrics = ServerMetrics()
+        self.registry = TelemetryRegistry(telemetry)
+        self.registry.register("metrics", self.metrics.snapshot)
+        self.registry.register("engine", engine.stats)
         self.scheduler: ShardedScheduler | None = None
         self.dispatcher: Dispatcher | None = None
         self.bound_port: int | None = None
@@ -167,7 +173,9 @@ class TCPServer:
             workers_per_shard=self.workers_per_shard,
             queue_depth=self.queue_depth,
             coalesce=self.coalesce,
+            telemetry=self.telemetry,
         )
+        self.registry.register("scheduler", self.scheduler.stats)
         # From here on the scheduler's worker threads exist; every exit
         # path (including a failed bind) must run scheduler.stop().
         try:
@@ -179,6 +187,7 @@ class TCPServer:
                 auth=self.auth,
                 quota=self.quota,
                 default_deadline_ms=self.default_deadline_ms,
+                telemetry=self.telemetry,
             )
             server = await asyncio.start_server(
                 self._handle_connection, self.host, self.port
@@ -199,6 +208,11 @@ class TCPServer:
                 drained = await self._loop.run_in_executor(
                     None, self.scheduler.drain, self.drain_timeout
                 )
+                if self.telemetry is not None:
+                    self.telemetry.event(
+                        "drain", transport="tcp", drained=drained,
+                        timeout_seconds=self.drain_timeout,
+                    )
                 if drained:
                     # The futures are resolved but handlers still need
                     # loop turns to write the responses; give them a
@@ -279,8 +293,9 @@ class TCPServer:
     # -- introspection -------------------------------------------------------
 
     def server_stats(self) -> dict[str, Any]:
-        """The ``"server"`` section of the ``stats`` admin response."""
-        stats: dict[str, Any] = {
+        """The ``"server"`` section of the ``stats`` admin response
+        (assembled by the telemetry registry; key shapes are stable)."""
+        return self.registry.server_stats({
             "transport": "tcp",
             "host": self.host,
             "port": self.bound_port,
@@ -288,11 +303,7 @@ class TCPServer:
             "uptime_seconds": (
                 time.time() - self.started_at if self.started_at else 0.0
             ),
-        }
-        stats.update(self.metrics.snapshot())
-        if self.scheduler is not None:
-            stats["scheduler"] = self.scheduler.stats()
-        return stats
+        })
 
     def ready_banner(self) -> dict[str, Any]:
         return {

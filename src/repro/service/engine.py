@@ -68,6 +68,7 @@ from repro.core.bitset import DENSE_KERNEL, resolve_kernel
 from repro.core.problem import ProblemInstance
 from repro.core.registry import validate_algorithm_kwargs
 from repro.core.semilattice import ClusterPool
+from repro.obs.tracing import record_span, span, trace_scope
 from repro.core.solution import Solution
 from repro.interactive.precompute import SolutionStore
 from repro.service.api import (
@@ -458,7 +459,10 @@ class Engine:
         )
 
     def submit_dict(
-        self, payload: dict[str, Any], budget: Budget | None = None
+        self,
+        payload: dict[str, Any],
+        budget: Budget | None = None,
+        trace=None,
     ) -> dict[str, Any]:
         """Wire-in/wire-out: parse, serve, serialize; errors become
         ``kind="error"`` payloads instead of exceptions.
@@ -466,12 +470,17 @@ class Engine:
         *budget* (optional) is installed as the thread's current budget
         for the duration of the request, so kernel checkpoints can
         abandon expired work (:class:`DeadlineExceeded` serializes like
-        any other typed error).  Callers that already scoped a budget
-        around this call (the scheduler worker) simply pass None.
+        any other typed error).  *trace* (optional, a
+        :class:`~repro.obs.tracing.RequestTrace`) is installed the same
+        way so the handlers' spans land on it.  Callers that already
+        scoped either around this call (the scheduler worker) simply
+        pass None — the ``engine.request`` span still lands on the
+        thread's current trace.
         """
         try:
-            with budget_scope(budget):
-                return self.submit(parse_request(payload)).to_dict()
+            with trace_scope(trace), budget_scope(budget):
+                with span("engine.request"):
+                    return self.submit(parse_request(payload)).to_dict()
         except (ReproError, TypeError, ValueError) as error:
             return ErrorResponse(
                 error_type=type(error).__name__, message=str(error)
@@ -505,10 +514,22 @@ class Engine:
             request.mapping,
             kernel=None if kernel == "none" else kernel,
         )
+        record_span("engine.pool_build", init_seconds, cache_hit=cache_hit)
         instance.adopt_pool(pool)
         start = time.perf_counter()
         solution = instance.solve(request.algorithm, **request.options)
         algo_seconds = time.perf_counter() - start
+        record_span(
+            "engine.solve",
+            algo_seconds,
+            algorithm=request.algorithm,
+            kernel=kernel,
+            # The merge engine's argmax counters (heap-vs-scan pruning
+            # evidence) ride as span attributes, same numbers as the
+            # phase_seconds map below.
+            **{name: float(value) for name, value in
+               (solution.stats or {}).items()},
+        )
         phases = {"pool_build": init_seconds, "merge_loop": algo_seconds}
         # Fold the merge engine's argmax counters (heap-vs-scan pruning
         # evidence) into the phase map: counts, not seconds, but the same
@@ -544,9 +565,11 @@ class Engine:
             request.mapping,
             kernel=request.kernel,
         )
+        record_span("engine.store_build", init_seconds, cache_hit=cache_hit)
         start = time.perf_counter()
         solution = store.retrieve(request.k, request.D)
         algo_seconds = time.perf_counter() - start
+        record_span("engine.retrieve", algo_seconds)
         return self._summary_response(
             request.dataset,
             answers,
@@ -580,6 +603,7 @@ class Engine:
             request.mapping,
             kernel=request.kernel,
         )
+        record_span("engine.store_build", init_seconds, cache_hit=cache_hit)
         start = time.perf_counter()
         view = build_guidance_view(store)
         series = tuple(
@@ -629,6 +653,7 @@ class Engine:
         )
         phase_seconds = dict(phases or {})
         phase_seconds["serialize"] = time.perf_counter() - serialize_start
+        record_span("engine.serialize", phase_seconds["serialize"])
         return SummaryResponse(
             dataset=dataset,
             k=k,

@@ -49,6 +49,7 @@ from repro.common.errors import (
     SchemaError,
 )
 from repro.core.registry import algorithm_infos
+from repro.obs import Telemetry
 from repro.service.api import SCHEMA_VERSION, ErrorResponse
 from repro.service.engine import CacheStats, Engine
 
@@ -75,6 +76,13 @@ def _error_payload(error: Exception) -> dict[str, Any]:
     return ErrorResponse(
         error_type=type(error).__name__, message=str(error)
     ).to_dict()
+
+
+def _status_of(response: Any) -> str:
+    """A trace's terminal status: ``"ok"`` or the error type."""
+    if isinstance(response, dict) and response.get("kind") == "error":
+        return str(response.get("error_type") or "error")
+    return "ok"
 
 
 def _cache_stats_dict(stats: CacheStats) -> dict[str, Any]:
@@ -144,6 +152,19 @@ class Dispatcher:
         request that does not carry its own ``deadline_ms`` envelope
         field (the ``repro-serve --request-timeout`` knob).  ``None``
         (the default) leaves undeadlined requests unbounded.
+    telemetry:
+        Optional :class:`repro.obs.Telemetry`.  When present *and*
+        armed, each analytical request gets a
+        :class:`~repro.obs.tracing.RequestTrace` born here at the edge
+        (the ``request_id`` argument to :meth:`dispatch_payload` — the
+        HTTP ``X-Request-Id`` header — overrides the generated id),
+        threaded to the ``submit`` hook, finished when the response
+        resolves, and recorded in the trace ring buffer served by the
+        ``trace`` admin kind.  A request carrying ``trace: true`` in its
+        envelope additionally gets the trace tree inlined under an open
+        ``"trace"`` key in its response.  The ``trace`` envelope field is
+        *always* consumed (armed or not), so wire bytes and single-flight
+        keys never depend on the telemetry switch.
 
     The dispatcher also counts the rejections it served (``oversized`` /
     ``undecodable`` / ``malformed`` hostile input, plus ``auth`` and
@@ -161,6 +182,7 @@ class Dispatcher:
         auth=None,
         quota=None,
         default_deadline_ms: float | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if max_line_bytes < 2:
             raise ValueError(
@@ -178,6 +200,7 @@ class Dispatcher:
                 % (default_deadline_ms,)
             )
         self.default_deadline_ms = default_deadline_ms
+        self.telemetry = telemetry
         self._counts_lock = threading.Lock()
         self.oversized = 0
         self.undecodable = 0
@@ -244,22 +267,35 @@ class Dispatcher:
             )
         return self.dispatch_payload(payload)
 
-    def dispatch_payload(self, payload: dict[str, Any]) -> DispatchOutcome:
+    def dispatch_payload(
+        self, payload: dict[str, Any], request_id: str | None = None
+    ) -> DispatchOutcome:
         """Serve one parsed request object (admin inline, analytics via
         the ``submit`` hook).
 
-        The ``auth`` and ``deadline_ms`` envelope fields are consumed
-        here — popped before the payload reaches strict request parsing
-        or the single-flight key, so identical requests from different
-        users (or with different deadlines) still hash identically.
-        ``deadline_ms`` (or the server default) becomes a
-        :class:`~repro.common.budget.Budget` handed to the ``submit``
-        hook; it applies to the analytical kinds only (admin kinds are
-        served inline and ignore it).
+        The ``auth``, ``deadline_ms``, and ``trace`` envelope fields are
+        consumed here — popped before the payload reaches strict request
+        parsing or the single-flight key, so identical requests from
+        different users (or with different deadlines, or asking for
+        inline traces) still hash identically.  ``deadline_ms`` (or the
+        server default) becomes a :class:`~repro.common.budget.Budget`
+        handed to the ``submit`` hook; it applies to the analytical
+        kinds only (admin kinds are served inline and ignore it).
+        *request_id* is a transport-supplied trace id (the HTTP
+        ``X-Request-Id`` header); ignored unless tracing is armed.
         """
         kind = payload.get("kind")
         kind_label = kind if isinstance(kind, str) else "invalid"
         token = payload.pop("auth", None)
+        wants_trace = payload.pop("trace", None)
+        if wants_trace is not None and not isinstance(wants_trace, bool):
+            return DispatchOutcome(
+                self._malformed_error(SchemaError(
+                    "trace must be a boolean, got %r" % (wants_trace,)
+                )),
+                kind=kind_label,
+            )
+        wants_trace = bool(wants_trace)
         deadline_ms = payload.pop("deadline_ms", None)
         if deadline_ms is not None and (
             isinstance(deadline_ms, bool)
@@ -297,23 +333,68 @@ class Dispatcher:
         if admin is not None:
             response, scope = admin
             return DispatchOutcome(response, shutdown=scope, kind=kind_label)
+        trace = None
+        if (
+            self.telemetry is not None
+            and self.telemetry.tracing
+            and kind in ANALYTIC_KINDS
+        ):
+            trace = self.telemetry.begin_trace(kind_label, user, request_id)
         effective_ms = (
             deadline_ms if deadline_ms is not None
             else self.default_deadline_ms
         )
-        if effective_ms is None:
-            return DispatchOutcome(self._submit(payload), kind=kind_label)
-        budget = Budget.from_deadline_ms(effective_ms)
-        response = self._submit(payload, budget=budget)
+        submit_kwargs: dict[str, Any] = {}
+        if effective_ms is not None:
+            submit_kwargs["budget"] = Budget.from_deadline_ms(effective_ms)
+        if trace is not None:
+            submit_kwargs["trace"] = trace
+        response = self._submit(payload, **submit_kwargs)
+        if isinstance(response, Future):
+            if trace is not None:
+                response = self._finalize_future(response, trace, wants_trace)
+            return DispatchOutcome(response, kind=kind_label)
         if (
-            isinstance(response, dict)
+            effective_ms is not None
+            and isinstance(response, dict)
             and response.get("error_type") == "DeadlineExceeded"
         ):
             # Sync (stdio) path only; the TCP scheduler counts its own
             # deadline events in its stats.
             with self._counts_lock:
                 self.deadline_exceeded += 1
+        if trace is not None:
+            tree = self.telemetry.finish_trace(trace, _status_of(response))
+            if wants_trace and isinstance(response, dict):
+                response = dict(response)
+                response["trace"] = tree
         return DispatchOutcome(response, kind=kind_label)
+
+    def _finalize_future(
+        self, inner: Future, trace, wants_trace: bool
+    ) -> Future:
+        """Chain a future that finishes *trace* (and injects the inline
+        tree when asked) once the scheduler resolves the response."""
+        telemetry = self.telemetry
+        outer: Future = Future()
+
+        def _done(resolved: Future) -> None:
+            try:
+                response = resolved.result()
+            except BaseException as error:
+                telemetry.finish_trace(trace, type(error).__name__)
+                outer.set_exception(error)
+                return
+            tree = telemetry.finish_trace(trace, _status_of(response))
+            if wants_trace and isinstance(response, dict):
+                # Coalesced followers share the leader's response object;
+                # copy before growing it a per-request "trace" key.
+                response = dict(response)
+                response["trace"] = tree
+            outer.set_result(response)
+
+        inner.add_done_callback(_done)
+        return outer
 
     # -- admin kinds ---------------------------------------------------------
 
@@ -450,6 +531,28 @@ class Dispatcher:
                 "schema_version": SCHEMA_VERSION,
                 "kind": "algorithms",
                 "algorithms": [info.describe() for info in algorithm_infos()],
+            }, None
+        if kind == "trace":
+            # The trace ring buffer: N most recent + N slowest finished
+            # request traces.  Auth-gated like every non-ping kind when
+            # the server is token-secured; present (with armed=false and
+            # empty lists) even on an untraced server so clients can
+            # probe capability without special-casing errors.
+            if self.telemetry is None:
+                return {
+                    "schema_version": SCHEMA_VERSION,
+                    "kind": "trace",
+                    "armed": False,
+                    "capacity": 0,
+                    "recorded": 0,
+                    "recent": [],
+                    "slowest": [],
+                }, None
+            return {
+                "schema_version": SCHEMA_VERSION,
+                "kind": "trace",
+                "armed": self.telemetry.tracing,
+                **self.telemetry.traces(),
             }, None
         if kind == "stats":
             stats = self.engine.stats()

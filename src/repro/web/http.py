@@ -49,6 +49,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Mapping
 
 from repro.common.errors import ReproError, SchemaError
+from repro.obs import Telemetry, TelemetryRegistry
 from repro.server.metrics import ServerMetrics, prometheus_text
 from repro.server.scheduler import (
     DEFAULT_QUEUE_DEPTH,
@@ -99,6 +100,23 @@ def _error_payload(error: Exception) -> dict[str, Any]:
     ).to_dict()
 
 
+#: Bound on a caller-supplied ``X-Request-Id`` (the id lands verbatim in
+#: traces and structured log lines, so it must stay printable and short).
+_MAX_REQUEST_ID_LEN = 128
+
+
+def _clean_request_id(value: str | None) -> str | None:
+    """A usable trace id from the ``X-Request-Id`` header, or ``None``."""
+    if value is None:
+        return None
+    value = value.strip()
+    if not value or len(value) > _MAX_REQUEST_ID_LEN:
+        return None
+    if any(c.isspace() or not c.isprintable() for c in value):
+        return None
+    return value
+
+
 class _Route:
     """One resolved request: handler + path arguments."""
 
@@ -138,6 +156,7 @@ class WebServer:
         drain_timeout: float = 5.0,
         submit: Callable[[dict[str, Any]], dict[str, Any]] | None = None,
         default_deadline_ms: float | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.engine = engine
         self.host = host
@@ -146,6 +165,7 @@ class WebServer:
         self.drain_timeout = drain_timeout
         self.auth = auth
         self.quota = quota
+        self.telemetry = telemetry
         self.metrics = ServerMetrics()
         self.scheduler = ShardedScheduler(
             submit if submit is not None else engine.submit_dict,
@@ -153,6 +173,7 @@ class WebServer:
             workers_per_shard=workers_per_shard,
             queue_depth=queue_depth,
             coalesce=coalesce,
+            telemetry=telemetry,
         )
         self.dispatcher = Dispatcher(
             engine,
@@ -162,6 +183,7 @@ class WebServer:
             auth=auth,
             quota=quota,
             default_deadline_ms=default_deadline_ms,
+            telemetry=telemetry,
         )
         if session_dir is None:
             import tempfile
@@ -173,6 +195,21 @@ class WebServer:
         self.sessions = SessionService(
             SessionStore(session_dir), self.dispatcher
         )
+        # Every telemetry source this tier owns, unified: /metrics and
+        # the stats "server" section both render from this registry.
+        self.registry = TelemetryRegistry(telemetry)
+        self.registry.register("metrics", self.metrics.snapshot)
+        self.registry.register("scheduler", self.scheduler.stats)
+        self.registry.register("engine", engine.stats)
+        self.registry.register("dispatcher", self._dispatcher_counts)
+        self.registry.register("sessions", self.sessions.store.stats)
+        if auth is not None:
+            self.registry.register("auth", auth.stats)
+        if quota is not None:
+            self.registry.register("quota", quota.stats)
+        # Per-handler-thread request context (the X-Request-Id header);
+        # each HTTP request runs entirely on one handler thread.
+        self._request_context = threading.local()
         self.bound_port: int | None = None
         self.started_at: float | None = None
         self._httpd: ThreadingHTTPServer | None = None
@@ -211,7 +248,12 @@ class WebServer:
         self._stopping.set()
 
         def _stop() -> None:
-            self.scheduler.drain(self.drain_timeout)
+            drained = self.scheduler.drain(self.drain_timeout)
+            if self.telemetry is not None:
+                self.telemetry.event(
+                    "drain", transport="http", drained=drained,
+                    timeout_seconds=self.drain_timeout,
+                )
             if self._httpd is not None:
                 self._httpd.shutdown()
 
@@ -284,43 +326,24 @@ class WebServer:
         return 200, payload, None
 
     def _route_metrics(self, token, body):
-        extra: dict[str, float] = {}
-        scheduler = self.scheduler.stats()
-        extra["scheduler_inflight"] = scheduler["inflight"]
-        extra["scheduler_overloaded"] = scheduler["overloaded"]
-        extra["scheduler_worker_restarts"] = scheduler["worker_restarts"]
-        extra["scheduler_workers_leaked"] = scheduler["workers_leaked"]
-        extra["scheduler_deadline_shed"] = scheduler["deadline_shed"]
-        extra["scheduler_deadline_exceeded"] = (
-            scheduler["deadline_exceeded"]
-        )
-        extra["scheduler_poisoned"] = scheduler["poisoned"]
-        extra["scheduler_quarantined"] = scheduler["quarantined"]
-        extra["dispatcher_deadline_exceeded"] = (
-            self.dispatcher.deadline_exceeded
-        )
-        for index, depth in enumerate(scheduler["queue_depths"]):
-            extra['shard_queue_depth{shard="%d"}' % index] = depth
-        flight = scheduler["singleflight"]
-        extra["singleflight_leaders"] = flight["leaders"]
-        extra["singleflight_coalesced"] = flight["coalesced"]
-        if self.quota is not None:
-            quota = self.quota.stats()
-            extra["quota_granted"] = quota["granted"]
-            extra["quota_rejected"] = quota["rejected"]
-            extra["quota_users"] = quota["users"]
-        if self.auth is not None:
-            extra["auth_rejected"] = self.auth.stats()["rejected"]
-        store = self.sessions.store.stats()
-        extra["sessions_corrupted"] = store["corrupted"]
-        extra["sessions_cached"] = store["cached"]
-        engine = self.engine.stats()
-        extra["engine_pool_hits"] = engine.pools.hits
-        extra["engine_pool_misses"] = engine.pools.misses
-        extra["engine_store_hits"] = engine.stores.hits
-        extra["engine_store_misses"] = engine.stores.misses
-        text = prometheus_text(self.metrics, extra)
+        # Gauge names (scheduler_*, shard_queue_depth{shard=...},
+        # singleflight_*, quota_*, auth_rejected, sessions_*,
+        # engine_*) are defined once, in the telemetry registry.
+        text = prometheus_text(self.metrics, self.registry.prometheus_extra())
         return 200, text, "text/plain; version=0.0.4; charset=utf-8"
+
+    def _dispatcher_counts(self) -> dict[str, int]:
+        """The dispatcher's rejection counters, registry-shaped (keys
+        match the ``stats`` response's ``rejected`` map)."""
+        dispatcher = self.dispatcher
+        return {
+            "oversized": dispatcher.oversized,
+            "undecodable": dispatcher.undecodable,
+            "malformed": dispatcher.malformed,
+            "auth": dispatcher.auth_rejected,
+            "quota": dispatcher.quota_rejected,
+            "deadline": dispatcher.deadline_exceeded,
+        }
 
     def _identify(self, token) -> str:
         """The session/tenant identity of a request (may raise AuthError)."""
@@ -332,7 +355,10 @@ class WebServer:
         """Route one wire payload through the shared dispatcher."""
         if token is not None and "auth" not in payload:
             payload["auth"] = token
-        outcome = self.dispatcher.dispatch_payload(payload)
+        outcome = self.dispatcher.dispatch_payload(
+            payload,
+            request_id=getattr(self._request_context, "request_id", None),
+        )
         response = outcome.response
         if hasattr(response, "result"):  # scheduler future
             response = response.result()
@@ -407,8 +433,9 @@ class WebServer:
     # -- introspection -------------------------------------------------------
 
     def server_stats(self) -> dict[str, Any]:
-        """The ``"server"`` section of the ``stats`` admin response."""
-        stats: dict[str, Any] = {
+        """The ``"server"`` section of the ``stats`` admin response
+        (assembled by the telemetry registry; key shapes are stable)."""
+        return self.registry.server_stats({
             "transport": "http",
             "host": self.host,
             "port": self.bound_port,
@@ -416,15 +443,7 @@ class WebServer:
             "uptime_seconds": (
                 time.time() - self.started_at if self.started_at else 0.0
             ),
-            "sessions": self.sessions.store.stats(),
-        }
-        if self.auth is not None:
-            stats["auth"] = self.auth.stats()
-        if self.quota is not None:
-            stats["quota"] = self.quota.stats()
-        stats.update(self.metrics.snapshot())
-        stats["scheduler"] = self.scheduler.stats()
-        return stats
+        })
 
     def ready_banner(self) -> dict[str, Any]:
         return {
@@ -515,6 +534,12 @@ class _Handler(BaseHTTPRequestHandler):
     def _serve(self, method: str) -> None:
         started = time.perf_counter()
         web = self.web
+        # Honor a caller-supplied trace id (set unconditionally: handler
+        # threads are reused, so a request without the header must not
+        # inherit the previous request's id).
+        web._request_context.request_id = _clean_request_id(
+            self.headers.get("X-Request-Id")
+        )
         route = web.resolve(method, self.path.split("?", 1)[0])
         kind_label = route.kind_label if route is not None else "invalid"
         close_connection = False

@@ -231,6 +231,57 @@ def test_bench_chaos_is_a_full_run_and_floors_hold():
         assert parity["golden_file_matched"] is True
 
 
+def test_bench_obs_is_a_full_run_and_floor_holds():
+    """The committed BENCH_obs.json must be a full run that satisfies
+    the overhead harness's own floor: arming end-to-end tracing costs at
+    most the p50 ceiling versus the disarmed server on the same load
+    trace, every armed request actually landed in the trace ring buffer,
+    and the disarmed transports stayed byte-identical to the golden wire
+    file."""
+    import sys
+
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    try:
+        from bench_obs_overhead import OVERHEAD_P50_CEILING
+    finally:
+        sys.path.pop(0)
+    document = json.loads((REPO_ROOT / "BENCH_obs.json").read_text())
+    assert document["smoke"] is False, (
+        "BENCH_obs.json must be regenerated with a full (non --smoke) run"
+    )
+    assert document["p50_ratio"] <= OVERHEAD_P50_CEILING
+    assert document["transport_parity"]["identical"] is True
+    assert document["transport_parity"]["golden_file_matched"] is True
+    best = document["best"]
+    assert best["armed"]["traces_recorded"] == (
+        best["armed"]["total_requests"]
+    )
+    assert best["disarmed"]["traces_recorded"] == 0
+    for mode in ("disarmed", "armed"):
+        assert len(document["legs"][mode]) == document["trace"]["reps"]
+
+
+def test_readme_cites_obs_bench_numbers_verbatim():
+    readme = (REPO_ROOT / "README.md").read_text()
+    document = json.loads((REPO_ROOT / "BENCH_obs.json").read_text())
+    best = document["best"]
+    cited = [
+        "%.2f×" % document["p50_ratio"],
+        "%.1f ms" % (
+            best["disarmed"]["latency"]["p50_seconds"] * 1000.0
+        ),
+        "%.1f ms" % (
+            best["armed"]["latency"]["p50_seconds"] * 1000.0
+        ),
+    ]
+    missing = [number for number in cited if number not in readme]
+    assert not missing, (
+        "README observability section is out of date with BENCH_obs.json; "
+        "missing: %s (regenerate with `PYTHONPATH=src python "
+        "benchmarks/bench_obs_overhead.py` and update the text)" % missing
+    )
+
+
 def test_bench_scenarios_is_a_full_run_and_floors_hold():
     """The committed BENCH_scenarios.json must be a full run of the
     declarative scenario matrix satisfying the harness's own floors: all
