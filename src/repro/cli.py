@@ -300,6 +300,20 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "fresh temp dir — sessions then do not survive a restart)",
     )
     parser.add_argument(
+        "--data-dir", metavar="DIR", type=Path,
+        help="make appends durable: write-ahead-log every append_rows "
+        "batch under DIR (one snapshot + WAL per dataset) and replay "
+        "them at boot, so a crashed or restarted server comes back "
+        "bit-identical.  Without it the engine is purely in-memory",
+    )
+    parser.add_argument(
+        "--fsync", default="always", choices=["always", "batch", "never"],
+        help="WAL fsync policy with --data-dir: 'always' fsyncs every "
+        "acked append (default), 'batch' amortizes over %d records, "
+        "'never' leaves it to the OS page cache (drain still fsyncs)"
+        % _batch_fsync_every(),
+    )
+    parser.add_argument(
         "--request-timeout", type=float, metavar="SECONDS",
         help="default deadline for analytical requests on every transport; "
         "work past it is abandoned at the next kernel checkpoint and "
@@ -366,6 +380,12 @@ def _default_trace_buffer() -> int:
     return registry.DEFAULT_TRACE_BUFFER
 
 
+def _batch_fsync_every() -> int:
+    from repro.durability.wal import BATCH_FSYNC_EVERY
+
+    return BATCH_FSYNC_EVERY
+
+
 def _parse_host_port(value: str, flag: str = "--tcp") -> tuple[str, int]:
     host, _, port_text = value.rpartition(":")
     if not host or not port_text:
@@ -386,8 +406,11 @@ def serve_main(argv: list[str] | None = None) -> int:
 
     from repro.service.serve import serve
 
+    from repro.server.lifecycle import ServerLifecycle
+
     args = build_serve_parser().parse_args(argv)
-    engine = Engine(mask_only=args.mask_only)
+    lifecycle = ServerLifecycle()
+    durability = None
     try:
         tcp = _parse_host_port(args.tcp, "--tcp") if args.tcp else None
         http = _parse_host_port(args.http, "--http") if args.http else None
@@ -430,9 +453,38 @@ def serve_main(argv: list[str] | None = None) -> int:
                 ),
                 logger=logger,
             )
+        if args.data_dir is not None:
+            from repro.durability import DurabilityManager
+
+            durability = DurabilityManager(
+                str(args.data_dir), fsync=args.fsync
+            )
+        engine = Engine(mask_only=args.mask_only, durability=durability)
+        recovered: set[str] = set()
+        if durability is not None:
+            # Boot-time recovery: snapshot + WAL replay through the
+            # engine's own register/append path, then open for traffic.
+            lifecycle.to_recovering()
+            summary = durability.recover(engine)
+            recovered = set(engine.dataset_names())
+            if telemetry is not None:
+                telemetry.event(
+                    "recovery",
+                    datasets=len(summary["datasets"]),
+                    records=sum(
+                        item["records"] for item in summary["datasets"]
+                    ),
+                    wal_truncated=summary["wal_truncated"],
+                    seconds=summary["recovery_seconds"],
+                )
         for csv_path in args.csv:
             dataset, answers = _answers_from_csv(csv_path, None, None)
+            if dataset in recovered:
+                # The recovered state already contains this dataset plus
+                # every durably-acked append; the CSV on disk is older.
+                continue
             engine.register_dataset(dataset, answers)
+        lifecycle.to_ready()
     except OSError as error:
         print("error: %s" % error, file=sys.stderr)
         return EXIT_IO_ERROR
@@ -463,6 +515,8 @@ def serve_main(argv: list[str] | None = None) -> int:
                 drain_timeout=args.drain_timeout,
                 default_deadline_ms=deadline_ms,
                 telemetry=telemetry,
+                durability=durability,
+                lifecycle=lifecycle,
             )
             background = BackgroundServer(tcp_server)
         web = WebServer(
@@ -482,6 +536,8 @@ def serve_main(argv: list[str] | None = None) -> int:
             drain_timeout=args.drain_timeout,
             default_deadline_ms=deadline_ms,
             telemetry=telemetry,
+            durability=durability,
+            lifecycle=lifecycle,
         )
 
         def _announce_web(running: WebServer) -> None:
@@ -528,6 +584,8 @@ def serve_main(argv: list[str] | None = None) -> int:
             drain_timeout=args.drain_timeout,
             default_deadline_ms=deadline_ms,
             telemetry=telemetry,
+            durability=durability,
+            lifecycle=lifecycle,
         )
 
         def _announce(running: TCPServer) -> None:
@@ -556,8 +614,14 @@ def serve_main(argv: list[str] | None = None) -> int:
     dispatcher = Dispatcher(
         engine, max_line_bytes=args.max_line_bytes, auth=auth, quota=quota,
         default_deadline_ms=deadline_ms, telemetry=telemetry,
+        durability=durability, lifecycle=lifecycle,
     )
-    serve(sys.stdin, sys.stdout, dispatcher=dispatcher)
+    try:
+        serve(sys.stdin, sys.stdout, dispatcher=dispatcher)
+    finally:
+        if durability is not None:
+            lifecycle.to_draining()
+            durability.seal()
     return 0
 
 

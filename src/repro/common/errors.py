@@ -101,6 +101,18 @@ class PoisonedRequest(ReproError):
     """
 
 
+class ShuttingDown(ReproError):
+    """A mutation arrived after a server-scope shutdown was acknowledged.
+
+    Served back as ``kind="error", error_type="ShuttingDown"`` (HTTP 503).
+    Once a ``shutdown`` with ``scope="server"`` has been acked, the
+    write-ahead log gets its final flush+fsync during drain; letting an
+    ``append_rows`` race past that point would grow the WAL after the
+    flush and silently lose the rows on the next boot.  Clients should
+    reconnect to the replacement server and retry.
+    """
+
+
 class InjectedFault(ReproError):
     """A deterministic fault-injection site fired with ``error`` behavior.
 

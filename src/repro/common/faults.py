@@ -14,6 +14,9 @@ site                      where it sits
                           the temp-file write
 ``tcp.write``             the TCP connection handler, before writing a
                           response line to the socket
+``wal.write``             :meth:`repro.durability.wal.WriteAheadLog.append`,
+                          before the record write hits the log file
+``wal.fsync``             same method, before ``os.fsync`` of the log file
 ========================  ====================================================
 
 When nothing is armed, ``fault_point`` is a module-level boolean check —
@@ -48,10 +51,19 @@ Behaviors:
     sleep ``param`` milliseconds (a stall, not a failure).
 ``disconnect``
     raise :class:`ConnectionResetError` (for transport-layer sites).
+``short-write``
+    raise :class:`FaultShortWrite` — the disk-layer sites catch it, write
+    only a prefix of the pending record (``param`` bytes; 0 = half), and
+    surface the failure as an ``OSError``, producing exactly the torn
+    tail a power cut mid-write leaves behind.
+``enospc``
+    raise ``OSError(errno.ENOSPC)`` — the disk filling up underneath a
+    write or fsync.
 """
 
 from __future__ import annotations
 
+import errno
 import os
 import random
 import threading
@@ -64,6 +76,7 @@ __all__ = [
     "FAULT_SITES",
     "BEHAVIORS",
     "FaultCrash",
+    "FaultShortWrite",
     "FaultRule",
     "arm",
     "arm_from_spec",
@@ -81,9 +94,13 @@ FAULT_SITES = (
     "scheduler.worker",
     "sessions.write",
     "tcp.write",
+    "wal.write",
+    "wal.fsync",
 )
 
-BEHAVIORS = ("crash", "error", "latency", "disconnect")
+BEHAVIORS = (
+    "crash", "error", "latency", "disconnect", "short-write", "enospc",
+)
 
 
 class FaultCrash(BaseException):
@@ -93,6 +110,20 @@ class FaultCrash(BaseException):
     ``except Exception`` error belt must not absorb it, so it propagates
     exactly like a real crash and exercises the supervision path.
     """
+
+
+class FaultShortWrite(Exception):
+    """An injected partial disk write.
+
+    A plain :class:`Exception` on purpose — the WAL's write path catches
+    it deliberately, persists only ``keep_bytes`` of the pending record
+    (half the record when 0), and then fails the append with an
+    ``OSError``.  Nothing else should ever see it.
+    """
+
+    def __init__(self, keep_bytes: int = 0) -> None:
+        super().__init__("injected short write (keep %d bytes)" % keep_bytes)
+        self.keep_bytes = int(keep_bytes)
 
 
 class FaultRule:
@@ -232,6 +263,12 @@ def fault_point(site: str) -> None:
         raise FaultCrash(site)
     elif behavior == "disconnect":
         raise ConnectionResetError("injected disconnect at site %r" % site)
+    elif behavior == "short-write":
+        raise FaultShortWrite(int(param))
+    elif behavior == "enospc":
+        raise OSError(
+            errno.ENOSPC, "injected ENOSPC at site %r" % site
+        )
 
 
 def arm_from_spec(spec: str, seed: Optional[int] = None) -> List[FaultRule]:

@@ -1,0 +1,26 @@
+"""Durability: write-ahead logging, snapshots, and crash recovery.
+
+The engine's ``append_rows`` is only as real as the disk behind it —
+this package is the disk.  :class:`~repro.durability.wal.WriteAheadLog`
+logs every acked append batch (length-prefixed, CRC-checked records;
+configurable fsync policy), :mod:`repro.durability.snapshot` persists
+registered datasets atomically, and
+:class:`~repro.durability.manager.DurabilityManager` ties both to the
+engine and replays them at boot so a SIGKILLed server comes back
+bit-identical to one that never died.  Enabled by ``repro-serve
+--data-dir``; without it the engine stays purely in-memory and the wire
+is byte-for-byte unchanged.
+"""
+
+from repro.durability.manager import DurabilityManager
+from repro.durability.snapshot import load_snapshot, write_snapshot
+from repro.durability.wal import FSYNC_POLICIES, WriteAheadLog, scan
+
+__all__ = [
+    "DurabilityManager",
+    "FSYNC_POLICIES",
+    "WriteAheadLog",
+    "load_snapshot",
+    "scan",
+    "write_snapshot",
+]

@@ -1,0 +1,266 @@
+"""The per-dataset write-ahead log: length-prefixed, checksummed records.
+
+One WAL file per dataset, one record per acked ``append_rows`` batch.
+The record format is a text line::
+
+    <payload_len>:<crc32_hex>:<payload_json>\\n
+
+where ``payload_len`` is the byte length of the UTF-8 payload and the
+CRC-32 is over those same bytes.  The redundancy is what makes a torn
+tail *detectable*: a record whose frame is malformed, whose payload is
+shorter than its declared length, whose checksum does not match, or that
+is missing its trailing newline marks the exact point where a crash cut
+the log off.  :func:`scan` finds the longest valid record prefix and
+reports everything after it as torn; recovery truncates there and
+replays only what was durably acked.
+
+Write discipline (the ack contract): a record is written and flushed —
+and, under the ``always`` fsync policy, fsynced — before
+:meth:`WriteAheadLog.append` returns, and the engine only publishes (and
+the transport only acks) an append after that return.  If the write
+fails partway (injected ``short-write``/``enospc`` faults, or a real
+disk error), the log truncates itself back to the last good record
+before raising, so one failed append never makes the records behind it
+unreadable.
+
+Fsync policies:
+
+``always``
+    ``os.fsync`` after every record — an acked append survives power
+    loss, at the cost of a disk round-trip per batch.
+``batch``
+    fsync every :data:`BATCH_FSYNC_EVERY` records and on every explicit
+    :meth:`~WriteAheadLog.flush`/:meth:`~WriteAheadLog.close` — bounded
+    loss window, amortized cost.
+``never``
+    no fsync during normal appends (the OS page cache decides); still
+    fsynced by ``close(fsync=True)``, which the server's drain path
+    always requests.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import zlib
+from typing import Any, Iterable
+
+from repro.common.errors import InvalidParameterError
+from repro.common.faults import FaultShortWrite, fault_point
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "BATCH_FSYNC_EVERY",
+    "WriteAheadLog",
+    "encode_record",
+    "scan",
+]
+
+#: The legal ``--fsync`` values, in decreasing order of paranoia.
+FSYNC_POLICIES = ("always", "batch", "never")
+
+#: Under the ``batch`` policy, fsync once per this many appended records.
+BATCH_FSYNC_EVERY = 32
+
+_SEPARATOR = b":"
+
+
+def encode_record(payload: dict[str, Any]) -> bytes:
+    """Frame *payload* as one WAL record (bytes, newline-terminated)."""
+    body = json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return b"%d:%08x:%s\n" % (len(body), crc, body)
+
+
+def _parse_one(data: bytes, offset: int) -> tuple[dict[str, Any], int] | None:
+    """Parse the record starting at *offset*; None when torn/invalid.
+
+    Returns ``(payload, end_offset)`` for a fully valid record — frame,
+    declared length, checksum, JSON body, and trailing newline all check
+    out — and ``None`` the moment any of them does not.
+    """
+    first = data.find(_SEPARATOR, offset)
+    if first < 0 or first == offset:
+        return None
+    second = data.find(_SEPARATOR, first + 1)
+    if second < 0:
+        return None
+    try:
+        length = int(data[offset:first])
+    except ValueError:
+        return None
+    crc_text = data[first + 1:second]
+    if length < 0 or len(crc_text) != 8:
+        return None
+    try:
+        crc_declared = int(crc_text, 16)
+    except ValueError:
+        return None
+    body_start = second + 1
+    body_end = body_start + length
+    # The newline is part of the valid record: a record missing it is a
+    # write the crash interrupted even if length+CRC happen to hold.
+    if body_end + 1 > len(data) or data[body_end:body_end + 1] != b"\n":
+        return None
+    body = data[body_start:body_end]
+    if (zlib.crc32(body) & 0xFFFFFFFF) != crc_declared:
+        return None
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    return payload, body_end + 1
+
+
+def scan(path: str) -> tuple[list[dict[str, Any]], int, bool]:
+    """Read a WAL file -> ``(payloads, valid_bytes, torn)``.
+
+    *payloads* are the decoded records of the longest valid prefix,
+    *valid_bytes* is that prefix's byte length (the truncation point for
+    repair), and *torn* reports whether any bytes — however mangled —
+    follow it.  Never raises on corrupt content: a WAL that cannot be
+    read past offset X simply recovers X bytes' worth of appends.  A
+    missing file is an empty log.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return [], 0, False
+    payloads: list[dict[str, Any]] = []
+    offset = 0
+    while offset < len(data):
+        parsed = _parse_one(data, offset)
+        if parsed is None:
+            return payloads, offset, True
+        payload, offset = parsed
+        payloads.append(payload)
+    return payloads, offset, False
+
+
+class WriteAheadLog:
+    """An append-only record log with a configurable fsync policy.
+
+    Opens (creating if needed) the file at *path* positioned after the
+    longest valid record prefix; callers that want torn tails repaired
+    on disk run :func:`scan` + :meth:`truncate_to` first (what
+    :class:`~repro.durability.manager.DurabilityManager` does at boot).
+    """
+
+    def __init__(self, path: str, fsync: str = "always") -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise InvalidParameterError(
+                "unknown fsync policy %r (policies: %s)"
+                % (fsync, ", ".join(FSYNC_POLICIES))
+            )
+        self.path = path
+        self.fsync = fsync
+        _payloads, valid_bytes, _torn = scan(path)
+        self.records = len(_payloads)
+        self._unsynced = 0
+        self._file = open(path, "ab")
+        # 'ab' positions at EOF; appends must land after the *valid*
+        # prefix (manager repairs torn tails before constructing us, so
+        # normally EOF == valid_bytes — this is belt and braces).
+        self._file.truncate(valid_bytes)
+        self._file.seek(valid_bytes)
+        self._offset = valid_bytes
+        self._closed = False
+
+    @property
+    def bytes(self) -> int:
+        """Bytes of valid records currently in the log."""
+        return self._offset
+
+    def append(self, payload: dict[str, Any]) -> int:
+        """Durably append one record; returns the new record count.
+
+        The record is written and flushed before this returns; under
+        ``fsync="always"`` it is also fsynced.  On any failure — real
+        disk error or an armed ``wal.write``/``wal.fsync`` fault — the
+        log truncates back to the previous record boundary and re-raises
+        as ``OSError``, so the caller must not publish the append and
+        the log stays replayable.
+        """
+        if self._closed:
+            raise OSError(errno.EBADF, "write-ahead log is closed")
+        record = encode_record(payload)
+        try:
+            try:
+                fault_point("wal.write")
+            except FaultShortWrite as fault:
+                keep = fault.keep_bytes
+                if keep <= 0 or keep >= len(record):
+                    keep = len(record) // 2
+                self._file.write(record[:keep])
+                self._file.flush()
+                raise OSError(
+                    errno.EIO,
+                    "short write: %d of %d bytes of WAL record persisted"
+                    % (keep, len(record)),
+                ) from None
+            self._file.write(record)
+            self._file.flush()
+            if self.fsync == "always":
+                self._fsync()
+            elif self.fsync == "batch":
+                self._unsynced += 1
+                if self._unsynced >= BATCH_FSYNC_EVERY:
+                    self._fsync()
+        except OSError:
+            # Undo whatever partial bytes made it out: the records behind
+            # this one must stay readable, and a retry must start clean.
+            self._file.truncate(self._offset)
+            self._file.seek(self._offset)
+            raise
+        self._offset += len(record)
+        self.records += 1
+        return self.records
+
+    def _fsync(self) -> None:
+        fault_point("wal.fsync")
+        os.fsync(self._file.fileno())
+        self._unsynced = 0
+
+    def flush(self) -> None:
+        """Flush and fsync regardless of policy (the drain contract)."""
+        if self._closed:
+            return
+        self._file.flush()
+        self._fsync()
+
+    def truncate_to(self, size: int) -> None:
+        """Cut the log to *size* bytes (0 = reset after a compaction)."""
+        if not 0 <= size <= self._offset:
+            raise InvalidParameterError(
+                "truncate size %d outside [0, %d]" % (size, self._offset)
+            )
+        self._file.truncate(size)
+        self._file.seek(size)
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._offset = size
+        if size == 0:
+            self.records = 0
+            self._unsynced = 0
+
+    def close(self, fsync: bool = True) -> None:
+        if self._closed:
+            return
+        try:
+            self._file.flush()
+            if fsync:
+                os.fsync(self._file.fileno())
+        finally:
+            self._closed = True
+            self._file.close()
+
+    def replay(self) -> Iterable[dict[str, Any]]:
+        """The valid records currently on disk (a fresh :func:`scan`)."""
+        payloads, _valid, _torn = scan(self.path)
+        return payloads

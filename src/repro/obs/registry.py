@@ -211,6 +211,14 @@ class TelemetryRegistry:
         if sessions is not None:
             extra["sessions_corrupted"] = sessions["corrupted"]
             extra["sessions_cached"] = sessions["cached"]
+        durability = self.section("durability")
+        if durability is not None:
+            extra["wal_records"] = durability["wal_records"]
+            extra["wal_bytes"] = durability["wal_bytes"]
+            extra["wal_truncated"] = durability["wal_truncated"]
+            extra["recovery_seconds"] = durability["recovery_seconds"]
+            extra["wal_compactions"] = durability["compactions"]
+            extra["wal_write_failures"] = durability["write_failures"]
         engine = self.section("engine")
         if engine is not None:
             extra["engine_pool_hits"] = engine.pools.hits
@@ -232,7 +240,7 @@ class TelemetryRegistry:
         stats responses stay byte-identical.
         """
         stats = dict(base)
-        for name in ("sessions", "auth", "quota"):
+        for name in ("sessions", "auth", "quota", "durability", "lifecycle"):
             value = self.section(name)
             if value is not None:
                 stats[name] = value

@@ -132,6 +132,8 @@ class TCPServer:
         drain_timeout: float = 5.0,
         default_deadline_ms: float | None = None,
         telemetry: Telemetry | None = None,
+        durability=None,
+        lifecycle=None,
     ) -> None:
         self.engine = engine
         self.host = host
@@ -147,10 +149,16 @@ class TCPServer:
         self.default_deadline_ms = default_deadline_ms
         self.telemetry = telemetry
         self._submit = submit if submit is not None else engine.submit_dict
+        self.durability = durability
+        self.lifecycle = lifecycle
         self.metrics = ServerMetrics()
         self.registry = TelemetryRegistry(telemetry)
         self.registry.register("metrics", self.metrics.snapshot)
         self.registry.register("engine", engine.stats)
+        if durability is not None:
+            self.registry.register("durability", durability.stats)
+        if lifecycle is not None:
+            self.registry.register("lifecycle", lifecycle.describe)
         self.scheduler: ShardedScheduler | None = None
         self.dispatcher: Dispatcher | None = None
         self.bound_port: int | None = None
@@ -188,6 +196,8 @@ class TCPServer:
                 quota=self.quota,
                 default_deadline_ms=self.default_deadline_ms,
                 telemetry=self.telemetry,
+                durability=self.durability,
+                lifecycle=self.lifecycle,
             )
             server = await asyncio.start_server(
                 self._handle_connection, self.host, self.port
@@ -199,6 +209,8 @@ class TCPServer:
                     ready(self)
                 await self._stop_event.wait()
             finally:
+                if self.lifecycle is not None:
+                    self.lifecycle.to_draining()
                 server.close()
                 await server.wait_closed()
                 # Graceful drain: requests already admitted to shard
@@ -220,6 +232,13 @@ class TCPServer:
                     for _ in range(100):
                         await asyncio.sleep(0)
                     await asyncio.sleep(0.05)
+                if self.durability is not None:
+                    # After the scheduler drain (no more appends can be
+                    # in flight) and before the process exits: final
+                    # flush + fsync, then the WAL refuses stragglers.
+                    await self._loop.run_in_executor(
+                        None, self.durability.seal
+                    )
                 for writer in list(self._writers):
                     writer.close()
                 # Give connection handlers a beat to observe EOF and finish.

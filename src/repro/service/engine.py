@@ -257,6 +257,13 @@ class Engine:
         :class:`~repro.core.semilattice.ClusterPool`); summaries are
         identical either way, so this is a deployment knob, not a wire
         parameter.
+    durability:
+        Optional :class:`~repro.durability.manager.DurabilityManager`.
+        When set, ``register_dataset`` snapshots the dataset and
+        ``append_rows`` write-ahead-logs every batch *before* publishing
+        it — a WAL failure aborts the append, so an acked batch is
+        always on disk.  ``None`` (the default) keeps the engine purely
+        in-memory with zero behavioral drift.
     """
 
     def __init__(
@@ -264,8 +271,10 @@ class Engine:
         max_pools: int = 64,
         max_stores: int = 16,
         mask_only: bool = False,
+        durability=None,
     ) -> None:
         self.mask_only = bool(mask_only)
+        self.durability = durability
         self._datasets: dict[str, AnswerSet] = {}
         self._versions: dict[str, int] = {}
         self._datasets_lock = threading.Lock()
@@ -301,6 +310,12 @@ class Engine:
             else:
                 self._versions[name] = 0
             self._datasets[name] = answers
+        if self.durability is not None:
+            # Outside the lock: the snapshot write is disk I/O.  A racing
+            # reader sees the dataset before its snapshot lands — same
+            # window a crash-before-snapshot leaves, and registration is
+            # what re-fills it.
+            self.durability.record_register(name, answers)
 
     def dataset(self, name: str) -> AnswerSet:
         return self._dataset_state(name)[0]
@@ -346,6 +361,13 @@ class Engine:
         with self._append_lock:
             old_answers, old_version = self._dataset_state(name)
             new_answers, delta = old_answers.extended(rows, values)
+            if self.durability is not None:
+                # WAL-before-publish: the batch has passed validation
+                # (extended() raised on anything malformed), so log it
+                # now.  If the log write fails, this raises and nothing
+                # below publishes — the client's error means "not
+                # appended", on disk and in memory alike.
+                self.durability.record_append(name, rows, values)
             version = old_version + 1
             maintained = 0
             for key, pool in self._pools.snapshot_items():
@@ -360,6 +382,8 @@ class Engine:
             with self._datasets_lock:
                 self._datasets[name] = new_answers
                 self._versions[name] = version
+            if self.durability is not None:
+                self.durability.maybe_compact(name, new_answers)
         return {
             "appended": len(delta),
             "n": new_answers.n,

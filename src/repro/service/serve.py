@@ -47,6 +47,7 @@ from repro.common.errors import (
     QuotaExceeded,
     ReproError,
     SchemaError,
+    ShuttingDown,
 )
 from repro.core.registry import algorithm_infos
 from repro.obs import Telemetry
@@ -152,6 +153,15 @@ class Dispatcher:
         request that does not carry its own ``deadline_ms`` envelope
         field (the ``repro-serve --request-timeout`` knob).  ``None``
         (the default) leaves undeadlined requests unbounded.
+    durability:
+        Optional :class:`~repro.durability.manager.DurabilityManager`.
+        Only read for introspection — its counters ride in ``stats``
+        responses under ``"durability"`` (absent on an in-memory
+        server, so durability-off wire bytes are unchanged).
+    lifecycle:
+        Optional :class:`~repro.server.lifecycle.ServerLifecycle`.
+        When it reports draining, mutations are rejected like after a
+        locally-acked server shutdown (see below).
     telemetry:
         Optional :class:`repro.obs.Telemetry`.  When present *and*
         armed, each analytical request gets a
@@ -168,8 +178,15 @@ class Dispatcher:
 
     The dispatcher also counts the rejections it served (``oversized`` /
     ``undecodable`` / ``malformed`` hostile input, plus ``auth`` and
-    ``quota`` denials and sync-path ``deadline`` expiries); they ride in
-    every ``stats`` response under ``"rejected"``.
+    ``quota`` denials, sync-path ``deadline`` expiries, and ``draining``
+    mutation rejections); they ride in every ``stats`` response under
+    ``"rejected"``.
+
+    Once a ``shutdown`` with ``scope="server"`` has been acked (or the
+    attached lifecycle reports draining), ``append_rows`` is refused
+    with ``error_type="ShuttingDown"``: the drain path is about to take
+    the WAL's final flush+fsync, and a mutation slipping in behind it
+    would be acked yet lost on the next boot.
     """
 
     def __init__(
@@ -183,6 +200,8 @@ class Dispatcher:
         quota=None,
         default_deadline_ms: float | None = None,
         telemetry: Telemetry | None = None,
+        durability=None,
+        lifecycle=None,
     ) -> None:
         if max_line_bytes < 2:
             raise ValueError(
@@ -201,6 +220,8 @@ class Dispatcher:
             )
         self.default_deadline_ms = default_deadline_ms
         self.telemetry = telemetry
+        self.durability = durability
+        self.lifecycle = lifecycle
         self._counts_lock = threading.Lock()
         self.oversized = 0
         self.undecodable = 0
@@ -208,6 +229,8 @@ class Dispatcher:
         self.auth_rejected = 0
         self.quota_rejected = 0
         self.deadline_exceeded = 0
+        self.draining_rejected = 0
+        self._draining = False
 
     # -- hostile-input responses (shared with the TCP framing layer) --------
 
@@ -418,6 +441,12 @@ class Dispatcher:
                     "shutdown scope must be %r or %r, got %r"
                     % (SESSION_SCOPE, SERVER_SCOPE, scope)
                 )
+            if scope == SERVER_SCOPE:
+                # From the moment this ack is built, mutations are done:
+                # the transport will drain and take the WAL's final
+                # fsync, and an append racing that window would be acked
+                # but lost on the next boot.
+                self._draining = True
             return {
                 "schema_version": SCHEMA_VERSION,
                 "kind": "shutdown_ack",
@@ -453,6 +482,15 @@ class Dispatcher:
             # version so stale stores are unreachable; the response
             # reports both.  Auth-gated like every non-ping kind when the
             # server is token-secured.
+            if self._draining or (
+                self.lifecycle is not None and self.lifecycle.is_draining
+            ):
+                with self._counts_lock:
+                    self.draining_rejected += 1
+                raise ShuttingDown(
+                    "server is draining; append_rows rejected "
+                    "(reconnect to the replacement server and retry)"
+                )
             dataset = payload.get("dataset")
             if not isinstance(dataset, str):
                 raise SchemaError("append_rows needs a string 'dataset'")
@@ -564,6 +602,7 @@ class Dispatcher:
                     "auth": self.auth_rejected,
                     "quota": self.quota_rejected,
                     "deadline": self.deadline_exceeded,
+                    "draining": self.draining_rejected,
                 }
             response: dict[str, Any] = {
                 "schema_version": SCHEMA_VERSION,
@@ -574,6 +613,12 @@ class Dispatcher:
                 "stores": _cache_stats_dict(stats.stores),
                 "rejected": rejected,
             }
+            if self.durability is not None:
+                # Present only on a durable server: in-memory stats
+                # responses keep their pre-durability shape.
+                response["durability"] = self.durability.stats()
+            if self.lifecycle is not None:
+                response["lifecycle"] = self.lifecycle.describe()
             if self._extra_stats is not None:
                 response["server"] = self._extra_stats()
             return response, None

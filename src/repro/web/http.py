@@ -32,7 +32,10 @@ Status codes are derived from the response payload, so the error bytes
 stay transport-identical and only the HTTP envelope differs: 400 bad
 request (schema/parameter errors), 401 ``AuthError``, 404 unknown
 route/session, 413 body too large, 429 ``QuotaExceeded``, 503
-``Overloaded``.
+``Overloaded`` / ``ShuttingDown``.  Every 503 (and every 429 on a
+quota-enabled server) carries a ``Retry-After`` header so plain HTTP
+clients get the same machine-readable backoff hint
+:class:`~repro.server.client.RetryingClient` derives itself.
 
 Shutdown (``POST /v2/admin/shutdown`` with ``scope="server"``) answers
 the ack first, then drains the shard queues (bounded by
@@ -50,6 +53,7 @@ from typing import Any, Callable, Mapping
 
 from repro.common.errors import ReproError, SchemaError
 from repro.obs import Telemetry, TelemetryRegistry
+from repro.server.lifecycle import READY, ServerLifecycle
 from repro.server.metrics import ServerMetrics, prometheus_text
 from repro.server.scheduler import (
     DEFAULT_QUEUE_DEPTH,
@@ -79,8 +83,14 @@ STATUS_BY_ERROR_TYPE: Mapping[str, int] = {
     "InjectedFault": 500,
     "PoisonedRequest": 500,
     "Overloaded": 503,
+    "ShuttingDown": 503,
     "DeadlineExceeded": 504,
 }
+
+#: ``Retry-After`` seconds on 503 responses.  Overload is transient by
+#: construction (bounded shard queues drain quickly) and a draining
+#: server is about to be replaced, so the hint is deliberately short.
+RETRY_AFTER_SECONDS_503 = 1
 
 #: Admin kinds the ``/v2/admin/<kind>`` route refuses to alias (they
 #: have first-class routes of their own).
@@ -157,6 +167,8 @@ class WebServer:
         submit: Callable[[dict[str, Any]], dict[str, Any]] | None = None,
         default_deadline_ms: float | None = None,
         telemetry: Telemetry | None = None,
+        durability=None,
+        lifecycle=None,
     ) -> None:
         self.engine = engine
         self.host = host
@@ -166,6 +178,14 @@ class WebServer:
         self.auth = auth
         self.quota = quota
         self.telemetry = telemetry
+        self.durability = durability
+        # Servers constructed without an explicit lifecycle (tests,
+        # embedding) are born ready — identical readiness behavior to
+        # the pre-lifecycle builds.
+        self.lifecycle = (
+            lifecycle if lifecycle is not None
+            else ServerLifecycle(initial=READY)
+        )
         self.metrics = ServerMetrics()
         self.scheduler = ShardedScheduler(
             submit if submit is not None else engine.submit_dict,
@@ -184,6 +204,8 @@ class WebServer:
             quota=quota,
             default_deadline_ms=default_deadline_ms,
             telemetry=telemetry,
+            durability=durability,
+            lifecycle=self.lifecycle,
         )
         if session_dir is None:
             import tempfile
@@ -203,6 +225,9 @@ class WebServer:
         self.registry.register("engine", engine.stats)
         self.registry.register("dispatcher", self._dispatcher_counts)
         self.registry.register("sessions", self.sessions.store.stats)
+        if durability is not None:
+            self.registry.register("durability", durability.stats)
+        self.registry.register("lifecycle", self.lifecycle.describe)
         if auth is not None:
             self.registry.register("auth", auth.stats)
         if quota is not None:
@@ -246,6 +271,7 @@ class WebServer:
         if self._stopping.is_set():
             return
         self._stopping.set()
+        self.lifecycle.to_draining()
 
         def _stop() -> None:
             drained = self.scheduler.drain(self.drain_timeout)
@@ -254,6 +280,10 @@ class WebServer:
                     "drain", transport="http", drained=drained,
                     timeout_seconds=self.drain_timeout,
                 )
+            if self.durability is not None:
+                # After the worker drain, before the listener dies: the
+                # WAL's final flush + fsync, then it refuses stragglers.
+                self.durability.seal()
             if self._httpd is not None:
                 self._httpd.shutdown()
 
@@ -313,8 +343,15 @@ class WebServer:
     # parsed JSON body (or None for GET/DELETE).
 
     def _route_healthz(self, token, body):
+        # Readiness, not just liveness: 200 only in the "ready" state.
+        # A booting server replaying its WAL answers 503 + "recovering"
+        # so load balancers hold traffic; a draining one answers 503 +
+        # "draining" so they stop sending new work before the exit.
+        state = self.lifecycle.state
+        ready = state == READY
         payload = {
-            "status": "ok",
+            "status": "ok" if ready else "unavailable",
+            "state": state,
             "schema_version": SCHEMA_VERSION,
             "transport": "http",
             "uptime_seconds": (
@@ -323,7 +360,7 @@ class WebServer:
             "datasets": self.engine.dataset_names(),
             "auth_required": self.auth is not None,
         }
-        return 200, payload, None
+        return (200 if ready else 503), payload, None
 
     def _route_metrics(self, token, body):
         # Gauge names (scheduler_*, shard_queue_depth{shard=...},
@@ -343,6 +380,7 @@ class WebServer:
             "auth": dispatcher.auth_rejected,
             "quota": dispatcher.quota_rejected,
             "deadline": dispatcher.deadline_exceeded,
+            "draining": dispatcher.draining_rejected,
         }
 
     def _identify(self, token) -> str:
@@ -489,6 +527,10 @@ class _Handler(BaseHTTPRequestHandler):
                 "Retry-After",
                 str(max(1, round(self.web.quota.seconds_until_reset()))),
             )
+        elif status == 503:
+            # Overloaded / ShuttingDown / not-ready healthz: same
+            # machine-readable backoff hint the 429 path already gives.
+            self.send_header("Retry-After", str(RETRY_AFTER_SECONDS_503))
         self.end_headers()
         self.wfile.write(body)
 

@@ -231,6 +231,38 @@ def test_bench_chaos_is_a_full_run_and_floors_hold():
         assert parity["golden_file_matched"] is True
 
 
+def test_bench_recovery_is_a_full_run_and_floors_hold():
+    """The committed BENCH_recovery.json must be a full run that
+    satisfies the kill drill's own floors: every acked append batch
+    present after SIGKILL + recovery, bit-identical summaries on all
+    three kernels versus an uninterrupted reference, the prober's
+    availability over the outage window at or above the floor, and
+    byte-identical transports with durability off."""
+    import sys
+
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    try:
+        from bench_recovery import AVAILABILITY_FLOOR, IDENTITY_KERNELS
+    finally:
+        sys.path.pop(0)
+    document = json.loads((REPO_ROOT / "BENCH_recovery.json").read_text())
+    assert document["smoke"] is False, (
+        "BENCH_recovery.json must be regenerated with a full "
+        "(non --smoke) run"
+    )
+    drill = document["drill"]
+    assert drill["recovered_batches"] >= drill["acked_batches"]
+    assert drill["acked_batches"] >= drill["kill_after_acks"]
+    assert drill["identity_mismatches"] == []
+    assert drill["identity_requests"] >= 2 * len(IDENTITY_KERNELS)
+    assert drill["post_recovery_append_ok"] is True
+    assert drill["prober"]["availability"] >= AVAILABILITY_FLOOR
+    assert drill["prober"]["hung"] is False
+    parity = document["transport_parity"]
+    assert parity["identical"] is True
+    assert parity["golden_file_matched"] is True
+
+
 def test_bench_obs_is_a_full_run_and_floor_holds():
     """The committed BENCH_obs.json must be a full run that satisfies
     the overhead harness's own floor: arming end-to-end tracing costs at

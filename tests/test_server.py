@@ -414,7 +414,7 @@ class TestTCPServer:
             stats = client.request({"kind": "stats"})
         assert stats["rejected"] == {
             "oversized": 1, "undecodable": 1, "malformed": 1,
-            "auth": 0, "quota": 0, "deadline": 0,
+            "auth": 0, "quota": 0, "deadline": 0, "draining": 0,
         }
         assert stats["server"]["scheduler"]["shards"] >= 1
 

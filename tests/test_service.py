@@ -506,7 +506,7 @@ class TestServeLoopTermination:
         stats = dispatcher.dispatch_line('{"kind": "stats"}').response
         assert stats["rejected"] == {
             "oversized": 1, "undecodable": 0, "malformed": 1,
-            "auth": 0, "quota": 0, "deadline": 0,
+            "auth": 0, "quota": 0, "deadline": 0, "draining": 0,
         }
         assert "coalesced" in stats["pools"]
 
